@@ -1,0 +1,523 @@
+package rsin
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"rsin/internal/core"
+	"rsin/internal/experiments"
+	"rsin/internal/graph"
+	"rsin/internal/heuristic"
+	"rsin/internal/maxflow"
+	"rsin/internal/mincost"
+	"rsin/internal/monitorarch"
+	"rsin/internal/multiflow"
+	"rsin/internal/netsimplex"
+	"rsin/internal/packetsim"
+	"rsin/internal/placement"
+	"rsin/internal/sim"
+	"rsin/internal/testutil"
+	"rsin/internal/token"
+	"rsin/internal/topology"
+	"rsin/internal/workload"
+)
+
+// graphNet and newGraph shorten the flow-graph references in the benches.
+type graphNet = graph.Network
+
+var newGraph = graph.New
+
+// fig2Net builds the Fig. 2 scenario: 8x8 Omega, circuits p2-r6 and p4-r4
+// occupied (paper numbering).
+func fig2Net() (*topology.Network, []core.Request, []core.Avail) {
+	net := topology.Omega(8)
+	for _, pr := range [][2]int{{1, 5}, {3, 3}} {
+		c := net.FindPath(pr[0], func(r int) bool { return r == pr[1] })
+		if err := net.Establish(*c); err != nil {
+			panic(err)
+		}
+	}
+	reqs := []core.Request{{Proc: 0}, {Proc: 2}, {Proc: 4}, {Proc: 6}, {Proc: 7}}
+	avail := []core.Avail{{Res: 0}, {Res: 2}, {Res: 4}, {Res: 6}, {Res: 7}}
+	return net, reqs, avail
+}
+
+// BenchmarkE1Fig2OmegaMapping regenerates Fig. 2: one optimal scheduling
+// cycle on the worked example (all five resources allocated).
+func BenchmarkE1Fig2OmegaMapping(b *testing.B) {
+	net, reqs, avail := fig2Net()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m, err := core.ScheduleMaxFlow(net, reqs, avail)
+		if err != nil || m.Allocated() != 5 {
+			b.Fatalf("allocated %d, err %v", m.Allocated(), err)
+		}
+	}
+}
+
+// BenchmarkE2Augment regenerates Fig. 3/4: flow augmentation with
+// cancellation starting from the s-a-d-t assignment.
+func BenchmarkE2Augment(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		g := fig3Graph()
+		res := maxflow.FordFulkerson(g)
+		if res.Value != 2 {
+			b.Fatalf("flow %d, want 2", res.Value)
+		}
+	}
+}
+
+// fig3Graph is the Fig. 3 network with the initial one-unit flow assigned
+// along s-a-d-t.
+func fig3Graph() *graphNet {
+	g := newGraph(6, 0, 5)
+	sa := g.AddArc(0, 1, 1, 0)
+	g.AddArc(0, 3, 1, 0)
+	g.AddArc(1, 2, 1, 0)
+	ad := g.AddArc(1, 4, 1, 0)
+	g.AddArc(3, 4, 1, 0)
+	g.AddArc(2, 5, 1, 0)
+	dt := g.AddArc(4, 5, 1, 0)
+	g.Arcs[sa].Flow = 1
+	g.Arcs[ad].Flow = 1
+	g.Arcs[dt].Flow = 1
+	return g
+}
+
+// BenchmarkE3Fig5MinCost regenerates Fig. 5: Transformation 2 with request
+// priorities and resource preferences on the 8x8 Omega.
+func BenchmarkE3Fig5MinCost(b *testing.B) {
+	net := topology.Omega(8)
+	// Fig. 5 (paper numbering p3, p5, p8 requesting; r1, r3, r5, r7, r8
+	// free; priorities/preferences on a 1-10 scale).
+	reqs := []core.Request{
+		{Proc: 2, Priority: 9},
+		{Proc: 4, Priority: 6},
+		{Proc: 7, Priority: 2},
+	}
+	avail := []core.Avail{
+		{Res: 0, Preference: 9},
+		{Res: 2, Preference: 1},
+		{Res: 4, Preference: 5},
+		{Res: 6, Preference: 3},
+		{Res: 7, Preference: 3},
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m, err := core.ScheduleMinCost(net, reqs, avail)
+		if err != nil || m.Allocated() != 3 {
+			b.Fatalf("allocated %d, err %v", m.Allocated(), err)
+		}
+	}
+}
+
+// benchBlocking runs one scheduling cycle per iteration on a fresh random
+// pattern — the unit of work behind every blocking-probability figure.
+func benchBlocking(b *testing.B, build func() *topology.Network, sched heuristic.Scheduler, occ float64) {
+	rng := rand.New(rand.NewSource(1))
+	cfg := workload.Config{PRequest: 0.75, PFree: 0.75}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		net := build()
+		if occ > 0 {
+			workload.OccupyRandom(rng, net, occ)
+		}
+		pat := workload.Generate(rng, net, cfg)
+		_ = sched(net, pat.Requests, pat.Avail, rng)
+	}
+}
+
+// BenchmarkE4CubeBlocking regenerates the §II blocking comparison on the
+// 8x8 indirect binary cube (optimal ~2% vs heuristic ~20%).
+func BenchmarkE4CubeBlocking(b *testing.B) {
+	build := func() *topology.Network { return topology.IndirectCube(8) }
+	b.Run("optimal", func(b *testing.B) { benchBlocking(b, build, heuristic.Optimal, 0) })
+	b.Run("greedy", func(b *testing.B) { benchBlocking(b, build, heuristic.GreedyFirstFit, 0) })
+	b.Run("address", func(b *testing.B) { benchBlocking(b, build, heuristic.AddressMapping, 0) })
+}
+
+// BenchmarkE5OmegaBlocking regenerates the Omega < 5% blockage claim across
+// sizes.
+func BenchmarkE5OmegaBlocking(b *testing.B) {
+	for _, n := range []int{8, 16, 32, 64} {
+		n := n
+		b.Run(fmt.Sprintf("omega-%d", n), func(b *testing.B) {
+			benchBlocking(b, func() *topology.Network { return topology.Omega(n) }, heuristic.Optimal, 0)
+		})
+	}
+}
+
+// BenchmarkE6OccupancySweep regenerates the partially-occupied-network
+// sweep on the 8x8 Omega.
+func BenchmarkE6OccupancySweep(b *testing.B) {
+	build := func() *topology.Network { return topology.Omega(8) }
+	for _, occ := range []float64{0, 0.2, 0.4} {
+		occ := occ
+		b.Run(fmt.Sprintf("optimal-occ%.0f%%", occ*100), func(b *testing.B) {
+			benchBlocking(b, build, heuristic.Optimal, occ)
+		})
+		b.Run(fmt.Sprintf("address-occ%.0f%%", occ*100), func(b *testing.B) {
+			benchBlocking(b, build, heuristic.AddressMapping, occ)
+		})
+	}
+}
+
+// BenchmarkE7ExtraStages regenerates the extra-stage sweep.
+func BenchmarkE7ExtraStages(b *testing.B) {
+	for extra := 0; extra <= 2; extra++ {
+		extra := extra
+		b.Run(fmt.Sprintf("omega+%d", extra), func(b *testing.B) {
+			benchBlocking(b, func() *topology.Network { return topology.OmegaExtra(8, extra) },
+				heuristic.Optimal, 0)
+		})
+	}
+	b.Run("gamma", func(b *testing.B) {
+		benchBlocking(b, func() *topology.Network { return topology.Gamma(8) }, heuristic.Optimal, 0)
+	})
+}
+
+// BenchmarkE8LayeredNetwork regenerates Fig. 8: constructing the layered
+// network (one Dinic BFS phase) on a 4x4 MRSIN flow graph.
+func BenchmarkE8LayeredNetwork(b *testing.B) {
+	net := topology.Omega(4)
+	reqs := []core.Request{{Proc: 0}, {Proc: 1}, {Proc: 3}}
+	avail := []core.Avail{{Res: 0}, {Res: 2}, {Res: 3}}
+	tr := core.Transform1(net, reqs, avail)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		levels := maxflow.LayeredNetwork(tr.G)
+		if levels[tr.G.Sink] < 0 {
+			b.Fatal("sink unreachable")
+		}
+	}
+}
+
+// BenchmarkE9StatusBus regenerates the Table I / Fig. 10 protocol: one full
+// token-architecture cycle with bus recording on.
+func BenchmarkE9StatusBus(b *testing.B) {
+	net := topology.Omega(8)
+	requesting := []bool{true, false, true, false, true, false, true, true}
+	free := []bool{true, false, true, false, true, false, true, true}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res, err := token.Schedule(net, requesting, free, &token.Options{RecordBus: true})
+		if err != nil || len(res.BusTrace) == 0 {
+			b.Fatalf("bus trace empty, err %v", err)
+		}
+	}
+}
+
+// BenchmarkE10TokenVsMonitor regenerates the architecture comparison: one
+// full-load scheduling cycle per iteration on each architecture.
+func BenchmarkE10TokenVsMonitor(b *testing.B) {
+	for _, n := range []int{8, 32} {
+		n := n
+		requesting := make([]bool, n)
+		free := make([]bool, n)
+		var reqs []core.Request
+		var avail []core.Avail
+		for i := 0; i < n; i++ {
+			requesting[i], free[i] = true, true
+			reqs = append(reqs, core.Request{Proc: i})
+			avail = append(avail, core.Avail{Res: i})
+		}
+		b.Run(fmt.Sprintf("token-%d", n), func(b *testing.B) {
+			net := topology.Omega(n)
+			for i := 0; i < b.N; i++ {
+				if _, err := token.Schedule(net, requesting, free, nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("monitor-%d", n), func(b *testing.B) {
+			net := topology.Omega(n)
+			for i := 0; i < b.N; i++ {
+				if _, err := monitorarch.Schedule(net, reqs, avail, monitorarch.Dinic, nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkE11TableIIDisciplines times the four scheduling disciplines of
+// Table II on a common 8x8 scenario.
+func BenchmarkE11TableIIDisciplines(b *testing.B) {
+	rng := rand.New(rand.NewSource(11))
+	net := topology.Omega(8)
+	pat := workload.Generate(rng, net, workload.Config{
+		PRequest: 0.75, PFree: 0.75, Priorities: 10, Preferences: 10, Types: 2,
+	})
+	homoReq := append([]core.Request(nil), pat.Requests...)
+	homoAvail := append([]core.Avail(nil), pat.Avail...)
+	for i := range homoReq {
+		homoReq[i].Type = 0
+	}
+	for i := range homoAvail {
+		homoAvail[i].Type = 0
+	}
+	b.Run("maxflow", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := core.ScheduleMaxFlow(net, homoReq, homoAvail); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("mincost", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := core.ScheduleMinCost(net, homoReq, homoAvail); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("mincost-outofkilter", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := core.ScheduleMinCostOutOfKilter(net, homoReq, homoAvail); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("multicommodity-lp", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := core.ScheduleHetero(net, pat.Requests, pat.Avail, nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("integer-multicommodity", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := core.ScheduleHetero(net, pat.Requests, pat.Avail,
+				&core.HeteroOptions{Exact: true}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkE12DinicScaling measures Dinic on growing unit-capacity
+// networks (the O(V^{2/3}E) regime of §III-B).
+func BenchmarkE12DinicScaling(b *testing.B) {
+	for _, width := range []int{8, 16, 32, 64} {
+		width := width
+		b.Run(fmt.Sprintf("width-%d", width), func(b *testing.B) {
+			rng := rand.New(rand.NewSource(int64(width)))
+			nets := make([]*graphNet, 16)
+			for i := range nets {
+				nets[i] = testutil.RandomUnitNetwork(rng, 4, width, 0.4)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				g := nets[i%len(nets)].Clone()
+				maxflow.Dinic(g)
+			}
+		})
+	}
+}
+
+// BenchmarkE13Integrality measures one multicommodity LP solve on an MRSIN
+// transformation (the restricted-topology integrality workload).
+func BenchmarkE13Integrality(b *testing.B) {
+	rng := rand.New(rand.NewSource(13))
+	net := topology.Omega(8)
+	pat := workload.Generate(rng, net, workload.Config{PRequest: 0.6, PFree: 0.6, Types: 2})
+	g, comms := core.BuildMulticommodity(net, pat.Requests, pat.Avail)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := multiflow.MaxFlow(g, comms, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE14LoadBalance runs a short system simulation per iteration.
+func BenchmarkE14LoadBalance(b *testing.B) {
+	net := topology.Omega(8)
+	for i := 0; i < b.N; i++ {
+		_, err := sim.Run(sim.Config{
+			Net: net,
+			Schedule: func(n *topology.Network, r []core.Request, a []core.Avail) (*core.Mapping, error) {
+				return core.ScheduleMaxFlow(n, r, a)
+			},
+			ArrivalRate: 1, TransmitTime: 0.4, ServiceTime: 0.6,
+			Horizon: 50, Seed: int64(i),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE15CyclePolicy runs one short policy-ablation simulation per
+// iteration (immediate vs batched cycle entry).
+func BenchmarkE15CyclePolicy(b *testing.B) {
+	for _, p := range []struct {
+		name string
+		pol  sim.CyclePolicy
+	}{
+		{"immediate", sim.CyclePolicy{}},
+		{"batch4", sim.CyclePolicy{MinPending: 4}},
+	} {
+		p := p
+		b.Run(p.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_, err := sim.Run(sim.Config{
+					Net: topology.Omega(8),
+					Schedule: func(n *topology.Network, r []core.Request, a []core.Avail) (*core.Mapping, error) {
+						return core.ScheduleMaxFlow(n, r, a)
+					},
+					ArrivalRate: 1, TransmitTime: 0.4, ServiceTime: 0.6,
+					Horizon: 50, Seed: int64(i), Policy: p.pol,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkE16Placement measures one Monte Carlo placement evaluation.
+func BenchmarkE16Placement(b *testing.B) {
+	net := topology.Omega(8)
+	c := placement.Counts{0: 4, 1: 4}
+	cont := placement.Contiguous(c)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		placement.Evaluate(net, cont, c, 0.9, 0.75, 20, int64(i))
+	}
+}
+
+// BenchmarkE17CircuitVsPacket measures one full-load packet-switched
+// delivery round on the Omega 16 (the E17 workload unit).
+func BenchmarkE17CircuitVsPacket(b *testing.B) {
+	rng := rand.New(rand.NewSource(17))
+	net := topology.Omega(16)
+	tasks := packetsim.RandomTasks(rng, net, 1.0)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := packetsim.Run(packetsim.Config{Net: net, TaskLength: 16, BufferDepth: 2}, tasks); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMicroDinic etc. give per-algorithm microbenchmarks on a common
+// Transformation-1 graph.
+func BenchmarkMicroFlowAlgorithms(b *testing.B) {
+	net := topology.Omega(16)
+	var reqs []core.Request
+	var avail []core.Avail
+	for i := 0; i < 16; i++ {
+		reqs = append(reqs, core.Request{Proc: i})
+		avail = append(avail, core.Avail{Res: i})
+	}
+	tr := core.Transform1(net, reqs, avail)
+	algos := map[string]func(*graphNet) maxflow.Result{
+		"dinic":          maxflow.Dinic,
+		"edmonds-karp":   maxflow.EdmondsKarp,
+		"ford-fulkerson": maxflow.FordFulkerson,
+	}
+	for name, algo := range algos {
+		algo := algo
+		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				g := tr.G.Clone()
+				g.ResetFlow()
+				algo(g)
+			}
+		})
+	}
+}
+
+func BenchmarkMicroMinCost(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	g := testutil.RandomNetwork(rng, 30, 0.2, 4, 6)
+	target := maxflow.Dinic(g.Clone()).Value
+	b.Run("ssp", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			h := g.Clone()
+			if _, err := mincost.SuccessiveShortestPaths(h, target); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("out-of-kilter", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			h := g.Clone()
+			if _, err := mincost.OutOfKilter(h, target); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("network-simplex", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			h := g.Clone()
+			if _, err := netsimplex.MinCostFlow(h, target); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkCrossbarFastPath contrasts the Hopcroft-Karp crossbar scheduler
+// against the generic flow transformation on the same instance.
+func BenchmarkCrossbarFastPath(b *testing.B) {
+	net := topology.Crossbar(32, 32)
+	var reqs []core.Request
+	var avail []core.Avail
+	for i := 0; i < 32; i++ {
+		reqs = append(reqs, core.Request{Proc: i})
+		avail = append(avail, core.Avail{Res: i})
+	}
+	b.Run("hopcroft-karp", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := core.ScheduleCrossbar(net, reqs, avail); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("flow-transformation", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := core.ScheduleMaxFlow(net, reqs, avail); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkMicroPushRelabel measures the fourth max-flow engine on the
+// standard Transformation-1 instance.
+func BenchmarkMicroPushRelabel(b *testing.B) {
+	net := topology.Omega(16)
+	var reqs []core.Request
+	var avail []core.Avail
+	for i := 0; i < 16; i++ {
+		reqs = append(reqs, core.Request{Proc: i})
+		avail = append(avail, core.Avail{Res: i})
+	}
+	tr := core.Transform1(net, reqs, avail)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		g := tr.G.Clone()
+		maxflow.PushRelabel(g)
+	}
+}
+
+// BenchmarkHarnessQuick regenerates the full experiment table set once per
+// iteration at reduced trial counts — the end-to-end harness cost.
+func BenchmarkHarnessQuick(b *testing.B) {
+	if testing.Short() {
+		b.Skip("harness too slow for -short")
+	}
+	for i := 0; i < b.N; i++ {
+		tabs := experiments.All(int64(i+1), true)
+		if len(tabs) != 14 {
+			b.Fatalf("got %d tables", len(tabs))
+		}
+	}
+}

@@ -1,0 +1,104 @@
+// rsinflow is a standalone DIMACS flow solver built on the repository's
+// engines: maximum flow ("p max" instances) via Dinic, Edmonds-Karp,
+// Ford-Fulkerson or push-relabel, and minimum-cost flow ("p min") via
+// successive shortest paths, out-of-kilter or network simplex.
+//
+//	rsinflow < instance.max                     # Dinic
+//	rsinflow -algo push-relabel < instance.max
+//	rsinflow -algo out-of-kilter < instance.min
+//	rsinflow -export max -omega 8 > t1.max      # export a Transformation-1 graph
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"rsin/internal/core"
+	"rsin/internal/dimacs"
+	"rsin/internal/maxflow"
+	"rsin/internal/mincost"
+	"rsin/internal/netsimplex"
+	"rsin/internal/topology"
+)
+
+func main() {
+	var (
+		algo   = flag.String("algo", "", "max: dinic|edmonds-karp|ford-fulkerson|push-relabel; min: ssp|out-of-kilter|network-simplex (default per kind)")
+		export = flag.String("export", "", "instead of solving, export a full-load Transformation graph of the given kind (max|min)")
+		omega  = flag.Int("omega", 8, "omega network size for -export")
+	)
+	flag.Parse()
+
+	if *export != "" {
+		net := topology.Omega(*omega)
+		var reqs []core.Request
+		var avail []core.Avail
+		for i := 0; i < *omega; i++ {
+			reqs = append(reqs, core.Request{Proc: i, Priority: int64(i % 10)})
+			avail = append(avail, core.Avail{Res: i, Preference: int64((i * 3) % 10)})
+		}
+		var g = core.Transform1(net, reqs, avail).G
+		value := int64(0)
+		if *export == "min" {
+			tr := core.Transform2(net, reqs, avail)
+			g, value = tr.G, tr.F0
+		}
+		if err := dimacs.WriteProblem(os.Stdout, *export, g, value); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	p, err := dimacs.Parse(os.Stdin)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	switch p.Kind {
+	case "max":
+		a := *algo
+		if a == "" {
+			a = "dinic"
+		}
+		switch a {
+		case "dinic":
+			maxflow.Dinic(p.G)
+		case "edmonds-karp":
+			maxflow.EdmondsKarp(p.G)
+		case "ford-fulkerson":
+			maxflow.FordFulkerson(p.G)
+		case "push-relabel":
+			maxflow.PushRelabel(p.G)
+		default:
+			fmt.Fprintf(os.Stderr, "unknown max-flow algorithm %q\n", a)
+			os.Exit(2)
+		}
+	case "min":
+		a := *algo
+		if a == "" {
+			a = "ssp"
+		}
+		var err error
+		switch a {
+		case "ssp":
+			_, err = mincost.SuccessiveShortestPaths(p.G, p.Value)
+		case "out-of-kilter":
+			_, err = mincost.OutOfKilter(p.G, p.Value)
+		case "network-simplex":
+			_, err = netsimplex.MinCostFlow(p.G, p.Value)
+		default:
+			fmt.Fprintf(os.Stderr, "unknown min-cost algorithm %q\n", a)
+			os.Exit(2)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	if err := dimacs.WriteSolution(os.Stdout, p); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

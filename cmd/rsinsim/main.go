@@ -1,0 +1,128 @@
+// rsinsim measures the blocking probability of one scheduler on one
+// topology over a random request/availability ensemble — the elementary
+// experiment of the paper's evaluation (§II).
+//
+//	go run ./cmd/rsinsim -topology omega -size 8 -sched optimal
+//	go run ./cmd/rsinsim -topology cube -sched address -preq 0.75 -trials 10000
+//	go run ./cmd/rsinsim -topology omega -sched token -occupancy 0.2
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"rsin/internal/core"
+	"rsin/internal/heuristic"
+	"rsin/internal/stats"
+	"rsin/internal/token"
+	"rsin/internal/topology"
+	"rsin/internal/workload"
+)
+
+func buildTopology(name string, size, extra int) (*topology.Network, error) {
+	switch name {
+	case "omega":
+		return topology.OmegaExtra(size, extra), nil
+	case "cube":
+		return topology.IndirectCube(size), nil
+	case "baseline":
+		return topology.Baseline(size), nil
+	case "benes":
+		return topology.Benes(size), nil
+	case "gamma":
+		return topology.Gamma(size), nil
+	case "crossbar":
+		return topology.Crossbar(size, size), nil
+	case "delta":
+		return topology.Delta(2, intLog2(size)), nil
+	case "flip":
+		return topology.Flip(size), nil
+	case "random":
+		return topology.RandomLoopFree(rand.New(rand.NewSource(int64(size))), size, size, 3, 4), nil
+	default:
+		return nil, fmt.Errorf("unknown topology %q", name)
+	}
+}
+
+func intLog2(n int) int {
+	k := 0
+	for m := n; m > 1; m >>= 1 {
+		k++
+	}
+	return k
+}
+
+func main() {
+	var (
+		topo      = flag.String("topology", "omega", "omega | cube | baseline | benes | gamma | crossbar | delta | flip | random")
+		size      = flag.Int("size", 8, "network size (power of two)")
+		extra     = flag.Int("extra", 0, "extra stages (omega only)")
+		sched     = flag.String("sched", "optimal", "optimal | token | greedy | random | address")
+		preq      = flag.Float64("preq", 0.75, "probability a processor requests")
+		pfree     = flag.Float64("pfree", 0.75, "probability a resource is free")
+		occupancy = flag.Float64("occupancy", 0, "fraction of links pre-occupied")
+		trials    = flag.Int("trials", 2000, "ensemble size")
+		seed      = flag.Int64("seed", 1, "RNG seed")
+	)
+	flag.Parse()
+
+	rng := rand.New(rand.NewSource(*seed))
+	blocking := &stats.Accumulator{}
+	clocks := &stats.Accumulator{}
+
+	for i := 0; i < *trials; i++ {
+		net, err := buildTopology(*topo, *size, *extra)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		if *occupancy > 0 {
+			workload.OccupyRandom(rng, net, *occupancy)
+		}
+		pat := workload.Generate(rng, net, workload.Config{PRequest: *preq, PFree: *pfree})
+		possible := len(pat.Requests)
+		if len(pat.Avail) < possible {
+			possible = len(pat.Avail)
+		}
+		if possible == 0 {
+			continue
+		}
+		var allocated int
+		switch *sched {
+		case "optimal":
+			m, err := core.ScheduleMaxFlow(net, pat.Requests, pat.Avail)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			allocated = m.Allocated()
+		case "token":
+			res, err := token.Schedule(net, pat.Requesting, pat.Free, nil)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			allocated = res.Mapping.Allocated()
+			clocks.Add(float64(res.Clocks))
+		case "greedy":
+			allocated = heuristic.GreedyFirstFit(net, pat.Requests, pat.Avail, rng).Allocated()
+		case "random":
+			allocated = heuristic.GreedyRandomOrder(net, pat.Requests, pat.Avail, rng).Allocated()
+		case "address":
+			allocated = heuristic.AddressMapping(net, pat.Requests, pat.Avail, rng).Allocated()
+		default:
+			fmt.Fprintf(os.Stderr, "unknown scheduler %q\n", *sched)
+			os.Exit(2)
+		}
+		blocking.Add(1 - float64(allocated)/float64(possible))
+	}
+
+	fmt.Printf("topology=%s size=%d sched=%s preq=%.2f pfree=%.2f occupancy=%.2f trials=%d\n",
+		*topo, *size, *sched, *preq, *pfree, *occupancy, blocking.N())
+	fmt.Printf("blocking probability: %s\n", blocking)
+	if clocks.N() > 0 {
+		fmt.Printf("token clock periods:  %s\n", clocks)
+	}
+}

@@ -1,0 +1,162 @@
+// rsinviz renders a multistage RSIN as ASCII art — stages of switchboxes
+// with their port wiring — optionally overlaying the circuits of one
+// optimally scheduled random scenario (occupied links are UPPERCASE).
+//
+//	go run ./cmd/rsinviz -topology omega -size 8
+//	go run ./cmd/rsinviz -topology omega -size 8 -schedule -preq 0.6
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"sort"
+	"strings"
+
+	"rsin/internal/core"
+	"rsin/internal/token"
+	"rsin/internal/topology"
+	"rsin/internal/workload"
+)
+
+func main() {
+	var (
+		topo     = flag.String("topology", "omega", "omega | cube | baseline | benes | gamma | crossbar")
+		size     = flag.Int("size", 8, "network size")
+		schedule = flag.Bool("schedule", false, "run one optimal scheduling cycle and overlay the circuits")
+		trace    = flag.Bool("trace", false, "schedule with the token architecture and print the status-bus trace")
+		preq     = flag.Float64("preq", 0.75, "request probability (with -schedule/-trace)")
+		pfree    = flag.Float64("pfree", 0.75, "free-resource probability (with -schedule/-trace)")
+		seed     = flag.Int64("seed", 1, "RNG seed")
+	)
+	flag.Parse()
+
+	var net *topology.Network
+	switch *topo {
+	case "omega":
+		net = topology.Omega(*size)
+	case "cube":
+		net = topology.IndirectCube(*size)
+	case "baseline":
+		net = topology.Baseline(*size)
+	case "benes":
+		net = topology.Benes(*size)
+	case "gamma":
+		net = topology.Gamma(*size)
+	case "crossbar":
+		net = topology.Crossbar(*size, *size)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown topology %q\n", *topo)
+		os.Exit(2)
+	}
+
+	var mapping *core.Mapping
+	if *trace {
+		rng := rand.New(rand.NewSource(*seed))
+		pat := workload.Generate(rng, net, workload.Config{PRequest: *preq, PFree: *pfree})
+		res, err := token.Schedule(net, pat.Requesting, pat.Free, &token.Options{RecordBus: true})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("token architecture: %d allocated, %d clock periods, %d iterations\n\n",
+			res.Mapping.Allocated(), res.Clocks, res.Iterations)
+		fmt.Println("clock  E1E2E3E4E5E6E7")
+		for i, st := range res.BusTrace {
+			fmt.Printf("%5d  %s\n", i+1, st.Vector())
+		}
+		fmt.Println()
+		if err := res.Mapping.Apply(net); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		mapping = res.Mapping
+	} else if *schedule {
+		rng := rand.New(rand.NewSource(*seed))
+		pat := workload.Generate(rng, net, workload.Config{PRequest: *preq, PFree: *pfree})
+		m, err := core.ScheduleMaxFlow(net, pat.Requests, pat.Avail)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := m.Apply(net); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		mapping = m
+	}
+
+	render(net)
+
+	if mapping != nil {
+		fmt.Printf("\nscheduled %d circuits:\n", mapping.Allocated())
+		for _, a := range mapping.Assigned {
+			fmt.Printf("  p%d -> r%d: links %v\n", a.Req.Proc, a.Res, a.Circuit.Links)
+		}
+		for _, b := range mapping.Blocked {
+			fmt.Printf("  p%d blocked\n", b.Proc)
+		}
+	}
+}
+
+// render prints the network stage by stage: every box with its input and
+// output link IDs; occupied links are marked with '*'.
+func render(net *topology.Network) {
+	fmt.Printf("%s — %d processors, %d resources, %d stages\n\n",
+		net.Name, net.Procs, net.Ress, net.NumStages())
+
+	linkTag := func(l int) string {
+		if l == -1 {
+			return "--"
+		}
+		tag := fmt.Sprintf("%d", l)
+		if net.Links[l].State == topology.LinkOccupied {
+			tag += "*"
+		}
+		return tag
+	}
+
+	// Processor column.
+	var procs []string
+	for p := 0; p < net.Procs; p++ {
+		procs = append(procs, fmt.Sprintf("p%-2d --%s-->", p, linkTag(net.ProcLink[p])))
+	}
+	fmt.Println("processors:")
+	fmt.Println("  " + strings.Join(procs, "  "))
+	fmt.Println()
+
+	// Boxes grouped by stage.
+	byStage := map[int][]topology.Box{}
+	for _, b := range net.Boxes {
+		byStage[b.Stage] = append(byStage[b.Stage], b)
+	}
+	var stages []int
+	for s := range byStage {
+		stages = append(stages, s)
+	}
+	sort.Ints(stages)
+	for _, s := range stages {
+		fmt.Printf("stage %d:\n", s)
+		for _, b := range byStage[s] {
+			var in, out []string
+			for _, l := range b.In {
+				in = append(in, linkTag(l))
+			}
+			for _, l := range b.Out {
+				out = append(out, linkTag(l))
+			}
+			fmt.Printf("  [box%-3d in: %-14s out: %-14s]\n",
+				b.ID, strings.Join(in, ","), strings.Join(out, ","))
+		}
+	}
+	fmt.Println()
+
+	var ress []string
+	for r := 0; r < net.Ress; r++ {
+		ress = append(ress, fmt.Sprintf("--%s--> r%-2d", linkTag(net.ResLink[r]), r))
+	}
+	fmt.Println("resources:")
+	fmt.Println("  " + strings.Join(ress, "  "))
+	fmt.Println("\n('*' marks an occupied link)")
+}

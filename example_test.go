@@ -1,0 +1,91 @@
+package rsin_test
+
+import (
+	"fmt"
+	"sort"
+
+	"rsin"
+)
+
+// The basic workflow: build a topology, schedule, establish circuits.
+func ExampleScheduleMaxFlow() {
+	net := rsin.Omega(8)
+	m, err := rsin.ScheduleMaxFlow(net,
+		[]rsin.Request{{Proc: 0}, {Proc: 3}, {Proc: 5}},
+		[]rsin.Avail{{Res: 1}, {Res: 4}, {Res: 6}})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("allocated:", m.Allocated())
+	if err := m.Apply(net); err != nil {
+		panic(err)
+	}
+	fmt.Println("occupied links:", len(net.Links)-net.FreeLinks())
+	// Output:
+	// allocated: 3
+	// occupied links: 12
+}
+
+// Priorities and preferences via Transformation 2: the urgent request
+// wins the contended resource.
+func ExampleScheduleMinCost() {
+	net := rsin.Crossbar(2, 1)
+	m, err := rsin.ScheduleMinCost(net,
+		[]rsin.Request{
+			{Proc: 0, Priority: 2},
+			{Proc: 1, Priority: 9},
+		},
+		[]rsin.Avail{{Res: 0, Preference: 5}})
+	if err != nil {
+		panic(err)
+	}
+	for _, a := range m.Assigned {
+		fmt.Printf("p%d wins\n", a.Req.Proc)
+	}
+	// Output:
+	// p1 wins
+}
+
+// Heterogeneous scheduling: requests name a resource type, not an address.
+func ExampleScheduleHetero() {
+	net := rsin.Crossbar(2, 2)
+	m, err := rsin.ScheduleHetero(net,
+		[]rsin.Request{
+			{Proc: 0, Type: 7},
+			{Proc: 1, Type: 3},
+		},
+		[]rsin.Avail{
+			{Res: 0, Type: 3},
+			{Res: 1, Type: 7},
+		}, nil)
+	if err != nil {
+		panic(err)
+	}
+	var got []string
+	for _, a := range m.Assigned {
+		got = append(got, fmt.Sprintf("p%d->r%d", a.Req.Proc, a.Res))
+	}
+	sort.Strings(got)
+	fmt.Println(got)
+	// Output:
+	// [p0->r1 p1->r0]
+}
+
+// The distributed token architecture computes the same optimal mapping in
+// hardware clock periods.
+func ExampleTokenSchedule() {
+	net := rsin.Omega(8)
+	requesting := make([]bool, 8)
+	free := make([]bool, 8)
+	requesting[2], requesting[6] = true, true
+	free[1], free[5] = true, true
+	res, err := rsin.TokenSchedule(net, requesting, free, nil)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("allocated:", res.Mapping.Allocated())
+	fmt.Println("iterations:", res.Iterations)
+	// Output:
+	// allocated: 2
+	// iterations: 1
+}

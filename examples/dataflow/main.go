@@ -1,0 +1,68 @@
+// Dataflow models Dennis' data flow computer (Fig. 1b) as a resource
+// sharing system: cell blocks fire active instructions into an RSIN, which
+// routes each to any free processing unit. The example runs repeated
+// scheduling cycles on the distributed token architecture and reports
+// processing-unit utilization and scheduling overhead in clock periods.
+//
+// Run with: go run ./examples/dataflow
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"rsin"
+)
+
+func main() {
+	const (
+		cellBlocks = 16 // instruction sources
+		cycles     = 50
+	)
+	net := rsin.Baseline(16) // 16 cell blocks x 16 processing units
+	rng := rand.New(rand.NewSource(7))
+
+	// Each processing unit finishes its instruction after a geometric
+	// number of cycles; cell blocks fire with probability 0.6 per cycle.
+	busyUntil := make([]int, 16)
+	var fired, executed, clocks, busyCycles int
+
+	for cy := 0; cy < cycles; cy++ {
+		for u := range busyUntil {
+			if busyUntil[u] > cy {
+				busyCycles++
+			}
+		}
+		requesting := make([]bool, cellBlocks)
+		free := make([]bool, 16)
+		for i := range requesting {
+			if rng.Float64() < 0.6 {
+				requesting[i] = true
+				fired++
+			}
+		}
+		for u := range busyUntil {
+			free[u] = busyUntil[u] <= cy
+		}
+
+		res, err := rsin.TokenSchedule(net, requesting, free, nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		clocks += res.Clocks
+		for _, a := range res.Mapping.Assigned {
+			executed++
+			busyUntil[a.Res] = cy + 1 + rng.Intn(3) // 1-3 cycles of execution
+		}
+	}
+
+	fmt.Printf("data flow machine over %d scheduling cycles:\n", cycles)
+	fmt.Printf("  instructions fired:    %d\n", fired)
+	fmt.Printf("  instructions executed: %d (%.0f%%)\n", executed, 100*float64(executed)/float64(fired))
+	fmt.Printf("  PU utilization:        %.0f%%\n", 100*float64(busyCycles)/float64(16*cycles))
+	fmt.Printf("  scheduling overhead:   %d clock periods total, %.1f per cycle\n",
+		clocks, float64(clocks)/float64(cycles))
+	fmt.Println("\nThe RSIN removes the centralized dispatch bottleneck: instructions")
+	fmt.Println("carry no destination tags, the network itself finds a free PU.")
+}

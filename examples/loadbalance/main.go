@@ -1,0 +1,59 @@
+// Loadbalance models the load-balancing system of §I: processors double as
+// resources, requests queue on both sides, and the RSIN redistributes work.
+// A full discrete-event simulation compares the optimal flow-based
+// scheduler against the address-mapping baseline on utilization, response
+// time and blocking as the offered load rises.
+//
+// Run with: go run ./examples/loadbalance
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"rsin"
+	"rsin/internal/core"
+	"rsin/internal/heuristic"
+	"rsin/internal/sim"
+	"rsin/internal/topology"
+)
+
+func main() {
+	fmt.Println("load balancing through an 8x8 Omega RSIN")
+	fmt.Println("rate   scheduler  util   resp    block   completed")
+	fmt.Println("-----  ---------  -----  ------  ------  ---------")
+
+	rng := rand.New(rand.NewSource(1))
+	address := func(n *topology.Network, r []core.Request, a []core.Avail) (*core.Mapping, error) {
+		return heuristic.AddressMapping(n, r, a, rng), nil
+	}
+	optimal := func(n *topology.Network, r []core.Request, a []core.Avail) (*core.Mapping, error) {
+		return core.ScheduleMaxFlow(n, r, a)
+	}
+
+	for _, rate := range []float64{0.4, 1.0, 2.0} {
+		for _, s := range []struct {
+			name  string
+			sched sim.Scheduler
+		}{{"optimal", optimal}, {"address", address}} {
+			m, err := sim.Run(sim.Config{
+				Net:          rsin.Omega(8),
+				Schedule:     s.sched,
+				ArrivalRate:  rate,
+				TransmitTime: 0.3,
+				ServiceTime:  0.7,
+				Horizon:      600,
+				Seed:         42,
+				MaxQueue:     16,
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("%-5.1f  %-9s  %.2f   %5.2f   %.3f   %d\n",
+				rate, s.name, m.Utilization, m.MeanResp, m.BlockFraction(), m.Completed)
+		}
+	}
+	fmt.Println("\nAt light load both schedulers are fine; as contention rises the")
+	fmt.Println("optimal scheduler blocks less, keeping queues shorter.")
+}

@@ -1,0 +1,3 @@
+module rsin
+
+go 1.22

@@ -1,0 +1,87 @@
+package core
+
+import (
+	"rsin/internal/topology"
+)
+
+// BruteForceMax computes, by exhaustive backtracking search over all
+// link-disjoint path sets, the true maximum number of request-resource
+// pairs allocatable on the network. This is the "exhaustive method that
+// examines all possible ordered mappings" of §III whose exponential cost
+// motivates the flow transformations; it exists here purely as a test
+// oracle for small instances.
+func BruteForceMax(net *topology.Network, reqs []Request, avail []Avail) int {
+	usedLink := make([]bool, len(net.Links))
+	for i, l := range net.Links {
+		if l.State != topology.LinkFree {
+			usedLink[i] = true
+		}
+	}
+	usedRes := make(map[int]bool)
+	typeOf := make(map[int]int, len(avail)) // available resource -> type
+	availSet := make(map[int]bool, len(avail))
+	for _, a := range avail {
+		availSet[a.Res] = true
+		typeOf[a.Res] = a.Type
+	}
+
+	// enumerate all free paths from processor p to any unused available
+	// resource, invoking visit for each; visit returns the best result.
+	best := 0
+	var assign func(i, count int)
+	var paths func(p, wantType int, fn func(links []int, res int))
+	paths = func(p, wantType int, fn func(links []int, res int)) {
+		start := net.ProcLink[p]
+		if start == -1 {
+			return
+		}
+		var cur []int
+		var dfs func(lid int)
+		dfs = func(lid int) {
+			if usedLink[lid] {
+				return
+			}
+			l := net.Links[lid]
+			cur = append(cur, lid)
+			defer func() { cur = cur[:len(cur)-1] }()
+			switch l.To.Kind {
+			case topology.KindResource:
+				if availSet[l.To.Index] && !usedRes[l.To.Index] && typeOf[l.To.Index] == wantType {
+					cp := append([]int(nil), cur...)
+					fn(cp, l.To.Index)
+				}
+			case topology.KindBox:
+				for _, out := range net.Boxes[l.To.Index].Out {
+					if out != -1 {
+						dfs(out)
+					}
+				}
+			}
+		}
+		dfs(start)
+	}
+	assign = func(i, count int) {
+		if count > best {
+			best = count
+		}
+		if i >= len(reqs) || count+len(reqs)-i <= best {
+			return
+		}
+		// Option 1: skip request i.
+		assign(i+1, count)
+		// Option 2: allocate request i along every possible path.
+		paths(reqs[i].Proc, reqs[i].Type, func(links []int, res int) {
+			for _, l := range links {
+				usedLink[l] = true
+			}
+			usedRes[res] = true
+			assign(i+1, count+1)
+			usedRes[res] = false
+			for _, l := range links {
+				usedLink[l] = false
+			}
+		})
+	}
+	assign(0, 0)
+	return best
+}

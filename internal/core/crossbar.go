@@ -1,0 +1,68 @@
+package core
+
+import (
+	"fmt"
+
+	"rsin/internal/matching"
+	"rsin/internal/topology"
+)
+
+// ScheduleCrossbar is the fast path for single-crossbar RSINs: any
+// requesting processor can reach any free resource, so the optimal
+// homogeneous mapping is a maximum bipartite matching, solved directly
+// with Hopcroft-Karp in O(E sqrt(V)) instead of building the flow network.
+// The result equals ScheduleMaxFlow on crossbar topologies (property
+// tested); calling it on a network with more than one switchbox is an
+// error.
+func ScheduleCrossbar(net *topology.Network, reqs []Request, avail []Avail) (*Mapping, error) {
+	if len(net.Boxes) != 1 {
+		return nil, fmt.Errorf("core: ScheduleCrossbar on %q (%d boxes); use ScheduleMaxFlow", net.Name, len(net.Boxes))
+	}
+	seen := map[int]bool{}
+	for _, r := range reqs {
+		if seen[r.Proc] {
+			panic(fmt.Sprintf("core: duplicate request from processor %d", r.Proc))
+		}
+		seen[r.Proc] = true
+	}
+
+	g := matching.NewGraph(len(reqs), len(avail))
+	for i, rq := range reqs {
+		inLink := net.ProcLink[rq.Proc]
+		if net.Links[inLink].State != topology.LinkFree {
+			continue // processor still transmitting
+		}
+		for j, a := range avail {
+			if a.Type != rq.Type {
+				continue
+			}
+			outLink := net.ResLink[a.Res]
+			if net.Links[outLink].State != topology.LinkFree {
+				continue
+			}
+			g.AddEdge(i, j)
+		}
+	}
+	hk := matching.HopcroftKarp(g)
+
+	m := &Mapping{}
+	for i, rq := range reqs {
+		j := hk.MatchL[i]
+		if j < 0 {
+			m.Blocked = append(m.Blocked, rq)
+			continue
+		}
+		res := avail[j].Res
+		m.Assigned = append(m.Assigned, Assignment{
+			Req: rq,
+			Res: res,
+			Circuit: topology.Circuit{
+				Proc:  rq.Proc,
+				Res:   res,
+				Links: []int{net.ProcLink[rq.Proc], net.ResLink[res]},
+			},
+		})
+	}
+	sortMapping(m)
+	return m, nil
+}

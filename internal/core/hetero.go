@@ -1,0 +1,381 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"rsin/internal/graph"
+	"rsin/internal/multiflow"
+	"rsin/internal/topology"
+)
+
+// HeteroOptions tunes heterogeneous scheduling.
+type HeteroOptions struct {
+	// UsePriorities selects the multicommodity minimum-cost discipline
+	// (§III-D second formulation); otherwise total allocation is maximized.
+	UsePriorities bool
+	// Exact forces branch-and-bound when the LP relaxation comes out
+	// fractional (maximum-flow discipline only). Without it, the integral
+	// sequential per-commodity fallback is used.
+	Exact bool
+	// MaxNodes bounds the branch-and-bound search (0 = default).
+	MaxNodes int
+}
+
+// heteroTransform is the multicommodity analogue of Transform: a shared
+// link graph with one source/sink pair per resource type.
+type heteroTransform struct {
+	G       *graph.Network
+	comms   []multiflow.Commodity
+	types   []int // types[i]: resource type of commodity i
+	arcLink []int
+	reqOf   map[int]Request // source-arc -> request (per-commodity arcs)
+	resOf   map[int]int
+	byType  map[int][]Request // all requests per type (for blocked accounting)
+	bypass  map[int]int       // commodity index -> bypass node (priced only)
+}
+
+// buildHetero constructs the superposed multicommodity flow network of
+// §III-D from the MRSIN state.
+func buildHetero(net *topology.Network, reqs []Request, avail []Avail, priced bool) *heteroTransform {
+	// Distinct types that occur in requests, in sorted order.
+	typeSet := map[int]bool{}
+	for _, r := range reqs {
+		typeSet[r.Type] = true
+	}
+	var types []int
+	for t := range typeSet {
+		types = append(types, t)
+	}
+	sort.Ints(types)
+
+	nBoxes := len(net.Boxes)
+	boxNode := func(b int) int { return 2 + b } // nodes 0,1 reserved (unused s/t for graph.New)
+	n := 2 + nBoxes
+	procNode := make(map[int]int, len(reqs))
+	for _, r := range reqs {
+		if _, dup := procNode[r.Proc]; dup {
+			panic(fmt.Sprintf("core: duplicate request from processor %d", r.Proc))
+		}
+		procNode[r.Proc] = n
+		n++
+	}
+	resNode := make(map[int]int, len(avail))
+	for _, a := range avail {
+		if _, dup := resNode[a.Res]; dup {
+			panic(fmt.Sprintf("core: duplicate availability for resource %d", a.Res))
+		}
+		resNode[a.Res] = n
+		n++
+	}
+	srcNode := make(map[int]int, len(types))
+	sinkNode := make(map[int]int, len(types))
+	bypassNode := make(map[int]int)
+	for _, t := range types {
+		srcNode[t] = n
+		n++
+		sinkNode[t] = n
+		n++
+		if priced {
+			bypassNode[t] = n
+			n++
+		}
+	}
+
+	g := graph.New(n, 0, 1) // source/sink fields unused by multiflow
+	for b := 0; b < nBoxes; b++ {
+		g.SetName(boxNode(b), fmt.Sprintf("x%d", b))
+	}
+	for p, v := range procNode {
+		g.SetName(v, fmt.Sprintf("p%d", p))
+	}
+	for r, v := range resNode {
+		g.SetName(v, fmt.Sprintf("r%d", r))
+	}
+	for _, t := range types {
+		g.SetName(srcNode[t], fmt.Sprintf("s%d", t))
+		g.SetName(sinkNode[t], fmt.Sprintf("t%d", t))
+		if priced {
+			g.SetName(bypassNode[t], fmt.Sprintf("u%d", t))
+		}
+	}
+
+	tr := &heteroTransform{
+		G:      g,
+		reqOf:  make(map[int]Request),
+		resOf:  make(map[int]int),
+		byType: make(map[int][]Request),
+		bypass: make(map[int]int),
+	}
+
+	var yMax, qMax int64
+	for _, r := range reqs {
+		if r.Priority > yMax {
+			yMax = r.Priority
+		}
+	}
+	for _, a := range avail {
+		if a.Preference > qMax {
+			qMax = a.Preference
+		}
+	}
+	bypassCost := yMax + 1
+	if qMax+1 > bypassCost {
+		bypassCost = qMax + 1
+	}
+
+	demand := map[int]int64{}
+	for _, r := range reqs {
+		tr.byType[r.Type] = append(tr.byType[r.Type], r)
+		demand[r.Type]++
+		cost := int64(0)
+		if priced {
+			cost = yMax - r.Priority
+		}
+		id := g.AddLabeledArc(srcNode[r.Type], procNode[r.Proc], 1, cost, fmt.Sprintf("req p%d", r.Proc))
+		tr.reqOf[id] = r
+	}
+	for _, a := range avail {
+		if !typeSet[a.Type] {
+			continue // no request wants this type; (T4) would prune it
+		}
+		cost := int64(0)
+		if priced {
+			cost = qMax - a.Preference
+		}
+		id := g.AddLabeledArc(resNode[a.Res], sinkNode[a.Type], 1, cost, fmt.Sprintf("res r%d", a.Res))
+		tr.resOf[id] = a.Res
+	}
+	nodeOf := func(e topology.Endpoint) (int, bool) {
+		switch e.Kind {
+		case topology.KindProcessor:
+			v, ok := procNode[e.Index]
+			return v, ok
+		case topology.KindResource:
+			v, ok := resNode[e.Index]
+			return v, ok
+		default:
+			return boxNode(e.Index), true
+		}
+	}
+	tr.arcLink = make([]int, len(g.Arcs))
+	for i := range tr.arcLink {
+		tr.arcLink[i] = -1
+	}
+	for _, l := range net.Links {
+		if l.State != topology.LinkFree {
+			continue
+		}
+		from, ok1 := nodeOf(l.From)
+		to, ok2 := nodeOf(l.To)
+		if !ok1 || !ok2 {
+			continue
+		}
+		id := g.AddLabeledArc(from, to, 1, 0, fmt.Sprintf("link%d", l.ID))
+		for len(tr.arcLink) < len(g.Arcs) {
+			tr.arcLink = append(tr.arcLink, -1)
+		}
+		tr.arcLink[id] = l.ID
+	}
+	if priced {
+		for _, r := range reqs {
+			g.AddLabeledArc(procNode[r.Proc], bypassNode[r.Type], 1, bypassCost, fmt.Sprintf("bypass p%d", r.Proc))
+		}
+		for _, t := range types {
+			g.AddLabeledArc(bypassNode[t], sinkNode[t], demand[t], 0, fmt.Sprintf("bypass sink %d", t))
+		}
+	}
+	for len(tr.arcLink) < len(g.Arcs) {
+		tr.arcLink = append(tr.arcLink, -1)
+	}
+
+	for i, t := range types {
+		c := multiflow.Commodity{Source: srcNode[t], Sink: sinkNode[t], Demand: demand[t]}
+		tr.comms = append(tr.comms, c)
+		tr.types = append(tr.types, t)
+		if priced {
+			tr.bypass[i] = bypassNode[t]
+		}
+	}
+	return tr
+}
+
+// decode converts an integral multicommodity result into a Mapping.
+func (tr *heteroTransform) decode(res multiflow.Result) (*Mapping, error) {
+	m := &Mapping{}
+	allocated := map[int]bool{}
+	for ci := range tr.comms {
+		rem := make([]int64, len(tr.G.Arcs))
+		for e := range rem {
+			f := res.Flows[ci][e]
+			r := math.Round(f)
+			if math.Abs(f-r) > 1e-6 {
+				return nil, fmt.Errorf("core: fractional flow %v on arc %d of commodity %d", f, e, ci)
+			}
+			rem[e] = int64(r)
+		}
+		src := tr.comms[ci].Source
+		sink := tr.comms[ci].Sink
+		bypass, hasBypass := tr.bypass[ci]
+		for {
+			// Walk one unit from src to sink.
+			var arcs []int
+			v := src
+			ok := true
+			for v != sink {
+				found := -1
+				for _, id := range tr.G.Out(v) {
+					if rem[id] > 0 {
+						found = id
+						break
+					}
+				}
+				if found < 0 {
+					ok = false
+					break
+				}
+				arcs = append(arcs, found)
+				rem[found]--
+				v = tr.G.Arcs[found].To
+			}
+			if !ok || len(arcs) == 0 {
+				break
+			}
+			if hasBypass {
+				through := false
+				for _, a := range arcs {
+					if tr.G.Arcs[a].To == bypass {
+						through = true
+						break
+					}
+				}
+				if through {
+					continue // blocked request; accounted below
+				}
+			}
+			req, okr := tr.reqOf[arcs[0]]
+			if !okr {
+				return nil, fmt.Errorf("core: commodity %d path lacks request arc", ci)
+			}
+			resIdx, okx := tr.resOf[arcs[len(arcs)-1]]
+			if !okx {
+				return nil, fmt.Errorf("core: commodity %d path lacks resource arc", ci)
+			}
+			var links []int
+			for _, a := range arcs[1 : len(arcs)-1] {
+				lid := tr.arcLink[a]
+				if lid < 0 {
+					return nil, fmt.Errorf("core: commodity %d interior arc %d has no link", ci, a)
+				}
+				links = append(links, lid)
+			}
+			m.Assigned = append(m.Assigned, Assignment{
+				Req:     req,
+				Res:     resIdx,
+				Circuit: topology.Circuit{Proc: req.Proc, Res: resIdx, Links: links},
+			})
+			allocated[req.Proc] = true
+		}
+	}
+	for _, rs := range tr.byType {
+		for _, r := range rs {
+			if !allocated[r.Proc] {
+				m.Blocked = append(m.Blocked, r)
+			}
+		}
+	}
+	m.Cost = int64(math.Round(res.Cost))
+	sortMapping(m)
+	return m, nil
+}
+
+// BuildMulticommodity exposes the raw multicommodity flow network of §III-D
+// (the superposed per-type layers over the shared link graph) for direct
+// analysis — experiment E13 measures LP integrality on it. The returned
+// commodities are ordered by resource type.
+func BuildMulticommodity(net *topology.Network, reqs []Request, avail []Avail) (*graph.Network, []multiflow.Commodity) {
+	tr := buildHetero(net, reqs, avail, false)
+	return tr.G, tr.comms
+}
+
+// ScheduleHetero computes a request-resource mapping for a heterogeneous
+// MRSIN (§III-D). Without priorities it maximizes the total number of
+// allocations across all resource types (multicommodity maximum flow); with
+// priorities it additionally minimizes the total allocation cost
+// (multicommodity minimum cost flow). When the LP relaxation is fractional
+// — impossible on the restricted topologies of [14] but possible in
+// general — an integral fallback is used: exact branch-and-bound when
+// opts.Exact, otherwise sequential per-commodity max flow.
+func ScheduleHetero(net *topology.Network, reqs []Request, avail []Avail, opts *HeteroOptions) (*Mapping, error) {
+	if opts == nil {
+		opts = &HeteroOptions{}
+	}
+	if len(reqs) == 0 {
+		return &Mapping{}, nil
+	}
+	tr := buildHetero(net, reqs, avail, opts.UsePriorities)
+
+	if opts.UsePriorities {
+		res, err := multiflow.MinCostFlow(tr.G, tr.comms, nil)
+		if err != nil {
+			return nil, fmt.Errorf("core: heterogeneous min-cost: %w", err)
+		}
+		if !res.Integral {
+			// Fall back to sequential per-type prioritized scheduling on a
+			// copy of the network, allocating types in sorted order.
+			return heteroSequentialPriced(net, tr, reqs, avail)
+		}
+		return tr.decode(res)
+	}
+
+	res, err := multiflow.MaxFlow(tr.G, tr.comms, nil)
+	if err != nil {
+		return nil, fmt.Errorf("core: heterogeneous max-flow: %w", err)
+	}
+	if !res.Integral {
+		if opts.Exact {
+			res, err = multiflow.BranchAndBound(tr.G, tr.comms, nil, opts.MaxNodes)
+			if err != nil {
+				return nil, fmt.Errorf("core: heterogeneous branch-and-bound: %w", err)
+			}
+		} else {
+			res = multiflow.SequentialDinic(tr.G, tr.comms)
+		}
+	}
+	return tr.decode(res)
+}
+
+// heteroSequentialPriced allocates resource types one at a time with the
+// single-commodity min-cost scheduler, occupying circuits between types so
+// later types see the remaining capacity. Integral but possibly suboptimal.
+func heteroSequentialPriced(net *topology.Network, tr *heteroTransform, reqs []Request, avail []Avail) (*Mapping, error) {
+	work := net.Clone()
+	out := &Mapping{}
+	for _, t := range tr.types {
+		var rts []Request
+		for _, r := range reqs {
+			if r.Type == t {
+				rts = append(rts, r)
+			}
+		}
+		var ats []Avail
+		for _, a := range avail {
+			if a.Type == t {
+				ats = append(ats, a)
+			}
+		}
+		m, err := ScheduleMinCost(work, rts, ats)
+		if err != nil {
+			return nil, err
+		}
+		if err := m.Apply(work); err != nil {
+			return nil, err
+		}
+		out.Assigned = append(out.Assigned, m.Assigned...)
+		out.Blocked = append(out.Blocked, m.Blocked...)
+		out.Cost += m.Cost
+	}
+	sortMapping(out)
+	return out, nil
+}

@@ -1,0 +1,91 @@
+package core
+
+import (
+	"fmt"
+
+	"rsin/internal/maxflow"
+	"rsin/internal/netsimplex"
+	"rsin/internal/topology"
+)
+
+// VerifyOptimal certifies a mapping for the homogeneous no-priority
+// discipline: it checks that the mapping is *valid* (distinct processors
+// and resources, requests and availabilities drawn from the given sets,
+// link-disjoint circuits over free links) and *optimal* (its allocation
+// count equals the maximum flow of Transformation 1, certified by an
+// explicit minimum cut of the same capacity). Downstream users can check
+// any third-party scheduler against the paper's optimum with it.
+func VerifyOptimal(net *topology.Network, reqs []Request, avail []Avail, m *Mapping) error {
+	reqSet := make(map[int]bool, len(reqs))
+	for _, r := range reqs {
+		reqSet[r.Proc] = true
+	}
+	availSet := make(map[int]bool, len(avail))
+	for _, a := range avail {
+		availSet[a.Res] = true
+	}
+	seenP := map[int]bool{}
+	seenR := map[int]bool{}
+	seenL := map[int]bool{}
+	for _, a := range m.Assigned {
+		if !reqSet[a.Req.Proc] {
+			return fmt.Errorf("core: verify: processor %d did not request", a.Req.Proc)
+		}
+		if !availSet[a.Res] {
+			return fmt.Errorf("core: verify: resource %d was not available", a.Res)
+		}
+		if seenP[a.Req.Proc] {
+			return fmt.Errorf("core: verify: processor %d allocated twice", a.Req.Proc)
+		}
+		if seenR[a.Res] {
+			return fmt.Errorf("core: verify: resource %d allocated twice", a.Res)
+		}
+		seenP[a.Req.Proc] = true
+		seenR[a.Res] = true
+		for _, l := range a.Circuit.Links {
+			if seenL[l] {
+				return fmt.Errorf("core: verify: link %d shared between circuits", l)
+			}
+			seenL[l] = true
+		}
+	}
+	// Circuits must establish cleanly on a copy (validates contiguity,
+	// endpoints, and link freeness in one shot).
+	if err := m.Apply(net.Clone()); err != nil {
+		return fmt.Errorf("core: verify: circuits invalid: %w", err)
+	}
+	// Optimality: allocation count == max flow == min cut.
+	tr := Transform1(net, reqs, avail)
+	res := maxflow.Dinic(tr.G)
+	if int64(len(m.Assigned)) != res.Value {
+		return fmt.Errorf("core: verify: allocated %d, optimum is %d", len(m.Assigned), res.Value)
+	}
+	if cut := tr.G.MinCutCapacity(); cut != res.Value {
+		return fmt.Errorf("core: verify: min-cut certificate %d does not match flow %d (internal error)",
+			cut, res.Value)
+	}
+	return nil
+}
+
+// VerifyMinCost certifies a mapping for the priority/preference discipline:
+// structural validity as in VerifyOptimal, plus cost optimality checked by
+// an independent engine (network simplex on Transformation 2). The
+// mapping's cost must equal the optimal flow cost; its allocation count
+// must equal the maximum.
+func VerifyMinCost(net *topology.Network, reqs []Request, avail []Avail, m *Mapping) error {
+	if err := VerifyOptimal(net, reqs, avail, m); err != nil {
+		return err
+	}
+	if len(reqs) == 0 {
+		return nil
+	}
+	tr := Transform2(net, reqs, avail)
+	res, err := netsimplex.MinCostFlow(tr.G, tr.F0)
+	if err != nil {
+		return fmt.Errorf("core: verify min-cost: %w", err)
+	}
+	if m.Cost != res.Cost {
+		return fmt.Errorf("core: verify min-cost: mapping cost %d, optimum %d", m.Cost, res.Cost)
+	}
+	return nil
+}

@@ -1,0 +1,219 @@
+// Package dimacs reads and writes flow networks in the DIMACS formats
+// ("p max" for maximum flow, "p min" for minimum-cost flow), making the
+// repository's flow engines usable as standalone solvers on the standard
+// benchmark corpus (cmd/rsinflow).
+//
+// Supported subset:
+//
+//	c <comment>
+//	p max <nodes> <arcs>          maximum-flow instance
+//	p min <nodes> <arcs>          min-cost-flow instance
+//	n <id> s|t                    source/sink designation (max)
+//	n <id> <flow>                 node supply (min; +F at source, -F at sink)
+//	a <from> <to> <cap>           arc (max)
+//	a <from> <to> <low> <cap> <cost>  arc (min; low must be 0)
+//
+// Node ids are 1-based per the standard.
+package dimacs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"rsin/internal/graph"
+)
+
+// Problem is a parsed DIMACS instance.
+type Problem struct {
+	Kind  string // "max" or "min"
+	G     *graph.Network
+	Value int64 // required flow value for min instances (from node supplies)
+}
+
+// Parse reads a DIMACS max- or min-flow instance.
+func Parse(r io.Reader) (*Problem, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var (
+		kind          string
+		nodes, arcs   int
+		source, sink  = -1, -1
+		supplies      = map[int]int64{}
+		arcLines      [][]string
+		lineNo        int
+		sawProblemRow bool
+	)
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || line[0] == 'c' {
+			continue
+		}
+		fields := strings.Fields(line)
+		switch fields[0] {
+		case "p":
+			if sawProblemRow {
+				return nil, fmt.Errorf("dimacs: line %d: duplicate problem line", lineNo)
+			}
+			if len(fields) != 4 {
+				return nil, fmt.Errorf("dimacs: line %d: malformed problem line", lineNo)
+			}
+			kind = fields[1]
+			if kind != "max" && kind != "min" {
+				return nil, fmt.Errorf("dimacs: line %d: unsupported problem kind %q", lineNo, kind)
+			}
+			var err error
+			if nodes, err = strconv.Atoi(fields[2]); err != nil || nodes < 2 {
+				return nil, fmt.Errorf("dimacs: line %d: bad node count", lineNo)
+			}
+			if arcs, err = strconv.Atoi(fields[3]); err != nil || arcs < 0 {
+				return nil, fmt.Errorf("dimacs: line %d: bad arc count", lineNo)
+			}
+			sawProblemRow = true
+		case "n":
+			if !sawProblemRow {
+				return nil, fmt.Errorf("dimacs: line %d: node line before problem line", lineNo)
+			}
+			if len(fields) != 3 {
+				return nil, fmt.Errorf("dimacs: line %d: malformed node line", lineNo)
+			}
+			id, err := strconv.Atoi(fields[1])
+			if err != nil || id < 1 || id > nodes {
+				return nil, fmt.Errorf("dimacs: line %d: bad node id", lineNo)
+			}
+			if kind == "max" {
+				switch fields[2] {
+				case "s":
+					source = id - 1
+				case "t":
+					sink = id - 1
+				default:
+					return nil, fmt.Errorf("dimacs: line %d: bad designation %q", lineNo, fields[2])
+				}
+			} else {
+				sup, err := strconv.ParseInt(fields[2], 10, 64)
+				if err != nil {
+					return nil, fmt.Errorf("dimacs: line %d: bad supply", lineNo)
+				}
+				supplies[id-1] = sup
+			}
+		case "a":
+			if !sawProblemRow {
+				return nil, fmt.Errorf("dimacs: line %d: arc line before problem line", lineNo)
+			}
+			arcLines = append(arcLines, fields)
+		default:
+			return nil, fmt.Errorf("dimacs: line %d: unknown line type %q", lineNo, fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if !sawProblemRow {
+		return nil, fmt.Errorf("dimacs: missing problem line")
+	}
+	if len(arcLines) != arcs {
+		return nil, fmt.Errorf("dimacs: %d arcs declared, %d given", arcs, len(arcLines))
+	}
+
+	var value int64
+	if kind == "min" {
+		// Exactly one positive and one matching negative supply supported.
+		for id, sup := range supplies {
+			switch {
+			case sup > 0 && source == -1:
+				source, value = id, sup
+			case sup < 0 && sink == -1:
+				sink = id
+			default:
+				return nil, fmt.Errorf("dimacs: unsupported supply structure (want one source, one sink)")
+			}
+		}
+	}
+	if source < 0 || sink < 0 {
+		return nil, fmt.Errorf("dimacs: source/sink not designated")
+	}
+	g := graph.New(nodes, source, sink)
+	for i, fields := range arcLines {
+		bad := func() error { return fmt.Errorf("dimacs: arc %d malformed: %v", i+1, fields) }
+		if kind == "max" {
+			if len(fields) != 4 {
+				return nil, bad()
+			}
+			from, e1 := strconv.Atoi(fields[1])
+			to, e2 := strconv.Atoi(fields[2])
+			cap, e3 := strconv.ParseInt(fields[3], 10, 64)
+			if e1 != nil || e2 != nil || e3 != nil || from < 1 || from > nodes || to < 1 || to > nodes || cap < 0 {
+				return nil, bad()
+			}
+			g.AddArc(from-1, to-1, cap, 0)
+		} else {
+			if len(fields) != 6 {
+				return nil, bad()
+			}
+			from, e1 := strconv.Atoi(fields[1])
+			to, e2 := strconv.Atoi(fields[2])
+			low, e3 := strconv.ParseInt(fields[3], 10, 64)
+			cap, e4 := strconv.ParseInt(fields[4], 10, 64)
+			cost, e5 := strconv.ParseInt(fields[5], 10, 64)
+			if e1 != nil || e2 != nil || e3 != nil || e4 != nil || e5 != nil ||
+				from < 1 || from > nodes || to < 1 || to > nodes || cap < 0 {
+				return nil, bad()
+			}
+			if low != 0 {
+				return nil, fmt.Errorf("dimacs: arc %d: nonzero lower bound unsupported", i+1)
+			}
+			g.AddArc(from-1, to-1, cap, cost)
+		}
+	}
+	return &Problem{Kind: kind, G: g, Value: value}, nil
+}
+
+// WriteSolution emits the solved flow in the DIMACS solution format:
+// "s <value>" (plus "c cost <c>" for min instances) followed by one
+// "f <from> <to> <flow>" line per arc with positive flow.
+func WriteSolution(w io.Writer, p *Problem) error {
+	if _, err := fmt.Fprintf(w, "s %d\n", p.G.Value()); err != nil {
+		return err
+	}
+	if p.Kind == "min" {
+		if _, err := fmt.Fprintf(w, "c cost %d\n", p.G.Cost()); err != nil {
+			return err
+		}
+	}
+	for _, a := range p.G.Arcs {
+		if a.Flow > 0 {
+			if _, err := fmt.Fprintf(w, "f %d %d %d\n", a.From+1, a.To+1, a.Flow); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// WriteProblem emits a Network as a DIMACS instance (the inverse of Parse),
+// used to export Transformation-1/2 graphs for external solvers.
+func WriteProblem(w io.Writer, kind string, g *graph.Network, value int64) error {
+	switch kind {
+	case "max":
+		fmt.Fprintf(w, "p max %d %d\n", g.NumNodes(), len(g.Arcs))
+		fmt.Fprintf(w, "n %d s\n", g.Source+1)
+		fmt.Fprintf(w, "n %d t\n", g.Sink+1)
+		for _, a := range g.Arcs {
+			fmt.Fprintf(w, "a %d %d %d\n", a.From+1, a.To+1, a.Cap)
+		}
+	case "min":
+		fmt.Fprintf(w, "p min %d %d\n", g.NumNodes(), len(g.Arcs))
+		fmt.Fprintf(w, "n %d %d\n", g.Source+1, value)
+		fmt.Fprintf(w, "n %d %d\n", g.Sink+1, -value)
+		for _, a := range g.Arcs {
+			fmt.Fprintf(w, "a %d %d 0 %d %d\n", a.From+1, a.To+1, a.Cap, a.Cost)
+		}
+	default:
+		return fmt.Errorf("dimacs: unknown kind %q", kind)
+	}
+	return nil
+}

@@ -1,0 +1,165 @@
+package dimacs
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"rsin/internal/maxflow"
+	"rsin/internal/mincost"
+	"rsin/internal/testutil"
+)
+
+const maxExample = `c classic CLRS instance
+p max 6 10
+n 1 s
+n 6 t
+a 1 2 16
+a 1 3 13
+a 2 3 10
+a 3 2 4
+a 2 4 12
+a 4 3 9
+a 3 5 14
+a 5 4 7
+a 4 6 20
+a 5 6 4
+`
+
+const minExample = `c cost diamond
+p min 4 4
+n 1 4
+n 4 -4
+a 1 2 0 2 1
+a 1 3 0 2 5
+a 2 4 0 2 1
+a 3 4 0 2 1
+`
+
+func TestParseAndSolveMax(t *testing.T) {
+	p, err := Parse(strings.NewReader(maxExample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Kind != "max" || p.G.NumNodes() != 6 || len(p.G.Arcs) != 10 {
+		t.Fatalf("parsed %+v", p)
+	}
+	res := maxflow.Dinic(p.G)
+	if res.Value != 23 {
+		t.Fatalf("max flow %d, want 23", res.Value)
+	}
+	var out bytes.Buffer
+	if err := WriteSolution(&out, p); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(out.String(), "s 23\n") {
+		t.Fatalf("solution output:\n%s", out.String())
+	}
+}
+
+func TestParseAndSolveMin(t *testing.T) {
+	p, err := Parse(strings.NewReader(minExample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Kind != "min" || p.Value != 4 {
+		t.Fatalf("parsed %+v", p)
+	}
+	res, err := mincost.SuccessiveShortestPaths(p.G, p.Value)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cost != 16 {
+		t.Fatalf("cost %d, want 16", res.Cost)
+	}
+	var out bytes.Buffer
+	if err := WriteSolution(&out, p); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "c cost 16") {
+		t.Fatalf("solution output:\n%s", out.String())
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"",                                   // no problem line
+		"p vax 3 0\n",                        // unknown kind
+		"p max 1 0\n",                        // too few nodes
+		"p max 3 1\nn 1 s\nn 3 t\n",          // arc count mismatch
+		"p max 3 0\n",                        // missing s/t
+		"p max 3 0\nn 1 s\nn 3 q\n",          // bad designation
+		"a 1 2 3\np max 3 1\n",               // arc before problem
+		"p max 3 1\nn 1 s\nn 3 t\na 1 9 5\n", // node out of range
+		"p max 3 0\np max 3 0\n",             // duplicate problem
+		"p min 3 1\nn 1 4\nn 3 -4\na 1 3 1 5 2\n", // nonzero lower bound
+		"p min 3 0\nn 1 4\nn 2 4\n",               // two sources
+	}
+	for i, c := range cases {
+		if _, err := Parse(strings.NewReader(c)); err == nil {
+			t.Fatalf("case %d accepted:\n%s", i, c)
+		}
+	}
+}
+
+func TestCommentsAndBlanksIgnored(t *testing.T) {
+	in := "c hello\n\n" + maxExample
+	if _, err := Parse(strings.NewReader(in)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRoundTrip: WriteProblem then Parse reproduces the instance, and the
+// solved values agree.
+func TestRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 30; trial++ {
+		g := testutil.RandomNetwork(rng, 2+rng.Intn(8), 0.3, 6, 4)
+		want := maxflow.Dinic(g.Clone()).Value
+
+		var buf bytes.Buffer
+		if err := WriteProblem(&buf, "max", g, 0); err != nil {
+			t.Fatal(err)
+		}
+		p, err := Parse(&buf)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if got := maxflow.Dinic(p.G).Value; got != want {
+			t.Fatalf("trial %d: round-trip flow %d, want %d", trial, got, want)
+		}
+
+		// Min round trip at the max-flow value.
+		buf.Reset()
+		if err := WriteProblem(&buf, "min", g, want); err != nil {
+			t.Fatal(err)
+		}
+		pm, err := Parse(&buf)
+		if err != nil {
+			t.Fatalf("trial %d (min): %v", trial, err)
+		}
+		if pm.Value != want {
+			t.Fatalf("trial %d: min value %d, want %d", trial, pm.Value, want)
+		}
+		g2 := g.Clone()
+		g2.ResetFlow()
+		wantCost, err1 := mincost.SuccessiveShortestPaths(g2, want)
+		gotCost, err2 := mincost.SuccessiveShortestPaths(pm.G, pm.Value)
+		if want == 0 {
+			continue
+		}
+		if err1 != nil || err2 != nil || wantCost.Cost != gotCost.Cost {
+			t.Fatalf("trial %d: min round trip cost %v/%v errs %v/%v",
+				trial, wantCost.Cost, gotCost.Cost, err1, err2)
+		}
+	}
+}
+
+func TestWriteProblemUnknownKind(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	g := testutil.RandomNetwork(rng, 3, 0.3, 2, 2)
+	if err := WriteProblem(&bytes.Buffer{}, "lol", g, 0); err == nil {
+		t.Fatal("unknown kind accepted")
+	}
+}

@@ -1,0 +1,38 @@
+package dimacs
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParse asserts the parser never panics on arbitrary input and that
+// every accepted instance is structurally sound (a usable network with
+// in-range source/sink).
+func FuzzParse(f *testing.F) {
+	f.Add(maxExample)
+	f.Add(minExample)
+	f.Add("p max 2 1\nn 1 s\nn 2 t\na 1 2 5\n")
+	f.Add("c junk\np min 2 0\nn 1 1\nn 2 -1\n")
+	f.Add("p max 99999999999 1\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		if len(input) > 1<<16 {
+			return
+		}
+		p, err := Parse(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		if p.G == nil {
+			t.Fatal("accepted instance with nil network")
+		}
+		n := p.G.NumNodes()
+		if p.G.Source < 0 || p.G.Source >= n || p.G.Sink < 0 || p.G.Sink >= n {
+			t.Fatalf("accepted instance with bad endpoints: %d/%d of %d", p.G.Source, p.G.Sink, n)
+		}
+		for _, a := range p.G.Arcs {
+			if a.Cap < 0 {
+				t.Fatal("accepted negative capacity")
+			}
+		}
+	})
+}

@@ -1,0 +1,108 @@
+package experiments
+
+import (
+	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"rsin/internal/core"
+	"rsin/internal/maxflow"
+	"rsin/internal/topology"
+)
+
+// ExactBlocking computes the *exact* expected blocking probability of the
+// optimal scheduler on a free n<=16 network under the Bernoulli ensemble:
+// every processor requests independently with probability pReq, every
+// resource is free with probability pFree. It enumerates all 2^n x 2^n
+// request/availability patterns, solves each one by max flow, and weights
+// by the pattern probability — the closed-form counterpart of the Monte
+// Carlo ensembles in E4/E5, used to validate them.
+//
+// The conditional convention matches blockingEnsemble: patterns with no
+// possible allocation contribute nothing, and the expectation is taken
+// over patterns with possible > 0.
+func ExactBlocking(build func() *topology.Network, pReq, pFree float64) float64 {
+	probe := build()
+	n := probe.Procs
+	if n != probe.Ress || n > 16 {
+		panic("experiments.ExactBlocking: need a square network of size <= 16")
+	}
+	// Blocking depends only on the request/free sets; cache max flow per
+	// (reqMask, freeMask). Exploit symmetry: none assumed; full sweep.
+	weight := func(mask int, p float64) float64 {
+		k := popcount(mask)
+		return math.Pow(p, float64(k)) * math.Pow(1-p, float64(n-k))
+	}
+	// The outer request masks are independent: fan out over a worker pool
+	// (one partial sum per request mask slot, no shared mutable state).
+	nums := make([]float64, 1<<n)
+	dens := make([]float64, 1<<n)
+	var wg sync.WaitGroup
+	workers := runtime.GOMAXPROCS(0)
+	next := int64(-1)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				reqMask := int(atomic.AddInt64(&next, 1))
+				if reqMask >= 1<<n {
+					return
+				}
+				wr := weight(reqMask, pReq)
+				if wr == 0 {
+					continue
+				}
+				var reqs []core.Request
+				for i := 0; i < n; i++ {
+					if reqMask>>i&1 == 1 {
+						reqs = append(reqs, core.Request{Proc: i})
+					}
+				}
+				for freeMask := 0; freeMask < 1<<n; freeMask++ {
+					w := wr * weight(freeMask, pFree)
+					if w == 0 {
+						continue
+					}
+					possible := popcount(reqMask)
+					if f := popcount(freeMask); f < possible {
+						possible = f
+					}
+					if possible == 0 {
+						continue
+					}
+					var avail []core.Avail
+					for i := 0; i < n; i++ {
+						if freeMask>>i&1 == 1 {
+							avail = append(avail, core.Avail{Res: i})
+						}
+					}
+					net := build()
+					tr := core.Transform1(net, reqs, avail)
+					flow := maxflow.Dinic(tr.G).Value
+					nums[reqMask] += w * (1 - float64(flow)/float64(possible))
+					dens[reqMask] += w
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	var num, den float64
+	for i := range nums {
+		num += nums[i]
+		den += dens[i]
+	}
+	if den == 0 {
+		return 0
+	}
+	return num / den
+}
+
+func popcount(x int) int {
+	c := 0
+	for ; x != 0; x &= x - 1 {
+		c++
+	}
+	return c
+}

@@ -1,0 +1,154 @@
+package heuristic
+
+import (
+	"math/rand"
+	"testing"
+
+	"rsin/internal/core"
+	"rsin/internal/topology"
+	"rsin/internal/workload"
+)
+
+func TestGreedyMaximal(t *testing.T) {
+	// Greedy must never leave a request blocked while a free path to a
+	// free resource exists (maximality).
+	rng := rand.New(rand.NewSource(71))
+	for trial := 0; trial < 50; trial++ {
+		net := topology.Omega(8)
+		pat := workload.Generate(rng, net, workload.Config{PRequest: 0.7, PFree: 0.7})
+		m := GreedyFirstFit(net, pat.Requests, pat.Avail, rng)
+		// Replay on a copy and check blocked requests truly had no path.
+		work := net.Clone()
+		if err := m.Apply(work); err != nil {
+			t.Fatalf("trial %d: invalid mapping: %v", trial, err)
+		}
+		freeRes := map[int]bool{}
+		for _, a := range pat.Avail {
+			freeRes[a.Res] = true
+		}
+		for _, a := range m.Assigned {
+			delete(freeRes, a.Res)
+		}
+		for _, b := range m.Blocked {
+			if c := work.FindPath(b.Proc, func(r int) bool { return freeRes[r] }); c != nil {
+				t.Fatalf("trial %d: greedy left p%d blocked despite free path to r%d",
+					trial, b.Proc, c.Res)
+			}
+		}
+	}
+}
+
+func TestHeuristicsNeverBeatOptimal(t *testing.T) {
+	rng := rand.New(rand.NewSource(72))
+	scheds := map[string]Scheduler{
+		"address": AddressMapping,
+		"greedy":  GreedyFirstFit,
+		"random":  GreedyRandomOrder,
+	}
+	for trial := 0; trial < 80; trial++ {
+		net := topology.IndirectCube(8)
+		pat := workload.Generate(rng, net, workload.Config{PRequest: 0.6, PFree: 0.6})
+		opt := Optimal(net, pat.Requests, pat.Avail, rng)
+		for name, s := range scheds {
+			m := s(net, pat.Requests, pat.Avail, rng)
+			if m.Allocated() > opt.Allocated() {
+				t.Fatalf("trial %d: %s allocated %d > optimal %d",
+					trial, name, m.Allocated(), opt.Allocated())
+			}
+			if m.Allocated()+len(m.Blocked) != len(pat.Requests) {
+				t.Fatalf("trial %d: %s accounting broken", trial, name)
+			}
+			if err := m.Apply(net.Clone()); err != nil {
+				t.Fatalf("trial %d: %s produced invalid mapping: %v", trial, name, err)
+			}
+		}
+	}
+}
+
+func TestAddressMappingBlocksMoreOnAverage(t *testing.T) {
+	// The statistical heart of E4: over many free-network trials, address
+	// mapping must block strictly more than the optimal scheduler.
+	rng := rand.New(rand.NewSource(73))
+	var optBlocked, addrBlocked, total int
+	for trial := 0; trial < 400; trial++ {
+		net := topology.IndirectCube(8)
+		pat := workload.Generate(rng, net, workload.Config{PRequest: 0.75, PFree: 0.75})
+		possible := len(pat.Requests)
+		if len(pat.Avail) < possible {
+			possible = len(pat.Avail)
+		}
+		if possible == 0 {
+			continue
+		}
+		total += possible
+		opt := Optimal(net, pat.Requests, pat.Avail, rng)
+		adr := AddressMapping(net, pat.Requests, pat.Avail, rng)
+		optBlocked += possible - opt.Allocated()
+		addrBlocked += possible - adr.Allocated()
+	}
+	if total == 0 {
+		t.Fatal("empty ensemble")
+	}
+	optRate := float64(optBlocked) / float64(total)
+	addrRate := float64(addrBlocked) / float64(total)
+	if addrRate <= optRate {
+		t.Fatalf("address mapping (%.3f) should block more than optimal (%.3f)", addrRate, optRate)
+	}
+	// The paper's bands: optimal around a few percent, address mapping
+	// around 20%. Allow generous slack; the shape is what matters.
+	if optRate > 0.10 {
+		t.Fatalf("optimal blocking %.3f unexpectedly high", optRate)
+	}
+	if addrRate < 0.08 {
+		t.Fatalf("address-mapping blocking %.3f unexpectedly low", addrRate)
+	}
+}
+
+func TestGreedyRespectsTypes(t *testing.T) {
+	net := topology.Crossbar(2, 2)
+	reqs := []core.Request{{Proc: 0, Type: 1}, {Proc: 1, Type: 0}}
+	avail := []core.Avail{{Res: 0, Type: 0}, {Res: 1, Type: 1}}
+	rng := rand.New(rand.NewSource(1))
+	m := GreedyFirstFit(net, reqs, avail, rng)
+	if m.Allocated() != 2 {
+		t.Fatalf("allocated %d", m.Allocated())
+	}
+	for _, a := range m.Assigned {
+		want := map[int]int{0: 1, 1: 0}[a.Req.Proc]
+		if a.Res != want {
+			t.Fatalf("type mismatch: p%d got r%d", a.Req.Proc, a.Res)
+		}
+	}
+}
+
+func TestAddressMappingConsumesResourceOnPathBlock(t *testing.T) {
+	// With one resource and two requests whose paths conflict, address
+	// mapping binds the resource to whichever request draws it; if that
+	// request's path is blocked the resource is wasted for the cycle.
+	net := topology.Omega(8)
+	// Occupy a circuit to create path conflicts.
+	c := net.FindPath(0, func(r int) bool { return r == 0 })
+	if err := net.Establish(*c); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(5))
+	reqs := []core.Request{{Proc: 1}}
+	avail := []core.Avail{{Res: 1}}
+	m := AddressMapping(net, reqs, avail, rng)
+	if m.Allocated()+len(m.Blocked) != 1 {
+		t.Fatal("accounting broken")
+	}
+}
+
+func TestEmptyInputs(t *testing.T) {
+	net := topology.Omega(8)
+	rng := rand.New(rand.NewSource(2))
+	for name, s := range map[string]Scheduler{
+		"address": AddressMapping, "greedy": GreedyFirstFit, "random": GreedyRandomOrder, "optimal": Optimal,
+	} {
+		m := s(net, nil, nil, rng)
+		if m.Allocated() != 0 || len(m.Blocked) != 0 {
+			t.Fatalf("%s on empty inputs: %+v", name, m)
+		}
+	}
+}

@@ -1,0 +1,187 @@
+// Package matching implements Hopcroft-Karp maximum bipartite matching.
+//
+// A single-crossbar RSIN degenerates to a bipartite matching problem: any
+// requesting processor can reach any free resource, so Transformation 1's
+// flow network is a complete-ish bipartite graph and the O(E sqrt(V))
+// Hopcroft-Karp algorithm solves it directly — the same layered-network /
+// maximal-augmentation structure as Dinic specialized to matchings. The
+// package is used both as an independent optimality oracle for the
+// schedulers and as the fast path for crossbar scheduling.
+package matching
+
+// Graph is a bipartite graph: left vertices 0..nLeft-1, right vertices
+// 0..nRight-1, adjacency from left to right.
+type Graph struct {
+	nLeft, nRight int
+	adj           [][]int
+}
+
+// NewGraph creates an empty bipartite graph.
+func NewGraph(nLeft, nRight int) *Graph {
+	if nLeft < 0 || nRight < 0 {
+		panic("matching.NewGraph: negative side size")
+	}
+	return &Graph{nLeft: nLeft, nRight: nRight, adj: make([][]int, nLeft)}
+}
+
+// AddEdge connects left vertex l to right vertex r.
+func (g *Graph) AddEdge(l, r int) {
+	if l < 0 || l >= g.nLeft || r < 0 || r >= g.nRight {
+		panic("matching.AddEdge: vertex out of range")
+	}
+	g.adj[l] = append(g.adj[l], r)
+}
+
+// Result is a maximum matching: MatchL[l] is the right vertex matched to
+// left vertex l (-1 if unmatched), and symmetrically MatchR.
+type Result struct {
+	Size   int
+	MatchL []int
+	MatchR []int
+	Phases int // layered phases executed (the sqrt(V) factor)
+}
+
+const inf = int(^uint(0) >> 1)
+
+// HopcroftKarp computes a maximum matching.
+func HopcroftKarp(g *Graph) *Result {
+	matchL := make([]int, g.nLeft)
+	matchR := make([]int, g.nRight)
+	for i := range matchL {
+		matchL[i] = -1
+	}
+	for i := range matchR {
+		matchR[i] = -1
+	}
+	dist := make([]int, g.nLeft)
+	res := &Result{MatchL: matchL, MatchR: matchR}
+
+	bfs := func() bool {
+		queue := make([]int, 0, g.nLeft)
+		for l := 0; l < g.nLeft; l++ {
+			if matchL[l] == -1 {
+				dist[l] = 0
+				queue = append(queue, l)
+			} else {
+				dist[l] = inf
+			}
+		}
+		found := false
+		for len(queue) > 0 {
+			l := queue[0]
+			queue = queue[1:]
+			for _, r := range g.adj[l] {
+				nl := matchR[r]
+				if nl == -1 {
+					found = true
+				} else if dist[nl] == inf {
+					dist[nl] = dist[l] + 1
+					queue = append(queue, nl)
+				}
+			}
+		}
+		return found
+	}
+
+	var dfs func(l int) bool
+	dfs = func(l int) bool {
+		for _, r := range g.adj[l] {
+			nl := matchR[r]
+			if nl == -1 || (dist[nl] == dist[l]+1 && dfs(nl)) {
+				matchL[l] = r
+				matchR[r] = l
+				return true
+			}
+		}
+		dist[l] = inf
+		return false
+	}
+
+	for bfs() {
+		res.Phases++
+		for l := 0; l < g.nLeft; l++ {
+			if matchL[l] == -1 && dfs(l) {
+				res.Size++
+			}
+		}
+	}
+	return res
+}
+
+// Verify checks that the result is a valid matching on g and that it is
+// maximum by König's theorem: it constructs a vertex cover of the same
+// size. Returns false if either check fails.
+func Verify(g *Graph, res *Result) bool {
+	// Validity: consistency and edge existence.
+	size := 0
+	for l, r := range res.MatchL {
+		if r == -1 {
+			continue
+		}
+		if res.MatchR[r] != l {
+			return false
+		}
+		ok := false
+		for _, rr := range g.adj[l] {
+			if rr == r {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return false
+		}
+		size++
+	}
+	if size != res.Size {
+		return false
+	}
+	// König: alternating-reachability from unmatched left vertices; cover
+	// = (left not visited) + (right visited). Every edge must be covered
+	// and |cover| must equal the matching size.
+	visitedL := make([]bool, g.nLeft)
+	visitedR := make([]bool, g.nRight)
+	var queue []int
+	for l := 0; l < g.nLeft; l++ {
+		if res.MatchL[l] == -1 {
+			visitedL[l] = true
+			queue = append(queue, l)
+		}
+	}
+	for len(queue) > 0 {
+		l := queue[0]
+		queue = queue[1:]
+		for _, r := range g.adj[l] {
+			if visitedR[r] {
+				continue
+			}
+			visitedR[r] = true
+			if nl := res.MatchR[r]; nl != -1 && !visitedL[nl] {
+				visitedL[nl] = true
+				queue = append(queue, nl)
+			}
+		}
+	}
+	cover := 0
+	for l := 0; l < g.nLeft; l++ {
+		if !visitedL[l] {
+			cover++
+		}
+	}
+	for r := 0; r < g.nRight; r++ {
+		if visitedR[r] {
+			cover++
+		}
+	}
+	if cover != res.Size {
+		return false
+	}
+	for l := 0; l < g.nLeft; l++ {
+		for _, r := range g.adj[l] {
+			if visitedL[l] && !visitedR[r] {
+				return false // uncovered edge
+			}
+		}
+	}
+	return true
+}

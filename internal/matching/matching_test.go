@@ -1,0 +1,173 @@
+package matching
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestEmptyGraph(t *testing.T) {
+	g := NewGraph(3, 3)
+	res := HopcroftKarp(g)
+	if res.Size != 0 || !Verify(g, res) {
+		t.Fatalf("empty graph: %+v", res)
+	}
+	g0 := NewGraph(0, 0)
+	if HopcroftKarp(g0).Size != 0 {
+		t.Fatal("zero graph")
+	}
+}
+
+func TestPerfectMatching(t *testing.T) {
+	g := NewGraph(3, 3)
+	for l := 0; l < 3; l++ {
+		for r := 0; r < 3; r++ {
+			g.AddEdge(l, r)
+		}
+	}
+	res := HopcroftKarp(g)
+	if res.Size != 3 || !Verify(g, res) {
+		t.Fatalf("complete K33: size %d", res.Size)
+	}
+}
+
+func TestAugmentationNeeded(t *testing.T) {
+	// The classic instance forcing an alternating path: l0-{r0,r1},
+	// l1-{r0}: greedy l0->r0 must be flipped.
+	g := NewGraph(2, 2)
+	g.AddEdge(0, 0)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 0)
+	res := HopcroftKarp(g)
+	if res.Size != 2 || !Verify(g, res) {
+		t.Fatalf("size %d, want 2", res.Size)
+	}
+	if res.MatchL[0] != 1 || res.MatchL[1] != 0 {
+		t.Fatalf("wrong matching: %v", res.MatchL)
+	}
+}
+
+func TestDeficientSide(t *testing.T) {
+	// 3 left vertices all adjacent only to r0: matching size 1; König
+	// cover verification must still pass.
+	g := NewGraph(3, 2)
+	for l := 0; l < 3; l++ {
+		g.AddEdge(l, 0)
+	}
+	res := HopcroftKarp(g)
+	if res.Size != 1 || !Verify(g, res) {
+		t.Fatalf("size %d, want 1", res.Size)
+	}
+}
+
+func TestAddEdgePanics(t *testing.T) {
+	g := NewGraph(1, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range edge accepted")
+		}
+	}()
+	g.AddEdge(1, 0)
+}
+
+// TestQuickKoenigCertificate: on random bipartite graphs the matching must
+// pass the König vertex-cover verification (maximality certificate).
+func TestQuickKoenigCertificate(t *testing.T) {
+	f := func(seed int64, lRaw, rRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nl := 1 + int(lRaw%10)
+		nr := 1 + int(rRaw%10)
+		g := NewGraph(nl, nr)
+		for l := 0; l < nl; l++ {
+			for r := 0; r < nr; r++ {
+				if rng.Float64() < 0.3 {
+					g.AddEdge(l, r)
+				}
+			}
+		}
+		return Verify(g, HopcroftKarp(g))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// bruteMatch computes the maximum matching size by exhaustive recursion —
+// the oracle for small random graphs. (The crossbar-RSIN equivalence with
+// the flow scheduler is tested in internal/core to avoid an import cycle.)
+func bruteMatch(g *Graph, l int, usedR map[int]bool) int {
+	if l >= g.nLeft {
+		return 0
+	}
+	best := bruteMatch(g, l+1, usedR) // skip l
+	for _, r := range g.adj[l] {
+		if usedR[r] {
+			continue
+		}
+		usedR[r] = true
+		if v := 1 + bruteMatch(g, l+1, usedR); v > best {
+			best = v
+		}
+		usedR[r] = false
+	}
+	return best
+}
+
+// TestHopcroftKarpMatchesBruteForce: exact maximality on random graphs.
+func TestHopcroftKarpMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(91))
+	for trial := 0; trial < 100; trial++ {
+		nl := 1 + rng.Intn(7)
+		nr := 1 + rng.Intn(7)
+		g := NewGraph(nl, nr)
+		for l := 0; l < nl; l++ {
+			for r := 0; r < nr; r++ {
+				if rng.Float64() < 0.4 {
+					g.AddEdge(l, r)
+				}
+			}
+		}
+		hk := HopcroftKarp(g)
+		want := bruteMatch(g, 0, map[int]bool{})
+		if hk.Size != want {
+			t.Fatalf("trial %d: HK %d vs brute %d", trial, hk.Size, want)
+		}
+		if !Verify(g, hk) {
+			t.Fatalf("trial %d: verification failed", trial)
+		}
+	}
+}
+
+func TestPhasesBounded(t *testing.T) {
+	// Hopcroft-Karp phase count is O(sqrt(V)); on a complete bipartite
+	// graph it should be tiny.
+	g := NewGraph(32, 32)
+	for l := 0; l < 32; l++ {
+		for r := 0; r < 32; r++ {
+			g.AddEdge(l, r)
+		}
+	}
+	res := HopcroftKarp(g)
+	if res.Size != 32 {
+		t.Fatalf("size %d", res.Size)
+	}
+	if res.Phases > 8 {
+		t.Fatalf("phases = %d, want O(sqrt(V))", res.Phases)
+	}
+}
+
+func TestVerifyRejectsCorrupted(t *testing.T) {
+	g := NewGraph(2, 2)
+	g.AddEdge(0, 0)
+	g.AddEdge(1, 1)
+	res := HopcroftKarp(g)
+	res.MatchL[0] = 1 // not an edge, inconsistent
+	if Verify(g, res) {
+		t.Fatal("corrupted matching accepted")
+	}
+	res2 := HopcroftKarp(g)
+	res2.Size = 1 // undercount
+	if Verify(g, res2) {
+		t.Fatal("size mismatch accepted")
+	}
+}

@@ -1,0 +1,313 @@
+package maxflow
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"rsin/internal/graph"
+	"rsin/internal/testutil"
+)
+
+// clrsNetwork is the textbook network (CLRS fig. 26.1) with max flow 23.
+func clrsNetwork() *graph.Network {
+	g := graph.New(6, 0, 5)
+	g.AddArc(0, 1, 16, 0)
+	g.AddArc(0, 2, 13, 0)
+	g.AddArc(1, 2, 10, 0)
+	g.AddArc(2, 1, 4, 0)
+	g.AddArc(1, 3, 12, 0)
+	g.AddArc(3, 2, 9, 0)
+	g.AddArc(2, 4, 14, 0)
+	g.AddArc(4, 3, 7, 0)
+	g.AddArc(3, 5, 20, 0)
+	g.AddArc(4, 5, 4, 0)
+	return g
+}
+
+// fig3Network reproduces the flow network of the paper's Fig. 3: nodes
+// s,a,b,c,d,t with unit arcs s->a, s->c, a->b, a->d? No: arcs are s->a,
+// s->c, a->b, a->d, c->d, d->a? Per the figure: s-a, s-c, a-b, a-d(?),
+// c-d, b-t, d-t, and the augmenting path s-c-d-a-b-t requires arc a->d
+// (traversed backward) — so arcs: s->a, s->c, a->b, a->d, c->d, b->t, d->t.
+func fig3Network() (*graph.Network, map[string]int) {
+	g := graph.New(6, 0, 5)
+	names := []string{"s", "a", "b", "c", "d", "t"}
+	for i, n := range names {
+		g.SetName(i, n)
+	}
+	ids := map[string]int{
+		"s-a": g.AddArc(0, 1, 1, 0),
+		"s-c": g.AddArc(0, 3, 1, 0),
+		"a-b": g.AddArc(1, 2, 1, 0),
+		"a-d": g.AddArc(1, 4, 1, 0),
+		"c-d": g.AddArc(3, 4, 1, 0),
+		"b-t": g.AddArc(2, 5, 1, 0),
+		"d-t": g.AddArc(4, 5, 1, 0),
+	}
+	return g, ids
+}
+
+func algorithms() map[string]func(*graph.Network) Result {
+	return map[string]func(*graph.Network) Result{
+		"FordFulkerson": FordFulkerson,
+		"EdmondsKarp":   EdmondsKarp,
+		"Dinic":         Dinic,
+		"PushRelabel":   PushRelabel,
+	}
+}
+
+func TestCLRSMaxFlow(t *testing.T) {
+	for name, algo := range algorithms() {
+		t.Run(name, func(t *testing.T) {
+			g := clrsNetwork()
+			res := algo(g)
+			if res.Value != 23 {
+				t.Fatalf("max flow = %d, want 23", res.Value)
+			}
+			if err := g.CheckLegal(); err != nil {
+				t.Fatalf("illegal flow: %v", err)
+			}
+			if g.Value() != 23 {
+				t.Fatalf("network flow value = %d, want 23", g.Value())
+			}
+			if cut := g.MinCutCapacity(); cut != 23 {
+				t.Fatalf("min cut certificate = %d, want 23", cut)
+			}
+		})
+	}
+}
+
+// TestFig3FlowAugmentation reproduces §III-B / Fig. 3-4: starting from the
+// initial assignment along s-a-d-t, the only augmenting path is
+// s-c-d-a-b-t (cancelling flow on a->d), and advancing it yields flow 2
+// routed along s-a-b-t and s-c-d-t — the resource reallocation of Fig. 4.
+func TestFig3FlowAugmentation(t *testing.T) {
+	g, ids := fig3Network()
+	// Initial flow f along path s-a-d-t (Fig. 3a).
+	g.Arcs[ids["s-a"]].Flow = 1
+	g.Arcs[ids["a-d"]].Flow = 1
+	g.Arcs[ids["d-t"]].Flow = 1
+	if err := g.CheckLegal(); err != nil {
+		t.Fatalf("initial flow illegal: %v", err)
+	}
+	res := FordFulkerson(g)
+	if res.Value != 2 {
+		t.Fatalf("augmented flow = %d, want 2", res.Value)
+	}
+	if res.Ops.Augmentations != 1 {
+		t.Fatalf("expected exactly one augmenting path, got %d", res.Ops.Augmentations)
+	}
+	// Final assignment must match Fig. 3(c): a->d cancelled.
+	want := map[string]int64{
+		"s-a": 1, "s-c": 1, "a-b": 1, "a-d": 0, "c-d": 1, "b-t": 1, "d-t": 1,
+	}
+	for name, id := range ids {
+		if g.Arcs[id].Flow != want[name] {
+			t.Errorf("arc %s: flow %d, want %d", name, g.Arcs[id].Flow, want[name])
+		}
+	}
+}
+
+func TestDinicStartsFromExistingFlow(t *testing.T) {
+	g, ids := fig3Network()
+	g.Arcs[ids["s-a"]].Flow = 1
+	g.Arcs[ids["a-d"]].Flow = 1
+	g.Arcs[ids["d-t"]].Flow = 1
+	res := Dinic(g)
+	if res.Value != 2 {
+		t.Fatalf("Dinic from warm start = %d, want 2", res.Value)
+	}
+}
+
+// TestLayeredNetworkFig3 checks Dinic's auxiliary layered network against
+// the hand construction: with the initial s-a-d-t flow, the BFS layers are
+// s=0, {a? c}=..., following residual arcs only.
+func TestLayeredNetworkFig3(t *testing.T) {
+	g, ids := fig3Network()
+	g.Arcs[ids["s-a"]].Flow = 1
+	g.Arcs[ids["a-d"]].Flow = 1
+	g.Arcs[ids["d-t"]].Flow = 1
+	level := LayeredNetwork(g)
+	// Residual from s: s->c (cap), then c->d, then d->a (reverse of a->d),
+	// then a->b, then b->t. s->a is saturated, d->t saturated.
+	want := []int{0, 3, 4, 1, 2, 5} // s,a,b,c,d,t
+	for v, lv := range want {
+		if level[v] != lv {
+			t.Fatalf("level[%s] = %d, want %d (levels %v)", g.Name(v), level[v], lv, level)
+		}
+	}
+}
+
+func TestEmptyFlowOnDisconnectedSink(t *testing.T) {
+	g := graph.New(3, 0, 2)
+	g.AddArc(0, 1, 5, 0) // sink unreachable
+	for name, algo := range algorithms() {
+		res := algo(g.Clone())
+		if res.Value != 0 {
+			t.Fatalf("%s on disconnected sink: flow %d, want 0", name, res.Value)
+		}
+	}
+}
+
+func TestZeroCapacityArcsCarryNoFlow(t *testing.T) {
+	g := graph.New(3, 0, 2)
+	g.AddArc(0, 1, 0, 0)
+	g.AddArc(1, 2, 5, 0)
+	res := Dinic(g)
+	if res.Value != 0 {
+		t.Fatalf("flow through zero-capacity arc: %d", res.Value)
+	}
+}
+
+func TestParallelArcs(t *testing.T) {
+	g := graph.New(2, 0, 1)
+	g.AddArc(0, 1, 3, 0)
+	g.AddArc(0, 1, 4, 0)
+	for name, algo := range algorithms() {
+		h := g.Clone()
+		if res := algo(h); res.Value != 7 {
+			t.Fatalf("%s with parallel arcs: %d, want 7", name, res.Value)
+		}
+	}
+}
+
+// TestAlgorithmsAgreeOnRandomNetworks is the central cross-check property:
+// all three algorithms produce the same value, every output is a legal flow,
+// and the min-cut certificate matches (max-flow = min-cut).
+func TestAlgorithmsAgreeOnRandomNetworks(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 200; trial++ {
+		n := 2 + rng.Intn(12)
+		g := testutil.RandomNetwork(rng, n, 0.3, 10, 5)
+		want := int64(-1)
+		for name, algo := range algorithms() {
+			h := g.Clone()
+			res := algo(h)
+			if err := h.CheckLegal(); err != nil {
+				t.Fatalf("trial %d, %s: illegal flow: %v", trial, name, err)
+			}
+			if h.Value() != res.Value {
+				t.Fatalf("trial %d, %s: reported %d but network carries %d", trial, name, res.Value, h.Value())
+			}
+			if cut := h.MinCutCapacity(); cut != res.Value {
+				t.Fatalf("trial %d, %s: min cut %d != flow %d", trial, name, cut, res.Value)
+			}
+			if want == -1 {
+				want = res.Value
+			} else if res.Value != want {
+				t.Fatalf("trial %d: %s disagrees: %d vs %d", trial, name, res.Value, want)
+			}
+		}
+	}
+}
+
+// TestUnitCapacityDecomposition checks Theorem 2's machinery: on
+// unit-capacity networks the integral max flow decomposes into arc-disjoint
+// s-t paths whose count equals the flow value.
+func TestUnitCapacityDecomposition(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 100; trial++ {
+		g := testutil.RandomUnitNetwork(rng, 2+rng.Intn(4), 2+rng.Intn(6), 0.4)
+		res := Dinic(g)
+		paths, err := g.DecomposePaths()
+		if err != nil {
+			t.Fatalf("trial %d: decomposition failed: %v", trial, err)
+		}
+		if int64(len(paths)) != res.Value {
+			t.Fatalf("trial %d: %d paths for flow %d", trial, len(paths), res.Value)
+		}
+		usedArc := make(map[int]bool)
+		for _, p := range paths {
+			if p.Amt != 1 {
+				t.Fatalf("trial %d: non-unit path amount %d", trial, p.Amt)
+			}
+			for _, id := range p.Arcs {
+				if usedArc[id] {
+					t.Fatalf("trial %d: arc %d shared between paths", trial, id)
+				}
+				usedArc[id] = true
+			}
+		}
+	}
+}
+
+// TestQuickFlowLegality drives testing/quick over generated sizes.
+func TestQuickFlowLegality(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + int(nRaw%10)
+		g := testutil.RandomNetwork(rng, n, 0.35, 6, 4)
+		res := Dinic(g)
+		if g.CheckLegal() != nil {
+			return false
+		}
+		return g.MinCutCapacity() == res.Value && g.Value() == res.Value
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCountersPopulated(t *testing.T) {
+	g := clrsNetwork()
+	res := Dinic(g)
+	if res.Ops.Phases == 0 || res.Ops.Augmentations == 0 || res.Ops.ArcScans == 0 || res.Ops.NodeVisits == 0 {
+		t.Fatalf("counters not populated: %+v", res.Ops)
+	}
+	var c Counters
+	c.Add(res.Ops)
+	c.Add(res.Ops)
+	if c.ArcScans != 2*res.Ops.ArcScans {
+		t.Fatal("Counters.Add arithmetic wrong")
+	}
+}
+
+// TestPushRelabelIgnoresWarmStart: unlike the augmenting-path algorithms,
+// push-relabel recomputes from scratch; an existing assignment must not
+// corrupt the result.
+func TestPushRelabelIgnoresWarmStart(t *testing.T) {
+	g, ids := fig3Network()
+	g.Arcs[ids["s-a"]].Flow = 1
+	g.Arcs[ids["a-d"]].Flow = 1
+	g.Arcs[ids["d-t"]].Flow = 1
+	res := PushRelabel(g)
+	if res.Value != 2 {
+		t.Fatalf("value %d, want 2", res.Value)
+	}
+	if err := g.CheckLegal(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPushRelabelStrandedExcess: when the source can push more than the
+// sink side accepts, the surplus must drain back without violating
+// conservation (the gap-heuristic path).
+func TestPushRelabelStrandedExcess(t *testing.T) {
+	// s -> a (cap 10), a -> t (cap 1): 9 units must return to s.
+	g := graph.New(3, 0, 2)
+	g.AddArc(0, 1, 10, 0)
+	g.AddArc(1, 2, 1, 0)
+	res := PushRelabel(g)
+	if res.Value != 1 {
+		t.Fatalf("value %d, want 1", res.Value)
+	}
+	if err := g.CheckLegal(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDinicFewerPhasesThanAugmentationsEK(t *testing.T) {
+	// On a wide unit network Dinic should need very few phases while EK
+	// needs one BFS per augmentation; this guards the layered structure.
+	rng := rand.New(rand.NewSource(3))
+	g := testutil.RandomUnitNetwork(rng, 3, 16, 0.5)
+	d := Dinic(g.Clone())
+	e := EdmondsKarp(g.Clone())
+	if d.Value != e.Value {
+		t.Fatalf("values disagree: %d vs %d", d.Value, e.Value)
+	}
+	if d.Ops.Phases > int(d.Value)+1 {
+		t.Fatalf("Dinic used %d phases for flow %d", d.Ops.Phases, d.Value)
+	}
+}

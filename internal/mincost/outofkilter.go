@@ -1,0 +1,242 @@
+package mincost
+
+import (
+	"fmt"
+
+	"rsin/internal/graph"
+)
+
+// OutOfKilter finds the minimum-cost flow of value exactly target using
+// Fulkerson's out-of-kilter method. The s-t flow problem is turned into a
+// circulation by adding a return arc t->s with lower bound = upper bound =
+// target and zero cost; the algorithm then drives every arc into its
+// "kilter" (complementary slackness) state:
+//
+//	reduced cost > 0  =>  flow = lower bound
+//	reduced cost = 0  =>  lower <= flow <= upper
+//	reduced cost < 0  =>  flow = upper bound
+//
+// where the reduced cost of arc (i,j) is cost + pi(i) - pi(j) for node
+// potentials pi. Out-of-kilter arcs are repaired by augmenting around cycles
+// found in a restricted residual network, updating potentials when the
+// labeling gets stuck. Returns ErrInfeasible when no circulation of value
+// target exists.
+func OutOfKilter(g *graph.Network, target int64) (Result, error) {
+	n := g.NumNodes()
+	type arc struct {
+		from, to  int
+		low, up   int64
+		cost      int64
+		flow      int64
+		isReturn  bool
+		origIndex int
+	}
+	arcs := make([]arc, 0, len(g.Arcs)+1)
+	for i := range g.Arcs {
+		a := &g.Arcs[i]
+		arcs = append(arcs, arc{from: a.From, to: a.To, up: a.Cap, cost: a.Cost, origIndex: i})
+	}
+	arcs = append(arcs, arc{from: g.Sink, to: g.Source, low: target, up: target, isReturn: true, origIndex: -1})
+
+	out := make([][]int, n)
+	in := make([][]int, n)
+	for i := range arcs {
+		out[arcs[i].from] = append(out[arcs[i].from], i)
+		in[arcs[i].to] = append(in[arcs[i].to], i)
+	}
+
+	pi := make([]int64, n)
+	var res Result
+
+	rcost := func(i int) int64 { return arcs[i].cost + pi[arcs[i].from] - pi[arcs[i].to] }
+
+	// inKilter reports whether arc i satisfies the kilter conditions.
+	inKilter := func(i int) bool {
+		c := rcost(i)
+		f := arcs[i].flow
+		switch {
+		case c > 0:
+			return f == arcs[i].low
+		case c < 0:
+			return f == arcs[i].up
+		default:
+			return f >= arcs[i].low && f <= arcs[i].up
+		}
+	}
+
+	// incTarget / decTarget: the flow value an out-of-kilter arc should move
+	// toward when its flow must increase / decrease.
+	incTarget := func(i int) int64 {
+		if rcost(i) > 0 {
+			return arcs[i].low
+		}
+		return arcs[i].up
+	}
+	decTarget := func(i int) int64 {
+		if rcost(i) < 0 {
+			return arcs[i].up
+		}
+		return arcs[i].low
+	}
+
+	// canForward/canBackward: usability of an arc in the restricted residual
+	// network of the labeling step, together with the allowed amount.
+	canForward := func(i int) int64 {
+		c, f := rcost(i), arcs[i].flow
+		if f < arcs[i].low {
+			return arcs[i].low - f
+		}
+		if c <= 0 && f < arcs[i].up {
+			return arcs[i].up - f
+		}
+		return 0
+	}
+	canBackward := func(i int) int64 {
+		c, f := rcost(i), arcs[i].flow
+		if f > arcs[i].up {
+			return f - arcs[i].up
+		}
+		if c >= 0 && f > arcs[i].low {
+			return f - arcs[i].low
+		}
+		return 0
+	}
+
+	prev := make([]int, n)     // labeling predecessor arc index
+	prevDir := make([]int8, n) // +1 traversed forward, -1 backward
+	labeled := make([]bool, n)
+
+	// repair drives arc k into kilter. start/goal are the endpoints of the
+	// augmenting path sought (goal -> ... -> start completes a cycle with k).
+	repair := func(k int, increase bool) error {
+		for !inKilter(k) {
+			var from, to int
+			if increase {
+				from, to = arcs[k].to, arcs[k].from // path to->...->from, then k closes cycle
+			} else {
+				from, to = arcs[k].from, arcs[k].to
+			}
+			for i := range labeled {
+				labeled[i] = false
+				prev[i] = -1
+			}
+			labeled[from] = true
+			queue := []int{from}
+			for len(queue) > 0 && !labeled[to] {
+				v := queue[0]
+				queue = queue[1:]
+				res.Ops.NodeVisits++
+				for _, i := range out[v] {
+					res.Ops.ArcScans++
+					if i != k && !labeled[arcs[i].to] && canForward(i) > 0 {
+						labeled[arcs[i].to] = true
+						prev[arcs[i].to] = i
+						prevDir[arcs[i].to] = 1
+						queue = append(queue, arcs[i].to)
+					}
+				}
+				for _, i := range in[v] {
+					res.Ops.ArcScans++
+					if i != k && !labeled[arcs[i].from] && canBackward(i) > 0 {
+						labeled[arcs[i].from] = true
+						prev[arcs[i].from] = i
+						prevDir[arcs[i].from] = -1
+						queue = append(queue, arcs[i].from)
+					}
+				}
+			}
+			if labeled[to] {
+				// Augment around the cycle: bottleneck of path plus arc k.
+				var amt int64
+				if increase {
+					amt = incTarget(k) - arcs[k].flow
+				} else {
+					amt = arcs[k].flow - decTarget(k)
+				}
+				for v := to; v != from; {
+					i := prev[v]
+					var room int64
+					if prevDir[v] == 1 {
+						room = canForward(i)
+						v = arcs[i].from
+					} else {
+						room = canBackward(i)
+						v = arcs[i].to
+					}
+					if room < amt {
+						amt = room
+					}
+				}
+				if amt <= 0 {
+					return fmt.Errorf("out-of-kilter: zero augmentation (internal error)")
+				}
+				for v := to; v != from; {
+					i := prev[v]
+					if prevDir[v] == 1 {
+						arcs[i].flow += amt
+						v = arcs[i].from
+					} else {
+						arcs[i].flow -= amt
+						v = arcs[i].to
+					}
+				}
+				if increase {
+					arcs[k].flow += amt
+				} else {
+					arcs[k].flow -= amt
+				}
+				res.Ops.Augmentations++
+				continue
+			}
+			// Labeling stuck: dual update. S = labeled set.
+			delta := inf
+			for i := range arcs {
+				c := rcost(i)
+				if labeled[arcs[i].from] && !labeled[arcs[i].to] && c > 0 && arcs[i].flow < arcs[i].up {
+					if c < delta {
+						delta = c
+					}
+				}
+				if !labeled[arcs[i].from] && labeled[arcs[i].to] && c < 0 && arcs[i].flow > arcs[i].low {
+					if -c < delta {
+						delta = -c
+					}
+				}
+			}
+			if delta >= inf {
+				return fmt.Errorf("%w: no circulation of value %d", ErrInfeasible, target)
+			}
+			for v := 0; v < n; v++ {
+				if !labeled[v] {
+					pi[v] += delta
+				}
+			}
+			res.Ops.PotentialUpdates++
+		}
+		return nil
+	}
+
+	for k := range arcs {
+		for !inKilter(k) {
+			f := arcs[k].flow
+			increase := f < arcs[k].low || (rcost(k) < 0 && f < arcs[k].up) ||
+				(rcost(k) == 0 && f < arcs[k].low)
+			if !increase && !(f > arcs[k].up || (rcost(k) > 0 && f > arcs[k].low)) {
+				return res, fmt.Errorf("out-of-kilter: arc %d in unknown state", k)
+			}
+			if err := repair(k, increase); err != nil {
+				return res, err
+			}
+		}
+	}
+
+	g.ResetFlow()
+	for i := range arcs {
+		if arcs[i].origIndex >= 0 {
+			g.Arcs[arcs[i].origIndex].Flow = arcs[i].flow
+		}
+	}
+	res.Value = g.Value()
+	res.Cost = g.Cost()
+	return res, nil
+}

@@ -1,0 +1,306 @@
+// Package multiflow implements the multicommodity network-flow problems of
+// §III-D, the scheduling engine for heterogeneous MRSINs: each resource type
+// is one commodity with its own source-sink pair, commodities share link
+// capacities, and a flow of commodity i may only be absorbed by sink i.
+//
+// Both LP formulations printed in the paper are built verbatim on the lp
+// package:
+//
+//   - Multicommodity Maximum Flow: maximize sum_i F^i subject to
+//     per-commodity conservation and joint capacity limits.
+//   - Multicommodity Minimum Cost Flow: minimize sum_i sum_e w^i(e) f^i(e)
+//     with each F^i fixed to the commodity's demand.
+//
+// Finding a maximum *integral* multicommodity flow is NP-hard in general,
+// but for the restricted topologies arising from interconnection networks
+// the LP optimum is integral (Evans & Jarvis [14]); Result.Integral reports
+// whether that happened. SequentialDinic provides the integral
+// one-commodity-at-a-time fallback, and BranchAndBound the exact integral
+// optimum for small instances.
+package multiflow
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"rsin/internal/graph"
+	"rsin/internal/lp"
+	"rsin/internal/maxflow"
+)
+
+// Commodity is one commodity: flow leaves Source and must reach Sink.
+// Demand is the required flow value for the minimum-cost variant (ignored by
+// the maximum-flow variant).
+type Commodity struct {
+	Source, Sink int
+	Demand       int64
+}
+
+// Options tunes a multicommodity solve.
+type Options struct {
+	// Costs[i][e] is the cost per unit of commodity i on arc e. When nil,
+	// every commodity uses the arc's own Cost field.
+	Costs [][]float64
+	// IntegerTolerance is the distance from an integer below which a value
+	// counts as integral (default 1e-6).
+	IntegerTolerance float64
+}
+
+func (o *Options) tol() float64 {
+	if o == nil || o.IntegerTolerance == 0 {
+		return 1e-6
+	}
+	return o.IntegerTolerance
+}
+
+func (o *Options) cost(g *graph.Network, i, e int) float64 {
+	if o != nil && o.Costs != nil {
+		return o.Costs[i][e]
+	}
+	return float64(g.Arcs[e].Cost)
+}
+
+// Result is the outcome of a multicommodity solve.
+type Result struct {
+	Flows     [][]float64 // Flows[i][e]: flow of commodity i on arc e
+	Values    []float64   // Values[i]: F^i advanced for commodity i
+	Total     float64     // sum of Values
+	Cost      float64     // objective of the min-cost variant (0 otherwise)
+	Integral  bool        // true when every Flows[i][e] is integral
+	LPStatus  lp.Status
+	Objective float64 // raw LP objective
+}
+
+// ErrInfeasible reports that the demands cannot be met jointly.
+var ErrInfeasible = errors.New("multiflow: demands are jointly infeasible")
+
+// buildVars assigns LP variable ids: commodity-major arc order, then one F
+// variable per commodity at the end (max-flow variant only).
+func varID(i, e, numArcs int) int { return i*numArcs + e }
+
+// addConstraints installs joint capacity rows and per-commodity conservation
+// rows into p. fVar, when >= 0, gives the index of commodity i's F variable
+// (fVar+i); when < 0, demands[i] is used as the fixed flow value.
+func addConstraints(p *lp.Problem, g *graph.Network, comms []Commodity, fVar int, demands []int64) {
+	m := len(g.Arcs)
+	k := len(comms)
+	// Joint capacity: sum_i f^i(e) <= c(e).
+	for e := 0; e < m; e++ {
+		vars := make([]int, k)
+		coefs := make([]float64, k)
+		for i := 0; i < k; i++ {
+			vars[i] = varID(i, e, m)
+			coefs[i] = 1
+		}
+		p.AddConstraint(vars, coefs, lp.LE, float64(g.Arcs[e].Cap))
+	}
+	// Conservation per commodity per node.
+	for i, c := range comms {
+		for v := 0; v < g.NumNodes(); v++ {
+			var vars []int
+			var coefs []float64
+			for _, id := range g.Out(v) {
+				vars = append(vars, varID(i, id, m))
+				coefs = append(coefs, 1)
+			}
+			for _, id := range g.In(v) {
+				vars = append(vars, varID(i, id, m))
+				coefs = append(coefs, -1)
+			}
+			rhs := 0.0
+			switch v {
+			case c.Source:
+				if fVar >= 0 {
+					vars = append(vars, fVar+i)
+					coefs = append(coefs, -1) // out - in = F^i
+				} else {
+					rhs = float64(demands[i])
+				}
+			case c.Sink:
+				if fVar >= 0 {
+					vars = append(vars, fVar+i)
+					coefs = append(coefs, 1) // out - in = -F^i
+				} else {
+					rhs = -float64(demands[i])
+				}
+			}
+			if len(vars) == 0 && rhs == 0 {
+				continue // isolated node
+			}
+			p.AddConstraint(vars, coefs, lp.EQ, rhs)
+		}
+	}
+}
+
+func extract(g *graph.Network, comms []Commodity, x []float64, tol float64) Result {
+	m := len(g.Arcs)
+	k := len(comms)
+	res := Result{
+		Flows:    make([][]float64, k),
+		Values:   make([]float64, k),
+		Integral: true,
+	}
+	for i := 0; i < k; i++ {
+		res.Flows[i] = make([]float64, m)
+		for e := 0; e < m; e++ {
+			f := x[varID(i, e, m)]
+			if math.Abs(f) < tol {
+				f = 0
+			}
+			res.Flows[i][e] = f
+			if math.Abs(f-math.Round(f)) > tol {
+				res.Integral = false
+			}
+		}
+		// F^i = net flow out of the commodity's source.
+		for _, id := range g.Out(comms[i].Source) {
+			res.Values[i] += res.Flows[i][id]
+		}
+		for _, id := range g.In(comms[i].Source) {
+			res.Values[i] -= res.Flows[i][id]
+		}
+		res.Total += res.Values[i]
+	}
+	return res
+}
+
+// MaxFlow solves the multicommodity maximum flow LP: maximize the total
+// flow over all commodities subject to joint capacities. The network's own
+// Source/Sink fields are ignored; commodity endpoints drive everything.
+func MaxFlow(g *graph.Network, comms []Commodity, opts *Options) (Result, error) {
+	if len(comms) == 0 {
+		return Result{Integral: true}, nil
+	}
+	m := len(g.Arcs)
+	k := len(comms)
+	p := lp.NewProblem(k*m + k)
+	fVar := k * m
+	for i := 0; i < k; i++ {
+		p.SetObjectiveCoef(fVar+i, 1)
+	}
+	p.SetSense(lp.Maximize)
+	addConstraints(p, g, comms, fVar, nil)
+	sol, err := p.Solve()
+	if err != nil {
+		return Result{LPStatus: sol.Status}, fmt.Errorf("multiflow max: %w", err)
+	}
+	res := extract(g, comms, sol.X, opts.tol())
+	res.LPStatus = sol.Status
+	res.Objective = sol.Objective
+	return res, nil
+}
+
+// MinCostFlow solves the multicommodity minimum-cost flow LP: each
+// commodity must ship exactly its Demand; the total per-commodity-weighted
+// cost is minimized. Returns ErrInfeasible when the demands cannot be met.
+func MinCostFlow(g *graph.Network, comms []Commodity, opts *Options) (Result, error) {
+	if len(comms) == 0 {
+		return Result{Integral: true}, nil
+	}
+	m := len(g.Arcs)
+	k := len(comms)
+	p := lp.NewProblem(k * m)
+	for i := 0; i < k; i++ {
+		for e := 0; e < m; e++ {
+			p.SetObjectiveCoef(varID(i, e, m), opts.cost(g, i, e))
+		}
+	}
+	p.SetSense(lp.Minimize)
+	demands := make([]int64, k)
+	for i, c := range comms {
+		demands[i] = c.Demand
+	}
+	addConstraints(p, g, comms, -1, demands)
+	sol, err := p.Solve()
+	if err != nil {
+		if sol.Status == lp.Infeasible {
+			return Result{LPStatus: sol.Status}, fmt.Errorf("%w: %v", ErrInfeasible, err)
+		}
+		return Result{LPStatus: sol.Status}, fmt.Errorf("multiflow mincost: %w", err)
+	}
+	res := extract(g, comms, sol.X, opts.tol())
+	res.LPStatus = sol.Status
+	res.Objective = sol.Objective
+	res.Cost = sol.Objective
+	return res, nil
+}
+
+// SequentialDinic computes an integral (but possibly suboptimal)
+// multicommodity flow by routing commodities one at a time with Dinic on
+// the remaining capacities, in the order given. It is the distributed
+// fallback a heterogeneous MRSIN without an LP solver would use.
+func SequentialDinic(g *graph.Network, comms []Commodity) Result {
+	m := len(g.Arcs)
+	k := len(comms)
+	res := Result{
+		Flows:    make([][]float64, k),
+		Values:   make([]float64, k),
+		Integral: true,
+	}
+	remaining := make([]int64, m)
+	for e := range g.Arcs {
+		remaining[e] = g.Arcs[e].Cap
+	}
+	for i, c := range comms {
+		res.Flows[i] = make([]float64, m)
+		// Build a single-commodity network with the remaining capacities.
+		h := graph.New(g.NumNodes(), c.Source, c.Sink)
+		ids := make([]int, m)
+		for e := range g.Arcs {
+			ids[e] = h.AddArc(g.Arcs[e].From, g.Arcs[e].To, remaining[e], 0)
+		}
+		r := maxflow.Dinic(h)
+		res.Values[i] = float64(r.Value)
+		res.Total += float64(r.Value)
+		for e := range g.Arcs {
+			f := h.Arcs[ids[e]].Flow
+			res.Flows[i][e] = float64(f)
+			remaining[e] -= f
+		}
+	}
+	return res
+}
+
+// CheckLegal validates a multicommodity result against the network: joint
+// capacity on every arc and per-commodity conservation at every node.
+func CheckLegal(g *graph.Network, comms []Commodity, res Result, tol float64) error {
+	if tol == 0 {
+		tol = 1e-6
+	}
+	for e := range g.Arcs {
+		var sum float64
+		for i := range comms {
+			f := res.Flows[i][e]
+			if f < -tol {
+				return fmt.Errorf("commodity %d arc %d: negative flow %v", i, e, f)
+			}
+			sum += f
+		}
+		if sum > float64(g.Arcs[e].Cap)+tol {
+			return fmt.Errorf("arc %d: joint flow %v exceeds capacity %d", e, sum, g.Arcs[e].Cap)
+		}
+	}
+	for i, c := range comms {
+		for v := 0; v < g.NumNodes(); v++ {
+			var excess float64
+			for _, id := range g.In(v) {
+				excess += res.Flows[i][id]
+			}
+			for _, id := range g.Out(v) {
+				excess -= res.Flows[i][id]
+			}
+			want := 0.0
+			switch v {
+			case c.Source:
+				want = -res.Values[i]
+			case c.Sink:
+				want = res.Values[i]
+			}
+			if math.Abs(excess-want) > tol {
+				return fmt.Errorf("commodity %d node %d: excess %v, want %v", i, v, excess, want)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,157 @@
+package netsimplex
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"rsin/internal/graph"
+	"rsin/internal/maxflow"
+	"rsin/internal/mincost"
+	"rsin/internal/testutil"
+)
+
+func costDiamond() *graph.Network {
+	g := graph.New(4, 0, 3)
+	g.AddArc(0, 1, 2, 1)
+	g.AddArc(0, 2, 2, 5)
+	g.AddArc(1, 3, 2, 1)
+	g.AddArc(2, 3, 2, 1)
+	return g
+}
+
+func TestDiamond(t *testing.T) {
+	g := costDiamond()
+	res, err := MinCostFlow(g, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Value != 2 || res.Cost != 4 {
+		t.Fatalf("got value=%d cost=%d, want 2, 4", res.Value, res.Cost)
+	}
+	if err := g.CheckLegal(); err != nil {
+		t.Fatal(err)
+	}
+	g2 := costDiamond()
+	res, err = MinCostFlow(g2, 4)
+	if err != nil || res.Cost != 16 {
+		t.Fatalf("full flow: %+v err=%v", res, err)
+	}
+}
+
+func TestZeroTarget(t *testing.T) {
+	g := costDiamond()
+	res, err := MinCostFlow(g, 0)
+	if err != nil || res.Value != 0 || res.Cost != 0 {
+		t.Fatalf("%+v err=%v", res, err)
+	}
+}
+
+func TestNegativeTargetRejected(t *testing.T) {
+	g := costDiamond()
+	if _, err := MinCostFlow(g, -1); err == nil {
+		t.Fatal("negative target accepted")
+	}
+}
+
+func TestInfeasible(t *testing.T) {
+	g := costDiamond()
+	_, err := MinCostFlow(g, 5)
+	if !errors.Is(err, mincost.ErrInfeasible) {
+		t.Fatalf("want ErrInfeasible, got %v", err)
+	}
+}
+
+func TestCancellationInstance(t *testing.T) {
+	// Same forced-rerouting instance as the mincost tests: optimum 22.
+	g := graph.New(4, 0, 3)
+	g.AddArc(0, 1, 1, 1)
+	g.AddArc(0, 2, 1, 10)
+	g.AddArc(1, 2, 1, 0)
+	g.AddArc(1, 3, 1, 10)
+	g.AddArc(2, 3, 1, 1)
+	res, err := MinCostFlow(g, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cost != 22 {
+		t.Fatalf("cost %d, want 22", res.Cost)
+	}
+}
+
+func TestUpperBoundPivot(t *testing.T) {
+	// An instance where the entering arc saturates immediately (swap to
+	// the upper bound without a tree pivot): parallel cheap arc of cap 1
+	// beside an expensive one.
+	g := graph.New(2, 0, 1)
+	g.AddArc(0, 1, 1, 1)
+	g.AddArc(0, 1, 5, 3)
+	res, err := MinCostFlow(g, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cost != 1*1+3*3 {
+		t.Fatalf("cost %d, want 10", res.Cost)
+	}
+}
+
+// TestAgreesWithSSPAndOOK is the three-way optimality cross-check on
+// random networks.
+func TestAgreesWithSSPAndOOK(t *testing.T) {
+	rng := rand.New(rand.NewSource(101))
+	for trial := 0; trial < 150; trial++ {
+		g := testutil.RandomNetwork(rng, 2+rng.Intn(10), 0.3, 5, 8)
+		mf := maxflow.Dinic(g.Clone())
+		if mf.Value == 0 {
+			continue
+		}
+		target := 1 + rng.Int63n(mf.Value)
+		g1, g2, g3 := g.Clone(), g.Clone(), g.Clone()
+		r1, err1 := MinCostFlow(g1, target)
+		r2, err2 := mincost.SuccessiveShortestPaths(g2, target)
+		r3, err3 := mincost.OutOfKilter(g3, target)
+		if err1 != nil || err2 != nil || err3 != nil {
+			t.Fatalf("trial %d: errors %v / %v / %v", trial, err1, err2, err3)
+		}
+		if r1.Cost != r2.Cost || r1.Cost != r3.Cost {
+			t.Fatalf("trial %d: simplex %d vs SSP %d vs OOK %d (target %d)",
+				trial, r1.Cost, r2.Cost, r3.Cost, target)
+		}
+		if r1.Value != target || g1.CheckLegal() != nil {
+			t.Fatalf("trial %d: simplex flow invalid", trial)
+		}
+	}
+}
+
+func TestDegenerateInstancesTerminate(t *testing.T) {
+	// Many zero-capacity-ish parallel structures + equal costs provoke
+	// degenerate pivots; the strong-feasibility rule must still terminate.
+	rng := rand.New(rand.NewSource(103))
+	for trial := 0; trial < 50; trial++ {
+		g := testutil.RandomUnitNetwork(rng, 3, 6, 0.5)
+		mf := maxflow.Dinic(g.Clone())
+		if mf.Value == 0 {
+			continue
+		}
+		h := g.Clone()
+		h.ResetFlow()
+		res, err := MinCostFlow(h, mf.Value)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if res.Value != mf.Value {
+			t.Fatalf("trial %d: value %d, want %d", trial, res.Value, mf.Value)
+		}
+	}
+}
+
+func TestOpsCountersPopulated(t *testing.T) {
+	g := costDiamond()
+	res, err := MinCostFlow(g, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ops.ArcScans == 0 || res.Ops.Augmentations == 0 {
+		t.Fatalf("counters empty: %+v", res.Ops)
+	}
+}

@@ -1,0 +1,203 @@
+// Package packetsim is the packet-switched counterpart the paper argues
+// against in §II: a conventional address-mapped multistage network with
+// store-and-forward buffering. Its purpose is experiment E17 — the
+// circuit-vs-packet comparison behind the modeling decision: "owing to the
+// resource characteristics, a task cannot be processed until it is
+// completely received. The extra delay in breaking a task into multiple
+// packets may decrease the utilization of resources."
+//
+// The simulator is clocked: every link carries a bounded FIFO of packets;
+// one packet crosses one link per clock when the downstream buffer has
+// room; conflicts at a switchbox output are resolved round-robin. Each
+// task is split into TaskLength packets routed independently to the task's
+// (pre-assigned) resource; the task is delivered when its last packet
+// arrives.
+package packetsim
+
+import (
+	"fmt"
+	"math/rand"
+
+	"rsin/internal/topology"
+)
+
+// Config parameterizes one packet-switched round.
+type Config struct {
+	Net         *topology.Network
+	TaskLength  int // packets per task
+	BufferDepth int // per-link FIFO capacity (>= 1)
+	MaxClocks   int // safety bound (0 = 1<<20)
+}
+
+// Task is one offered task: a source processor and a destination resource
+// (assigned by the address-mapping allocator before entering the network).
+type Task struct {
+	Proc, Res int
+}
+
+// Result summarizes one round.
+type Result struct {
+	Delivered    int
+	Clocks       int     // clocks until the last packet arrived
+	MeanDelivery float64 // mean task completion clock
+	MaxDelivery  int
+}
+
+// packet is one in-flight packet.
+type packet struct {
+	task      int
+	remaining []int // links still to traverse, front first
+}
+
+// Run delivers every task and reports the timing. Tasks must name distinct
+// processors; resources may repeat (packets to the same resource
+// interleave through its single input link).
+func Run(cfg Config, tasks []Task) (*Result, error) {
+	if cfg.Net == nil || cfg.TaskLength < 1 || cfg.BufferDepth < 1 {
+		return nil, fmt.Errorf("packetsim: bad config %+v", cfg)
+	}
+	maxClocks := cfg.MaxClocks
+	if maxClocks == 0 {
+		maxClocks = 1 << 20
+	}
+	net := cfg.Net
+
+	// Precompute each task's path on the empty network (packet switching
+	// shares links, so occupancy does not constrain routing).
+	paths := make([][]int, len(tasks))
+	seenProc := map[int]bool{}
+	for i, t := range tasks {
+		if seenProc[t.Proc] {
+			return nil, fmt.Errorf("packetsim: duplicate source processor %d", t.Proc)
+		}
+		seenProc[t.Proc] = true
+		c := net.FindPath(t.Proc, func(r int) bool { return r == t.Res })
+		if c == nil {
+			return nil, fmt.Errorf("packetsim: no path p%d -> r%d", t.Proc, t.Res)
+		}
+		paths[i] = c.Links
+	}
+
+	// Per-link FIFO buffers.
+	buf := make([][]*packet, len(net.Links))
+	injected := make([]int, len(tasks)) // packets injected so far
+	arrived := make([]int, len(tasks))  // packets delivered
+	deliveredAt := make([]int, len(tasks))
+	res := &Result{}
+
+	allDone := func() bool {
+		for i := range tasks {
+			if arrived[i] < cfg.TaskLength {
+				return false
+			}
+		}
+		return true
+	}
+
+	// Round-robin priority offset so one input does not starve another.
+	rrOffset := 0
+	for clock := 1; ; clock++ {
+		if clock > maxClocks {
+			return nil, fmt.Errorf("packetsim: clock bound exceeded (possible deadlock; buffers too small?)")
+		}
+		// Phase 1: deliver packets whose current link ends at a resource,
+		// and advance packets into downstream buffers. Process links in a
+		// rotated order for fairness; moves take effect next clock by
+		// double-buffering the "moved" flag per packet.
+		type move struct {
+			from int // link id the packet leaves
+			to   int // link id it enters (-1 = delivered)
+			p    *packet
+		}
+		var moves []move
+		spaceLeft := make([]int, len(net.Links))
+		for l := range buf {
+			spaceLeft[l] = cfg.BufferDepth - len(buf[l])
+		}
+		for k := 0; k < len(net.Links); k++ {
+			l := (k + rrOffset) % len(net.Links)
+			if len(buf[l]) == 0 {
+				continue
+			}
+			p := buf[l][0] // head of FIFO only
+			next := p.remaining[0]
+			// Crossing into a resource delivers the packet: resources
+			// always consume (no buffer constraint).
+			if net.Links[next].To.Kind == topology.KindResource {
+				moves = append(moves, move{from: l, to: -1, p: p})
+				continue
+			}
+			if spaceLeft[next] > 0 {
+				spaceLeft[next]--
+				moves = append(moves, move{from: l, to: next, p: p})
+			}
+		}
+		rrOffset++
+		for _, mv := range moves {
+			buf[mv.from] = buf[mv.from][1:]
+			if mv.to == -1 {
+				arrived[mv.p.task]++
+				if arrived[mv.p.task] == cfg.TaskLength {
+					deliveredAt[mv.p.task] = clock
+				}
+				continue
+			}
+			mv.p.remaining = mv.p.remaining[1:]
+			buf[mv.to] = append(buf[mv.to], mv.p)
+		}
+		// Phase 2: inject new packets at the processors. Injecting crosses
+		// the processor's own link; a direct proc->resource link delivers
+		// immediately.
+		for i := range tasks {
+			if injected[i] >= cfg.TaskLength {
+				continue
+			}
+			first := paths[i][0]
+			if net.Links[first].To.Kind == topology.KindResource {
+				injected[i]++
+				arrived[i]++
+				if arrived[i] == cfg.TaskLength {
+					deliveredAt[i] = clock
+				}
+				continue
+			}
+			if len(buf[first]) < cfg.BufferDepth {
+				buf[first] = append(buf[first], &packet{
+					task:      i,
+					remaining: append([]int(nil), paths[i][1:]...),
+				})
+				injected[i]++
+			}
+		}
+		if allDone() {
+			res.Clocks = clock
+			break
+		}
+	}
+	var sum float64
+	for i := range tasks {
+		res.Delivered++
+		sum += float64(deliveredAt[i])
+		if deliveredAt[i] > res.MaxDelivery {
+			res.MaxDelivery = deliveredAt[i]
+		}
+	}
+	if res.Delivered > 0 {
+		res.MeanDelivery = sum / float64(res.Delivered)
+	}
+	return res, nil
+}
+
+// RandomTasks draws one address-mapped workload: each requesting processor
+// is bound to a distinct random free resource (the conventional allocator
+// of §I). Returns fewer tasks than requesters when resources run out.
+func RandomTasks(rng *rand.Rand, net *topology.Network, pRequest float64) []Task {
+	free := rng.Perm(net.Ress)
+	var tasks []Task
+	for p := 0; p < net.Procs && len(tasks) < len(free); p++ {
+		if rng.Float64() < pRequest {
+			tasks = append(tasks, Task{Proc: p, Res: free[len(tasks)]})
+		}
+	}
+	return tasks
+}

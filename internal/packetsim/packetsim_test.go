@@ -1,0 +1,141 @@
+package packetsim
+
+import (
+	"math/rand"
+	"testing"
+
+	"rsin/internal/topology"
+)
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := Run(Config{}, nil); err == nil {
+		t.Fatal("nil net accepted")
+	}
+	net := topology.Omega(8)
+	if _, err := Run(Config{Net: net, TaskLength: 0, BufferDepth: 1}, nil); err == nil {
+		t.Fatal("zero task length accepted")
+	}
+	if _, err := Run(Config{Net: net, TaskLength: 1, BufferDepth: 0}, nil); err == nil {
+		t.Fatal("zero buffer accepted")
+	}
+}
+
+func TestSingleTaskLatency(t *testing.T) {
+	// One task, no contention: store-and-forward pipelining delivers the
+	// last of L packets after pathLen + L - 1 clocks.
+	net := topology.Omega(8)
+	c := net.FindPath(0, func(r int) bool { return r == 5 })
+	pathLen := len(c.Links)
+	for _, L := range []int{1, 2, 4, 8} {
+		res, err := Run(Config{Net: net, TaskLength: L, BufferDepth: 4},
+			[]Task{{Proc: 0, Res: 5}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := pathLen + L - 1
+		if res.MaxDelivery != want {
+			t.Fatalf("L=%d: delivered at clock %d, want %d", L, res.MaxDelivery, want)
+		}
+		if res.Delivered != 1 {
+			t.Fatalf("delivered %d tasks", res.Delivered)
+		}
+	}
+}
+
+func TestBufferDepthOnePipelines(t *testing.T) {
+	// Even with single-packet buffers the DAG drains without deadlock.
+	net := topology.Omega(8)
+	tasks := []Task{{Proc: 0, Res: 0}, {Proc: 1, Res: 1}, {Proc: 2, Res: 2}}
+	res, err := Run(Config{Net: net, TaskLength: 8, BufferDepth: 1}, tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Delivered != 3 {
+		t.Fatalf("delivered %d of 3", res.Delivered)
+	}
+}
+
+func TestContentionSlowsDelivery(t *testing.T) {
+	// Two tasks sharing links take longer than either alone. Find a pair
+	// of tasks with overlapping unique paths on the Omega.
+	net := topology.Omega(8)
+	var shared [2]Task
+	found := false
+search:
+	for r1 := 0; r1 < 8; r1++ {
+		c1 := net.FindPath(0, func(r int) bool { return r == r1 })
+		for r2 := 0; r2 < 8; r2++ {
+			if r2 == r1 {
+				continue
+			}
+			c2 := net.FindPath(1, func(r int) bool { return r == r2 })
+			links := map[int]bool{}
+			for _, l := range c1.Links {
+				links[l] = true
+			}
+			for _, l := range c2.Links {
+				if links[l] {
+					shared = [2]Task{{0, r1}, {1, r2}}
+					found = true
+					break search
+				}
+			}
+		}
+	}
+	if !found {
+		t.Skip("no overlapping pair on this wiring")
+	}
+	const L = 16
+	solo, err := Run(Config{Net: net, TaskLength: L, BufferDepth: 2}, shared[:1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	both, err := Run(Config{Net: net, TaskLength: L, BufferDepth: 2}, shared[:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if both.MaxDelivery <= solo.MaxDelivery {
+		t.Fatalf("contention did not slow delivery: %d vs %d", both.MaxDelivery, solo.MaxDelivery)
+	}
+}
+
+func TestDuplicateSourceRejected(t *testing.T) {
+	net := topology.Omega(8)
+	_, err := Run(Config{Net: net, TaskLength: 1, BufferDepth: 1},
+		[]Task{{0, 1}, {0, 2}})
+	if err == nil {
+		t.Fatal("duplicate source accepted")
+	}
+}
+
+func TestRandomTasksDistinctResources(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	net := topology.Omega(8)
+	for trial := 0; trial < 30; trial++ {
+		tasks := RandomTasks(rng, net, 0.8)
+		seenP, seenR := map[int]bool{}, map[int]bool{}
+		for _, tk := range tasks {
+			if seenP[tk.Proc] || seenR[tk.Res] {
+				t.Fatalf("trial %d: duplicate endpoint in %v", trial, tasks)
+			}
+			seenP[tk.Proc] = true
+			seenR[tk.Res] = true
+		}
+	}
+}
+
+func TestFullLoadDeliversEverything(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	net := topology.Omega(16)
+	tasks := RandomTasks(rng, net, 1.0)
+	res, err := Run(Config{Net: net, TaskLength: 6, BufferDepth: 2}, tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Delivered != len(tasks) {
+		t.Fatalf("delivered %d of %d", res.Delivered, len(tasks))
+	}
+	if res.MeanDelivery <= 0 || res.Clocks < res.MaxDelivery {
+		t.Fatalf("timing inconsistent: %+v", res)
+	}
+}

@@ -1,0 +1,307 @@
+// Package placement addresses the resource-arrangement problem the paper
+// defers (§II cites Briggs et al. [7]; §V notes that "the resource
+// utilization ... will depend on ... the arrangement of the various types
+// of resources"): given a topology and a census of resource types, decide
+// which output port carries which resource type so that expected blocking
+// is minimized.
+//
+// Expected blocking for a candidate placement is estimated by Monte Carlo
+// over random typed request/availability patterns, scheduled with the
+// integral sequential multicommodity scheduler (fast and within a few
+// percent of the LP optimum on these topologies, see experiment E13).
+// Optimize performs first-improvement local search over pairwise type
+// swaps with common random numbers.
+package placement
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"rsin/internal/core"
+	"rsin/internal/multiflow"
+	"rsin/internal/topology"
+)
+
+// Placement assigns a resource type to every output port: Placement[r] is
+// the type of the resource at port r.
+type Placement []int
+
+// Counts is a census: Counts[t] resources of type t.
+type Counts map[int]int
+
+// Total sums the census.
+func (c Counts) Total() int {
+	n := 0
+	for _, k := range c {
+		n += k
+	}
+	return n
+}
+
+// types returns the census types in sorted order.
+func (c Counts) types() []int {
+	var ts []int
+	for t := range c {
+		ts = append(ts, t)
+	}
+	sort.Ints(ts)
+	return ts
+}
+
+// Contiguous places each type in one consecutive block of ports — the
+// naive arrangement.
+func Contiguous(c Counts) Placement {
+	var p Placement
+	for _, t := range c.types() {
+		for i := 0; i < c[t]; i++ {
+			p = append(p, t)
+		}
+	}
+	return p
+}
+
+// Interleaved deals the types round-robin across the ports.
+func Interleaved(c Counts) Placement {
+	ts := c.types()
+	remaining := make(map[int]int, len(ts))
+	for t, k := range c {
+		remaining[t] = k
+	}
+	p := make(Placement, 0, c.Total())
+	for len(p) < c.Total() {
+		for _, t := range ts {
+			if remaining[t] > 0 {
+				remaining[t]--
+				p = append(p, t)
+			}
+		}
+	}
+	return p
+}
+
+// Validate checks that the placement covers exactly the census on a
+// network with the right number of output ports.
+func Validate(net *topology.Network, c Counts, p Placement) error {
+	if len(p) != net.Ress {
+		return fmt.Errorf("placement: %d entries for %d resources", len(p), net.Ress)
+	}
+	got := Counts{}
+	for _, t := range p {
+		got[t]++
+	}
+	for t, k := range c {
+		if got[t] != k {
+			return fmt.Errorf("placement: type %d has %d ports, census says %d", t, got[t], k)
+		}
+	}
+	for t := range got {
+		if _, ok := c[t]; !ok {
+			return fmt.Errorf("placement: type %d not in census", t)
+		}
+	}
+	return nil
+}
+
+// Evaluate estimates the mean blocking probability of the placement:
+// requests arrive Bernoulli(pReq) per processor with a type drawn
+// proportionally to the census; resources are free Bernoulli(pFree).
+// Deterministic in seed, so candidate placements can be compared with
+// common random numbers.
+func Evaluate(net *topology.Network, p Placement, c Counts,
+	pReq, pFree float64, trials int, seed int64) float64 {
+
+	rng := rand.New(rand.NewSource(seed))
+	ts := c.types()
+	cum := make([]int, len(ts)) // cumulative counts for proportional draws
+	run := 0
+	for i, t := range ts {
+		run += c[t]
+		cum[i] = run
+	}
+	drawType := func() int {
+		x := rng.Intn(run)
+		for i, cv := range cum {
+			if x < cv {
+				return ts[i]
+			}
+		}
+		return ts[len(ts)-1]
+	}
+
+	var blockedSum, n float64
+	for trial := 0; trial < trials; trial++ {
+		var reqs []core.Request
+		var avail []core.Avail
+		for pr := 0; pr < net.Procs; pr++ {
+			if rng.Float64() < pReq {
+				reqs = append(reqs, core.Request{Proc: pr, Type: drawType()})
+			}
+		}
+		for r := 0; r < net.Ress; r++ {
+			if rng.Float64() < pFree {
+				avail = append(avail, core.Avail{Res: r, Type: p[r]})
+			}
+		}
+		// Possible = per-type min(requests, free).
+		reqT := map[int]int{}
+		freeT := map[int]int{}
+		for _, rq := range reqs {
+			reqT[rq.Type]++
+		}
+		for _, a := range avail {
+			freeT[a.Type]++
+		}
+		possible := 0
+		for t, k := range reqT {
+			if freeT[t] < k {
+				possible += freeT[t]
+			} else {
+				possible += k
+			}
+		}
+		if possible == 0 {
+			continue
+		}
+		g, comms := core.BuildMulticommodity(net, reqs, avail)
+		res := multiflow.SequentialDinic(g, comms)
+		blockedSum += 1 - res.Total/float64(possible)
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return blockedSum / n
+}
+
+// OptimizeCounts addresses the other half of the Briggs et al. problem
+// the paper cites in §II — "choosing the number of resources in each
+// type": given a fixed number of output ports and the relative demand for
+// each type, it searches all count compositions (each type getting at
+// least one port), placing each candidate census interleaved, and returns
+// the census minimizing the *unserved-request fraction*. (The conditional
+// per-opportunity blocking used elsewhere would reward starving a type —
+// scarcity shrinks the opportunity count — so census comparison needs the
+// throughput-oriented objective.) demand[t] weights the request mix.
+func OptimizeCounts(net *topology.Network, demand map[int]float64,
+	pReq, pFree float64, trials int, seed int64) (Counts, float64) {
+
+	ts := make([]int, 0, len(demand))
+	for t := range demand {
+		ts = append(ts, t)
+	}
+	sort.Ints(ts)
+	ports := net.Ress
+
+	var best Counts
+	bestVal := math.Inf(1)
+	counts := make([]int, len(ts))
+	var rec func(i, remaining int)
+	rec = func(i, remaining int) {
+		if i == len(ts)-1 {
+			counts[i] = remaining
+			c := Counts{}
+			for k, t := range ts {
+				c[t] = counts[k]
+			}
+			// Requests must draw proportionally to demand, not to the
+			// candidate counts: evaluate with a demand-weighted ensemble.
+			val := evaluateWithDemand(net, Interleaved(c), c, demand, pReq, pFree, trials, seed)
+			if val < bestVal {
+				bestVal = val
+				best = c
+			}
+			return
+		}
+		for k := 1; k <= remaining-(len(ts)-1-i); k++ {
+			counts[i] = k
+			rec(i+1, remaining-k)
+		}
+	}
+	rec(0, ports)
+	return best, bestVal
+}
+
+// evaluateWithDemand estimates the unserved-request fraction under an
+// explicit demand mix: 1 - served / offered, averaged over trials.
+func evaluateWithDemand(net *topology.Network, p Placement, c Counts,
+	demand map[int]float64, pReq, pFree float64, trials int, seed int64) float64 {
+
+	rng := rand.New(rand.NewSource(seed))
+	ts := c.types()
+	var total float64
+	for _, t := range ts {
+		total += demand[t]
+	}
+	drawType := func() int {
+		x := rng.Float64() * total
+		for _, t := range ts {
+			x -= demand[t]
+			if x <= 0 {
+				return t
+			}
+		}
+		return ts[len(ts)-1]
+	}
+	var blockedSum, n float64
+	for trial := 0; trial < trials; trial++ {
+		var reqs []core.Request
+		var avail []core.Avail
+		for pr := 0; pr < net.Procs; pr++ {
+			if rng.Float64() < pReq {
+				reqs = append(reqs, core.Request{Proc: pr, Type: drawType()})
+			}
+		}
+		for r := 0; r < net.Ress; r++ {
+			if rng.Float64() < pFree {
+				avail = append(avail, core.Avail{Res: r, Type: p[r]})
+			}
+		}
+		if len(reqs) == 0 {
+			continue
+		}
+		g, comms := core.BuildMulticommodity(net, reqs, avail)
+		res := multiflow.SequentialDinic(g, comms)
+		blockedSum += 1 - res.Total/float64(len(reqs))
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return blockedSum / n
+}
+
+// Optimize improves the placement by first-improvement local search over
+// pairwise swaps of ports holding different types, evaluating every
+// candidate with the same seed (common random numbers). It stops after a
+// full pass without improvement or maxPasses passes, returning the best
+// placement and its estimated blocking.
+func Optimize(net *topology.Network, start Placement, c Counts,
+	pReq, pFree float64, trials, maxPasses int, seed int64) (Placement, float64) {
+
+	best := append(Placement(nil), start...)
+	bestVal := Evaluate(net, best, c, pReq, pFree, trials, seed)
+	for pass := 0; pass < maxPasses; pass++ {
+		improved := false
+		for i := 0; i < len(best); i++ {
+			for j := i + 1; j < len(best); j++ {
+				if best[i] == best[j] {
+					continue
+				}
+				best[i], best[j] = best[j], best[i]
+				val := Evaluate(net, best, c, pReq, pFree, trials, seed)
+				if val < bestVal {
+					bestVal = val
+					improved = true
+				} else {
+					best[i], best[j] = best[j], best[i] // revert
+				}
+			}
+		}
+		if !improved {
+			break
+		}
+	}
+	return best, bestVal
+}

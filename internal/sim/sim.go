@@ -1,0 +1,294 @@
+// Package sim is a discrete-event simulation of a complete resource
+// sharing multiprocessor built around an RSIN, following the system model
+// of §II: processors generate tasks (Poisson arrivals) and queue them
+// locally; a scheduling cycle maps pending requests to free resources;
+// an allocated request holds its circuit for the task transmission time
+// and then releases it ("the circuit ... can be released once the request
+// has been transmitted"), while the resource stays busy until the task
+// completes.
+//
+// The scheduler is pluggable (optimal flow-based, token-architecture,
+// heuristic baselines), so the package drives the utilization and
+// response-time comparisons of the benchmark harness.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"rsin/internal/core"
+	"rsin/internal/topology"
+)
+
+// Scheduler maps one cycle's pending requests and free resources.
+type Scheduler func(net *topology.Network, reqs []core.Request, avail []core.Avail) (*core.Mapping, error)
+
+// CyclePolicy controls when the MRSIN leaves the idle/wait states of the
+// Fig. 10 state machine and enters a scheduling cycle. The paper: "to
+// avoid repeated attempts of allocating blocked resources ... and to
+// improve the scheduling efficiency, the MRSIN may choose to wait for more
+// requests to arrive and more resources to become available before
+// entering a scheduling cycle." The zero value is the immediate policy
+// (cycle whenever at least one request and one free resource exist).
+type CyclePolicy struct {
+	MinPending     int     // wait for at least this many pending requests (min 1)
+	MinFree        int     // wait for at least this many free resources (min 1)
+	MinInterval    float64 // minimum simulated time between scheduling cycles
+	FailureBackoff float64 // extra wait after a cycle that allocated nothing
+}
+
+// Config parameterizes one simulation run.
+type Config struct {
+	Net      *topology.Network
+	Schedule Scheduler
+
+	ArrivalRate  float64 // task arrivals per processor per unit time (Poisson)
+	TransmitTime float64 // mean task transmission time (exponential); circuit held
+	ServiceTime  float64 // mean additional resource service time (exponential)
+	Horizon      float64 // simulated time span
+	Seed         int64
+
+	// MaxQueue bounds each processor's local queue; arrivals beyond it are
+	// dropped and counted (0 = unbounded).
+	MaxQueue int
+
+	// Policy selects the scheduling-cycle entry discipline.
+	Policy CyclePolicy
+}
+
+// Metrics summarizes a run.
+type Metrics struct {
+	Offered      int     // tasks generated
+	Dropped      int     // tasks rejected by full local queues
+	Completed    int     // tasks fully serviced
+	Cycles       int     // scheduling cycles executed
+	WastedCycles int     // cycles that allocated nothing
+	Attempts     int     // request-allocation attempts across cycles
+	Failures     int     // attempts that came back blocked
+	Utilization  float64 // fraction of resource-time spent busy
+	MeanResp     float64 // mean task response time (arrival -> service end)
+	MeanWait     float64 // mean time from arrival to circuit establishment
+	MeanQueue    float64 // time-averaged total queue length
+}
+
+// BlockFraction reports the fraction of allocation attempts that failed.
+func (m *Metrics) BlockFraction() float64 {
+	if m.Attempts == 0 {
+		return 0
+	}
+	return float64(m.Failures) / float64(m.Attempts)
+}
+
+type evKind int
+
+const (
+	evArrival evKind = iota
+	evEndTransmit
+	evEndService
+	evCycleTimer // wake-up when the cycle policy's time gate opens
+)
+
+type event struct {
+	at   float64
+	kind evKind
+	proc int
+	res  int
+	circ topology.Circuit
+	task *task
+}
+
+type task struct {
+	arrived float64
+	started float64 // circuit establishment time
+}
+
+type eventQueue []*event
+
+func (q eventQueue) Len() int            { return len(q) }
+func (q eventQueue) Less(i, j int) bool  { return q[i].at < q[j].at }
+func (q eventQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x interface{}) { *q = append(*q, x.(*event)) }
+func (q *eventQueue) Pop() interface{} {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	*q = old[:n-1]
+	return e
+}
+
+// Run executes the simulation and returns its metrics.
+func Run(cfg Config) (*Metrics, error) {
+	if cfg.Net == nil || cfg.Schedule == nil {
+		return nil, fmt.Errorf("sim: Net and Schedule are required")
+	}
+	if cfg.ArrivalRate <= 0 || cfg.TransmitTime <= 0 || cfg.Horizon <= 0 {
+		return nil, fmt.Errorf("sim: ArrivalRate, TransmitTime and Horizon must be positive")
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	net := cfg.Net.Clone()
+	net.Reset()
+
+	m := &Metrics{}
+	queues := make([][]*task, net.Procs)
+	transmitting := make([]bool, net.Procs) // processor holds a circuit
+	busyRes := make([]bool, net.Ress)
+	var busyTime float64
+	lastT := 0.0
+	busyCount := 0
+	queueLenIntegral := 0.0
+	totalQueued := 0
+	var respSum, waitSum float64
+
+	exp := func(mean float64) float64 {
+		if mean <= 0 {
+			return 0
+		}
+		return rng.ExpFloat64() * mean
+	}
+
+	q := &eventQueue{}
+	for p := 0; p < net.Procs; p++ {
+		heap.Push(q, &event{at: exp(1 / cfg.ArrivalRate), kind: evArrival, proc: p})
+	}
+
+	advance := func(now float64) {
+		dt := now - lastT
+		busyTime += dt * float64(busyCount)
+		queueLenIntegral += dt * float64(totalQueued)
+		lastT = now
+	}
+
+	pol := cfg.Policy
+	if pol.MinPending < 1 {
+		pol.MinPending = 1
+	}
+	if pol.MinFree < 1 {
+		pol.MinFree = 1
+	}
+	nextAllowed := 0.0
+	timerAt := -1.0 // pending evCycleTimer, or -1
+
+	scheduleCycle := func(now float64) error {
+		var reqs []core.Request
+		var avail []core.Avail
+		for p := 0; p < net.Procs; p++ {
+			if !transmitting[p] && len(queues[p]) > 0 {
+				reqs = append(reqs, core.Request{Proc: p})
+			}
+		}
+		for r := 0; r < net.Ress; r++ {
+			if !busyRes[r] {
+				avail = append(avail, core.Avail{Res: r})
+			}
+		}
+		if len(reqs) == 0 || len(avail) == 0 {
+			return nil
+		}
+		// The Fig. 10 wait states: stay idle until enough work has
+		// accumulated and the time gate is open.
+		if len(reqs) < pol.MinPending || len(avail) < pol.MinFree {
+			return nil
+		}
+		if now < nextAllowed {
+			if timerAt < 0 || timerAt > nextAllowed {
+				timerAt = nextAllowed
+				heap.Push(q, &event{at: nextAllowed, kind: evCycleTimer})
+			}
+			return nil
+		}
+		m.Cycles++
+		m.Attempts += len(reqs)
+		mapping, err := cfg.Schedule(net, reqs, avail)
+		if err != nil {
+			return fmt.Errorf("sim: scheduler: %w", err)
+		}
+		m.Failures += len(mapping.Blocked)
+		nextAllowed = now + pol.MinInterval
+		if len(mapping.Assigned) == 0 {
+			m.WastedCycles++
+			if pol.FailureBackoff > pol.MinInterval {
+				nextAllowed = now + pol.FailureBackoff
+			}
+		}
+		if err := mapping.Apply(net); err != nil {
+			return fmt.Errorf("sim: applying mapping: %w", err)
+		}
+		for _, a := range mapping.Assigned {
+			p := a.Req.Proc
+			tk := queues[p][0]
+			queues[p] = queues[p][1:]
+			totalQueued--
+			tk.started = now
+			waitSum += now - tk.arrived
+			transmitting[p] = true
+			busyRes[a.Res] = true
+			busyCount++
+			heap.Push(q, &event{
+				at:   now + exp(cfg.TransmitTime),
+				kind: evEndTransmit,
+				proc: p, res: a.Res, circ: a.Circuit, task: tk,
+			})
+		}
+		return nil
+	}
+
+	for q.Len() > 0 {
+		ev := heap.Pop(q).(*event)
+		if ev.at > cfg.Horizon {
+			break
+		}
+		advance(ev.at)
+		switch ev.kind {
+		case evArrival:
+			m.Offered++
+			if cfg.MaxQueue > 0 && len(queues[ev.proc]) >= cfg.MaxQueue {
+				m.Dropped++
+			} else {
+				queues[ev.proc] = append(queues[ev.proc], &task{arrived: ev.at})
+				totalQueued++
+			}
+			heap.Push(q, &event{at: ev.at + exp(1/cfg.ArrivalRate), kind: evArrival, proc: ev.proc})
+		case evEndTransmit:
+			// Transmission done: release the circuit; the processor may
+			// request again, the resource computes on.
+			if err := net.Release(ev.circ); err != nil {
+				return nil, fmt.Errorf("sim: releasing circuit: %w", err)
+			}
+			transmitting[ev.proc] = false
+			heap.Push(q, &event{
+				at:   ev.at + exp(cfg.ServiceTime),
+				kind: evEndService,
+				res:  ev.res, task: ev.task,
+			})
+		case evEndService:
+			busyRes[ev.res] = false
+			busyCount--
+			m.Completed++
+			respSum += ev.at - ev.task.arrived
+		case evCycleTimer:
+			timerAt = -1
+		}
+		if err := scheduleCycle(ev.at); err != nil {
+			return nil, err
+		}
+	}
+	advance(cfg.Horizon)
+
+	if cfg.Horizon > 0 {
+		m.Utilization = busyTime / (cfg.Horizon * float64(net.Ress))
+		m.MeanQueue = queueLenIntegral / cfg.Horizon
+	}
+	if m.Completed > 0 {
+		m.MeanResp = respSum / float64(m.Completed)
+	}
+	started := m.Attempts - m.Failures
+	if started > 0 {
+		m.MeanWait = waitSum / float64(started)
+	}
+	if math.IsNaN(m.Utilization) {
+		return nil, fmt.Errorf("sim: NaN utilization (internal error)")
+	}
+	return m, nil
+}

@@ -1,0 +1,222 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+
+	"rsin/internal/core"
+	"rsin/internal/heuristic"
+	"rsin/internal/topology"
+)
+
+func optimal(net *topology.Network, reqs []core.Request, avail []core.Avail) (*core.Mapping, error) {
+	return core.ScheduleMaxFlow(net, reqs, avail)
+}
+
+func TestConfigValidation(t *testing.T) {
+	net := topology.Omega(8)
+	bad := []Config{
+		{},
+		{Net: net},
+		{Net: net, Schedule: optimal},
+		{Net: net, Schedule: optimal, ArrivalRate: 1},
+		{Net: net, Schedule: optimal, ArrivalRate: 1, TransmitTime: 1},
+	}
+	for i, cfg := range bad {
+		if _, err := Run(cfg); err == nil {
+			t.Fatalf("case %d: invalid config accepted", i)
+		}
+	}
+}
+
+func TestLowLoadCompletesEverything(t *testing.T) {
+	net := topology.Omega(8)
+	m, err := Run(Config{
+		Net: net, Schedule: optimal,
+		ArrivalRate: 0.01, TransmitTime: 0.5, ServiceTime: 0.5,
+		Horizon: 2000, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Offered == 0 {
+		t.Fatal("no arrivals at all")
+	}
+	// At trivial load nearly everything completes and blocking is rare.
+	if float64(m.Completed) < 0.9*float64(m.Offered) {
+		t.Fatalf("completed %d of %d at negligible load", m.Completed, m.Offered)
+	}
+	if m.BlockFraction() > 0.05 {
+		t.Fatalf("block fraction %.3f at negligible load", m.BlockFraction())
+	}
+	if m.Utilization <= 0 || m.Utilization > 0.2 {
+		t.Fatalf("utilization %.3f implausible at low load", m.Utilization)
+	}
+}
+
+func TestHighLoadSaturatesResources(t *testing.T) {
+	net := topology.Omega(8)
+	m, err := Run(Config{
+		Net: net, Schedule: optimal,
+		ArrivalRate: 5, TransmitTime: 0.2, ServiceTime: 2,
+		Horizon: 500, Seed: 2, MaxQueue: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Utilization < 0.5 {
+		t.Fatalf("utilization %.3f too low under overload", m.Utilization)
+	}
+	if m.Dropped == 0 {
+		t.Fatal("bounded queues never dropped under overload")
+	}
+	if m.MeanQueue <= 0 || m.MeanResp <= 0 || m.MeanWait < 0 {
+		t.Fatalf("metrics not populated: %+v", m)
+	}
+}
+
+func TestDeterministicGivenSeed(t *testing.T) {
+	net := topology.Omega(8)
+	cfg := Config{
+		Net: net, Schedule: optimal,
+		ArrivalRate: 0.5, TransmitTime: 0.5, ServiceTime: 1,
+		Horizon: 300, Seed: 7,
+	}
+	a, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *a != *b {
+		t.Fatalf("same seed, different metrics:\n%+v\n%+v", a, b)
+	}
+}
+
+func TestInputNetworkUntouched(t *testing.T) {
+	net := topology.Omega(8)
+	_, err := Run(Config{
+		Net: net, Schedule: optimal,
+		ArrivalRate: 1, TransmitTime: 0.5, ServiceTime: 1,
+		Horizon: 100, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if net.FreeLinks() != len(net.Links) {
+		t.Fatal("Run mutated the caller's network")
+	}
+}
+
+// TestOptimalBeatsHeuristicThroughput: under contention the optimal
+// scheduler should complete at least as many tasks and block less than the
+// address-mapping baseline — the system-level consequence of E4.
+func TestOptimalBeatsHeuristicThroughput(t *testing.T) {
+	net := topology.Omega(8)
+	run := func(s Scheduler) *Metrics {
+		m, err := Run(Config{
+			Net: net, Schedule: s,
+			ArrivalRate: 2, TransmitTime: 1.0, ServiceTime: 0.5,
+			Horizon: 800, Seed: 11, MaxQueue: 8,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	rng := rand.New(rand.NewSource(12))
+	addr := func(net *topology.Network, reqs []core.Request, avail []core.Avail) (*core.Mapping, error) {
+		return heuristic.AddressMapping(net, reqs, avail, rng), nil
+	}
+	opt := run(optimal)
+	heu := run(addr)
+	if opt.BlockFraction() > heu.BlockFraction() {
+		t.Fatalf("optimal block %.3f > heuristic %.3f", opt.BlockFraction(), heu.BlockFraction())
+	}
+	if float64(opt.Completed) < 0.95*float64(heu.Completed) {
+		t.Fatalf("optimal completed %d, heuristic %d", opt.Completed, heu.Completed)
+	}
+}
+
+// TestCyclePolicyReducesCycles: requiring a minimum batch and a minimum
+// interval must cut the number of scheduling cycles sharply without
+// collapsing throughput (the Fig. 10 wait-state rationale).
+func TestCyclePolicyReducesCycles(t *testing.T) {
+	net := topology.Omega(8)
+	base := Config{
+		Net: net, Schedule: optimal,
+		ArrivalRate: 1, TransmitTime: 0.4, ServiceTime: 0.6,
+		Horizon: 500, Seed: 9, MaxQueue: 16,
+	}
+	immediate, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batched := base
+	batched.Policy = CyclePolicy{MinPending: 3, MinInterval: 0.2}
+	bres, err := Run(batched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bres.Cycles >= immediate.Cycles {
+		t.Fatalf("batched policy ran %d cycles vs immediate %d", bres.Cycles, immediate.Cycles)
+	}
+	if float64(bres.Completed) < 0.7*float64(immediate.Completed) {
+		t.Fatalf("batching collapsed throughput: %d vs %d", bres.Completed, immediate.Completed)
+	}
+}
+
+// TestFailureBackoffSuppressesFutileCycles: when every request is blocked
+// (no resources exist in the free pool reachable), the backoff must stop
+// the states-4/5 thrashing the paper warns about.
+func TestFailureBackoffSuppressesFutileCycles(t *testing.T) {
+	net := topology.Omega(8)
+	// A scheduler that never allocates: all cycles are wasted.
+	never := func(n *topology.Network, r []core.Request, a []core.Avail) (*core.Mapping, error) {
+		return &core.Mapping{Blocked: r}, nil
+	}
+	base := Config{
+		Net: net, Schedule: never,
+		ArrivalRate: 1, TransmitTime: 0.5, ServiceTime: 0.5,
+		Horizon: 200, Seed: 10, MaxQueue: 4,
+	}
+	thrash, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	calm := base
+	calm.Policy = CyclePolicy{FailureBackoff: 1.0}
+	cres, err := Run(calm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if thrash.WastedCycles == 0 {
+		t.Fatal("expected wasted cycles under the never-allocate scheduler")
+	}
+	if cres.WastedCycles*2 >= thrash.WastedCycles {
+		t.Fatalf("backoff did not suppress futile cycles: %d vs %d",
+			cres.WastedCycles, thrash.WastedCycles)
+	}
+}
+
+func TestSchedulerErrorPropagates(t *testing.T) {
+	net := topology.Omega(8)
+	bad := func(*topology.Network, []core.Request, []core.Avail) (*core.Mapping, error) {
+		return nil, errTest
+	}
+	if _, err := Run(Config{
+		Net: net, Schedule: bad,
+		ArrivalRate: 5, TransmitTime: 1, ServiceTime: 1,
+		Horizon: 50, Seed: 4,
+	}); err == nil {
+		t.Fatal("scheduler error swallowed")
+	}
+}
+
+var errTest = errTestType{}
+
+type errTestType struct{}
+
+func (errTestType) Error() string { return "test scheduler failure" }

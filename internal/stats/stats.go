@@ -1,0 +1,157 @@
+// Package stats provides the small statistical toolkit used by the
+// simulation and benchmark harnesses: running accumulators, confidence
+// intervals and histogram summaries, all deterministic and allocation-light.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Accumulator collects samples and reports summary statistics. The zero
+// value is ready to use.
+type Accumulator struct {
+	n          int
+	sum, sumSq float64
+	min, max   float64
+}
+
+// Add records one sample.
+func (a *Accumulator) Add(x float64) {
+	if a.n == 0 || x < a.min {
+		a.min = x
+	}
+	if a.n == 0 || x > a.max {
+		a.max = x
+	}
+	a.n++
+	a.sum += x
+	a.sumSq += x * x
+}
+
+// N reports the sample count.
+func (a *Accumulator) N() int { return a.n }
+
+// Mean reports the sample mean (0 when empty).
+func (a *Accumulator) Mean() float64 {
+	if a.n == 0 {
+		return 0
+	}
+	return a.sum / float64(a.n)
+}
+
+// Variance reports the unbiased sample variance (0 for n < 2).
+func (a *Accumulator) Variance() float64 {
+	if a.n < 2 {
+		return 0
+	}
+	m := a.Mean()
+	v := (a.sumSq - float64(a.n)*m*m) / float64(a.n-1)
+	if v < 0 {
+		return 0 // numerical noise
+	}
+	return v
+}
+
+// StdDev reports the sample standard deviation.
+func (a *Accumulator) StdDev() float64 { return math.Sqrt(a.Variance()) }
+
+// StdErr reports the standard error of the mean.
+func (a *Accumulator) StdErr() float64 {
+	if a.n == 0 {
+		return 0
+	}
+	return a.StdDev() / math.Sqrt(float64(a.n))
+}
+
+// CI95 reports the half-width of the 95% normal confidence interval of the
+// mean.
+func (a *Accumulator) CI95() float64 { return 1.96 * a.StdErr() }
+
+// Min and Max report the sample extremes (0 when empty).
+func (a *Accumulator) Min() float64 { return a.min }
+
+// Max reports the largest sample seen.
+func (a *Accumulator) Max() float64 { return a.max }
+
+// String renders "mean ± ci95 (n=N)".
+func (a *Accumulator) String() string {
+	return fmt.Sprintf("%.4f ± %.4f (n=%d)", a.Mean(), a.CI95(), a.n)
+}
+
+// Histogram counts samples into fixed-width bins over [lo, hi); samples
+// outside the range land in the first or last bin.
+type Histogram struct {
+	lo, hi float64
+	bins   []int
+	n      int
+}
+
+// NewHistogram creates a histogram with the given bin count over [lo, hi).
+func NewHistogram(lo, hi float64, bins int) *Histogram {
+	if bins <= 0 || hi <= lo {
+		panic(fmt.Sprintf("stats.NewHistogram: bad range [%v,%v) bins=%d", lo, hi, bins))
+	}
+	return &Histogram{lo: lo, hi: hi, bins: make([]int, bins)}
+}
+
+// Add records a sample.
+func (h *Histogram) Add(x float64) {
+	i := int((x - h.lo) / (h.hi - h.lo) * float64(len(h.bins)))
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(h.bins) {
+		i = len(h.bins) - 1
+	}
+	h.bins[i]++
+	h.n++
+}
+
+// Counts returns a copy of the bin counts.
+func (h *Histogram) Counts() []int { return append([]int(nil), h.bins...) }
+
+// N reports the total number of samples.
+func (h *Histogram) N() int { return h.n }
+
+// String renders an ASCII bar chart, one bin per line.
+func (h *Histogram) String() string {
+	var sb strings.Builder
+	maxC := 1
+	for _, c := range h.bins {
+		if c > maxC {
+			maxC = c
+		}
+	}
+	width := (h.hi - h.lo) / float64(len(h.bins))
+	for i, c := range h.bins {
+		bar := strings.Repeat("#", c*40/maxC)
+		fmt.Fprintf(&sb, "[%7.3f,%7.3f) %6d %s\n", h.lo+float64(i)*width, h.lo+float64(i+1)*width, c, bar)
+	}
+	return sb.String()
+}
+
+// Quantile returns the q-quantile (0 <= q <= 1) of a sample slice, using
+// linear interpolation; the slice is not modified.
+func Quantile(samples []float64, q float64) float64 {
+	if len(samples) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), samples...)
+	sort.Float64s(s)
+	if q <= 0 {
+		return s[0]
+	}
+	if q >= 1 {
+		return s[len(s)-1]
+	}
+	pos := q * float64(len(s)-1)
+	i := int(pos)
+	frac := pos - float64(i)
+	if i+1 >= len(s) {
+		return s[i]
+	}
+	return s[i]*(1-frac) + s[i+1]*frac
+}

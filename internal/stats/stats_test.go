@@ -1,0 +1,125 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestAccumulatorBasics(t *testing.T) {
+	var a Accumulator
+	if a.Mean() != 0 || a.Variance() != 0 || a.StdErr() != 0 {
+		t.Fatal("empty accumulator not zero")
+	}
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		a.Add(x)
+	}
+	if a.N() != 8 {
+		t.Fatalf("N = %d", a.N())
+	}
+	if a.Mean() != 5 {
+		t.Fatalf("Mean = %v, want 5", a.Mean())
+	}
+	// Population variance of this classic set is 4; sample variance 32/7.
+	if math.Abs(a.Variance()-32.0/7.0) > 1e-12 {
+		t.Fatalf("Variance = %v", a.Variance())
+	}
+	if a.Min() != 2 || a.Max() != 9 {
+		t.Fatalf("min/max = %v/%v", a.Min(), a.Max())
+	}
+	if !strings.Contains(a.String(), "n=8") {
+		t.Fatalf("String: %s", a.String())
+	}
+}
+
+func TestAccumulatorSingleSample(t *testing.T) {
+	var a Accumulator
+	a.Add(3)
+	if a.Variance() != 0 || a.CI95() != 0 {
+		t.Fatal("single sample should have zero spread")
+	}
+	if a.Min() != 3 || a.Max() != 3 {
+		t.Fatal("extremes wrong")
+	}
+}
+
+func TestQuickVarianceNonNegative(t *testing.T) {
+	f := func(xs []float64) bool {
+		var a Accumulator
+		for _, x := range xs {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				continue
+			}
+			// Scale down to avoid float overflow in sumSq.
+			a.Add(math.Mod(x, 1e6))
+		}
+		return a.Variance() >= 0 && a.StdErr() >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(0, 10, 5)
+	for _, x := range []float64{-1, 0, 1.9, 2, 5, 9.9, 10, 42} {
+		h.Add(x)
+	}
+	counts := h.Counts()
+	if h.N() != 8 {
+		t.Fatalf("N = %d", h.N())
+	}
+	// -1, 0, 1.9 in bin 0; 2 in bin 1; 5 in bin 2; 9.9, 10, 42 in bin 4.
+	want := []int{3, 1, 1, 0, 3}
+	for i := range want {
+		if counts[i] != want[i] {
+			t.Fatalf("bin %d = %d, want %d (all: %v)", i, counts[i], want[i], counts)
+		}
+	}
+	if !strings.Contains(h.String(), "#") {
+		t.Fatal("bar chart empty")
+	}
+}
+
+func TestHistogramPanicsOnBadArgs(t *testing.T) {
+	for _, fn := range []func(){
+		func() { NewHistogram(0, 0, 5) },
+		func() { NewHistogram(0, 1, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("bad histogram accepted")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{5, 1, 3, 2, 4}
+	cases := []struct{ q, want float64 }{
+		{0, 1}, {1, 5}, {0.5, 3}, {0.25, 2}, {0.75, 4},
+	}
+	for _, c := range cases {
+		if got := Quantile(xs, c.q); math.Abs(got-c.want) > 1e-12 {
+			t.Fatalf("Quantile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+	if Quantile(nil, 0.5) != 0 {
+		t.Fatal("empty quantile")
+	}
+	// Input must not be mutated.
+	if xs[0] != 5 {
+		t.Fatal("Quantile sorted the caller's slice")
+	}
+}
+
+func TestQuantileInterpolation(t *testing.T) {
+	xs := []float64{0, 10}
+	if got := Quantile(xs, 0.5); got != 5 {
+		t.Fatalf("interpolated median = %v, want 5", got)
+	}
+}

@@ -1,0 +1,465 @@
+// Package system is the long-running facade a resource-sharing
+// multiprocessor embeds: it owns the network, the per-processor task
+// queues, the resource states and the scheduling discipline, and exposes
+// the §II life cycle — submit, scheduling cycle, end-of-transmission,
+// end-of-service.
+//
+// It also implements the multi-resource extension the paper raises and
+// defers: "When multiple resources are needed, they can be requested ...
+// sequentially from a single port. ... deadlocks may occur, and
+// distributed resolution of deadlock may have a high overhead" (§II). A
+// task may declare Need > 1; it then acquires resources one scheduling
+// cycle at a time while holding those already acquired. With
+// AvoidanceNone that hold-and-wait pattern can deadlock (Deadlocked
+// detects it); AvoidanceBankers grants a first resource only when a safe
+// completion order still exists, in the classic banker's style.
+package system
+
+import (
+	"fmt"
+	"sort"
+
+	"rsin/internal/core"
+	"rsin/internal/token"
+	"rsin/internal/topology"
+)
+
+// Discipline selects the scheduler run on each cycle.
+type Discipline int
+
+const (
+	// MaxFlow is the homogeneous optimal discipline (Transformation 1).
+	MaxFlow Discipline = iota
+	// MinCost honors priorities and preferences (Transformation 2).
+	MinCost
+	// Hetero schedules typed requests (multicommodity flow).
+	Hetero
+	// TokenArch runs the distributed token architecture (homogeneous).
+	TokenArch
+)
+
+// Avoidance selects the multi-resource deadlock policy.
+type Avoidance int
+
+const (
+	// AvoidanceNone grants greedily; hold-and-wait deadlock is possible.
+	AvoidanceNone Avoidance = iota
+	// AvoidanceBankers admits a request only when a safe completion order
+	// remains (banker's algorithm over fungible resources per type).
+	AvoidanceBankers
+)
+
+// Config parameterizes a System.
+type Config struct {
+	Net        *topology.Network
+	Discipline Discipline
+	Hetero     *core.HeteroOptions // options for the Hetero discipline
+	Avoidance  Avoidance
+	// Preferences assigns a preference level per resource (MinCost).
+	Preferences []int64
+	// Types assigns a resource type per resource (Hetero); nil = all 0.
+	Types []int
+}
+
+// TaskID identifies a submitted task.
+type TaskID int
+
+// Task is one unit of work requiring Need resources (all of type Type),
+// acquired sequentially.
+type Task struct {
+	Proc     int
+	Priority int64
+	Type     int
+	Need     int // resources required; 0 is treated as 1
+}
+
+type taskState struct {
+	id       TaskID
+	task     Task
+	held     []int // resources acquired so far
+	serviced bool
+}
+
+// CycleResult reports one scheduling cycle.
+type CycleResult struct {
+	Mapping  *core.Mapping
+	Granted  int // resources granted this cycle
+	Deferred int // requests withheld by the avoidance policy
+	Clocks   int // token-architecture clock periods (TokenArch only)
+}
+
+// System is the running resource-sharing machine. Not safe for concurrent
+// use; callers serialize access as a hardware monitor would.
+type System struct {
+	cfg    Config
+	net    *topology.Network
+	queues [][]TaskID // per-processor FIFO of submitted tasks
+	tasks  map[TaskID]*taskState
+	nextID TaskID
+
+	resHolder    []TaskID // per resource: holding task, or -1
+	transmitting []TaskID // per processor: task currently holding a circuit, or -1
+	circuits     map[TaskID][]topology.Circuit
+}
+
+// New validates the configuration and returns an empty system.
+func New(cfg Config) (*System, error) {
+	if cfg.Net == nil {
+		return nil, fmt.Errorf("system: Net is required")
+	}
+	if cfg.Preferences != nil && len(cfg.Preferences) != cfg.Net.Ress {
+		return nil, fmt.Errorf("system: %d preferences for %d resources", len(cfg.Preferences), cfg.Net.Ress)
+	}
+	if cfg.Types != nil && len(cfg.Types) != cfg.Net.Ress {
+		return nil, fmt.Errorf("system: %d types for %d resources", len(cfg.Types), cfg.Net.Ress)
+	}
+	s := &System{
+		cfg:          cfg,
+		net:          cfg.Net.Clone(),
+		queues:       make([][]TaskID, cfg.Net.Procs),
+		tasks:        make(map[TaskID]*taskState),
+		resHolder:    make([]TaskID, cfg.Net.Ress),
+		transmitting: make([]TaskID, cfg.Net.Procs),
+		circuits:     make(map[TaskID][]topology.Circuit),
+	}
+	for i := range s.resHolder {
+		s.resHolder[i] = -1
+	}
+	for i := range s.transmitting {
+		s.transmitting[i] = -1
+	}
+	return s, nil
+}
+
+// Submit queues a task and returns its ID.
+func (s *System) Submit(t Task) (TaskID, error) {
+	if t.Proc < 0 || t.Proc >= s.net.Procs {
+		return 0, fmt.Errorf("system: processor %d out of range", t.Proc)
+	}
+	if t.Need <= 0 {
+		t.Need = 1
+	}
+	if t.Need > s.net.Ress {
+		return 0, fmt.Errorf("system: task needs %d resources, system has %d", t.Need, s.net.Ress)
+	}
+	s.nextID++
+	id := s.nextID
+	s.tasks[id] = &taskState{id: id, task: t}
+	s.queues[t.Proc] = append(s.queues[t.Proc], id)
+	return id, nil
+}
+
+// resType reports the configured type of a resource.
+func (s *System) resType(r int) int {
+	if s.cfg.Types == nil {
+		return 0
+	}
+	return s.cfg.Types[r]
+}
+
+// headTask returns the task at the head of a processor's queue, or nil.
+func (s *System) headTask(p int) *taskState {
+	if len(s.queues[p]) == 0 {
+		return nil
+	}
+	return s.tasks[s.queues[p][0]]
+}
+
+// remaining reports how many more resources a task needs.
+func (t *taskState) remaining() int { return t.task.Need - len(t.held) }
+
+// wantsResource reports whether the processor's head task should request
+// this cycle: it needs more resources and is not mid-transmission.
+func (s *System) wantsResource(p int) *taskState {
+	if s.transmitting[p] != -1 {
+		return nil
+	}
+	t := s.headTask(p)
+	if t == nil || t.remaining() <= 0 {
+		return nil
+	}
+	return t
+}
+
+// hypoState is the banker's hypothetical world used for sequential
+// admission within one cycle: free resources per type and the committed
+// (resource-holding, unfinished) task census.
+type hypoState struct {
+	freeByType map[int]int
+	committed  map[TaskID]*hypoTask
+}
+
+type hypoTask struct {
+	typ, rem, held int
+}
+
+// hypothetical snapshots the current allocation state.
+func (s *System) hypothetical() *hypoState {
+	h := &hypoState{freeByType: map[int]int{}, committed: map[TaskID]*hypoTask{}}
+	for r := 0; r < s.net.Ress; r++ {
+		if s.resHolder[r] == -1 {
+			h.freeByType[s.resType(r)]++
+		}
+	}
+	for id, t := range s.tasks {
+		if t.serviced || len(t.held) == 0 {
+			continue
+		}
+		h.committed[id] = &hypoTask{typ: t.task.Type, rem: t.remaining(), held: len(t.held)}
+	}
+	return h
+}
+
+// safe checks the banker's condition per type: some completion order
+// (ascending remaining need) lets every committed task finish.
+func (h *hypoState) safe() bool {
+	byType := map[int][]*hypoTask{}
+	for _, t := range h.committed {
+		byType[t.typ] = append(byType[t.typ], t)
+	}
+	for typ, tasks := range byType {
+		sort.Slice(tasks, func(i, j int) bool { return tasks[i].rem < tasks[j].rem })
+		free := h.freeByType[typ]
+		for _, t := range tasks {
+			if t.rem > free {
+				return false
+			}
+			free += t.held // finishing releases everything it holds
+		}
+	}
+	return true
+}
+
+// admit tentatively grants one resource of cand's type to cand in the
+// hypothetical state; if the result is unsafe the grant is rolled back and
+// admit reports false. Sequential admission makes the cycle's combined
+// grant set safe even if the scheduler later grants only a subset (a
+// rolled-back grant only returns resources to the free pool).
+func (h *hypoState) admit(id TaskID, t Task) bool {
+	if h.freeByType[t.Type] == 0 {
+		return false
+	}
+	ht, ok := h.committed[id]
+	if !ok {
+		ht = &hypoTask{typ: t.Type, rem: t.Need}
+		h.committed[id] = ht
+	}
+	h.freeByType[t.Type]--
+	ht.rem--
+	ht.held++
+	if h.safe() {
+		return true
+	}
+	h.freeByType[t.Type]++
+	ht.rem++
+	ht.held--
+	if ht.held == 0 {
+		delete(h.committed, id)
+	}
+	return false
+}
+
+// Cycle runs one scheduling cycle: pending head tasks request one resource
+// each, the configured discipline maps them, and granted circuits are
+// established (the processors begin transmitting).
+func (s *System) Cycle() (*CycleResult, error) {
+	res := &CycleResult{}
+	var reqs []core.Request
+	taskOf := map[int]*taskState{}
+	var hypo *hypoState
+	if s.cfg.Avoidance == AvoidanceBankers {
+		hypo = s.hypothetical()
+	}
+	for p := 0; p < s.net.Procs; p++ {
+		t := s.wantsResource(p)
+		if t == nil {
+			continue
+		}
+		if hypo != nil && !hypo.admit(t.id, t.task) {
+			res.Deferred++
+			continue
+		}
+		reqs = append(reqs, core.Request{Proc: p, Priority: t.task.Priority, Type: t.task.Type})
+		taskOf[p] = t
+	}
+	var avail []core.Avail
+	for r := 0; r < s.net.Ress; r++ {
+		if s.resHolder[r] != -1 {
+			continue
+		}
+		pref := int64(0)
+		if s.cfg.Preferences != nil {
+			pref = s.cfg.Preferences[r]
+		}
+		avail = append(avail, core.Avail{Res: r, Preference: pref, Type: s.resType(r)})
+	}
+	if len(reqs) == 0 || len(avail) == 0 {
+		res.Mapping = &core.Mapping{}
+		return res, nil
+	}
+
+	var m *core.Mapping
+	var err error
+	switch s.cfg.Discipline {
+	case MaxFlow:
+		m, err = core.ScheduleMaxFlow(s.net, reqs, avail)
+	case MinCost:
+		m, err = core.ScheduleMinCost(s.net, reqs, avail)
+	case Hetero:
+		m, err = core.ScheduleHetero(s.net, reqs, avail, s.cfg.Hetero)
+	case TokenArch:
+		requesting := make([]bool, s.net.Procs)
+		free := make([]bool, s.net.Ress)
+		for _, rq := range reqs {
+			requesting[rq.Proc] = true
+		}
+		for _, a := range avail {
+			free[a.Res] = true
+		}
+		var tr *token.Result
+		tr, err = token.Schedule(s.net, requesting, free, nil)
+		if err == nil {
+			m = tr.Mapping
+			res.Clocks = tr.Clocks
+		}
+	default:
+		return nil, fmt.Errorf("system: unknown discipline %d", s.cfg.Discipline)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("system: cycle: %w", err)
+	}
+	if err := m.Apply(s.net); err != nil {
+		return nil, fmt.Errorf("system: establishing circuits: %w", err)
+	}
+	for _, a := range m.Assigned {
+		t := taskOf[a.Req.Proc]
+		if t == nil {
+			// TokenArch does not carry task identity; recover it.
+			t = s.wantsResource(a.Req.Proc)
+		}
+		if t == nil {
+			return nil, fmt.Errorf("system: allocation for idle processor %d", a.Req.Proc)
+		}
+		t.held = append(t.held, a.Res)
+		s.resHolder[a.Res] = t.id
+		s.transmitting[a.Req.Proc] = t.id
+		s.circuits[t.id] = append(s.circuits[t.id], a.Circuit)
+		res.Granted++
+	}
+	res.Mapping = m
+	return res, nil
+}
+
+// EndTransmission releases the circuit a processor holds (the task has
+// been shipped to its newest resource). The task stays at the queue head
+// until it has acquired all Need resources; then it leaves the queue,
+// computing until EndService.
+func (s *System) EndTransmission(p int) error {
+	id := s.transmitting[p]
+	if id == -1 {
+		return fmt.Errorf("system: processor %d is not transmitting", p)
+	}
+	t := s.tasks[id]
+	circ := s.circuits[id][len(s.circuits[id])-1]
+	if err := s.net.Release(circ); err != nil {
+		return fmt.Errorf("system: releasing circuit: %w", err)
+	}
+	s.circuits[id] = s.circuits[id][:len(s.circuits[id])-1]
+	s.transmitting[p] = -1
+	if t.remaining() == 0 {
+		s.queues[p] = s.queues[p][1:] // task fully provisioned; frees the port
+	}
+	return nil
+}
+
+// EndService completes a task: all its resources become free.
+func (s *System) EndService(id TaskID) error {
+	t, ok := s.tasks[id]
+	if !ok {
+		return fmt.Errorf("system: unknown task %d", id)
+	}
+	if t.serviced {
+		return fmt.Errorf("system: task %d already serviced", id)
+	}
+	if t.remaining() != 0 {
+		return fmt.Errorf("system: task %d still needs %d resources", id, t.remaining())
+	}
+	if s.transmitting[t.task.Proc] == id {
+		return fmt.Errorf("system: task %d is still transmitting", id)
+	}
+	for _, r := range t.held {
+		s.resHolder[r] = -1
+	}
+	t.serviced = true
+	return nil
+}
+
+// Holding reports the resources currently held by a task.
+func (s *System) Holding(id TaskID) []int {
+	t, ok := s.tasks[id]
+	if !ok || t.serviced {
+		return nil
+	}
+	return append([]int(nil), t.held...)
+}
+
+// FreeResources counts unheld resources.
+func (s *System) FreeResources() int {
+	n := 0
+	for _, h := range s.resHolder {
+		if h == -1 {
+			n++
+		}
+	}
+	return n
+}
+
+// Pending counts unserviced submitted tasks.
+func (s *System) Pending() int {
+	n := 0
+	for _, t := range s.tasks {
+		if !t.serviced {
+			n++
+		}
+	}
+	return n
+}
+
+// Deadlocked reports the hold-and-wait deadlock of §II: no transmission is
+// in flight, no fully-provisioned task remains to be serviced, and every
+// waiting head task needs a resource type with no free unit left — while
+// at least one of those waiters is itself holding resources.
+func (s *System) Deadlocked() bool {
+	for p := range s.transmitting {
+		if s.transmitting[p] != -1 {
+			return false // a transmission will complete and free a port
+		}
+	}
+	freeByType := map[int]int{}
+	for r := 0; r < s.net.Ress; r++ {
+		if s.resHolder[r] == -1 {
+			freeByType[s.resType(r)]++
+		}
+	}
+	anyWaitingHolder := false
+	for _, t := range s.tasks {
+		if t.serviced {
+			continue
+		}
+		if t.remaining() == 0 {
+			return false // serviceable: progress possible
+		}
+		if len(t.held) == 0 {
+			continue // waiting but holding nothing: not part of a deadlock
+		}
+		head := s.headTask(t.task.Proc)
+		if head != t {
+			continue
+		}
+		if freeByType[t.task.Type] > 0 {
+			return false // a cycle could grant it (ignoring link blockage)
+		}
+		anyWaitingHolder = true
+	}
+	return anyWaitingHolder
+}

@@ -1,0 +1,73 @@
+// Package testutil provides deterministic random-instance generators shared
+// by the test suites: random flow networks, random layered (MRSIN-like)
+// unit-capacity networks, and helpers for comparing algorithm outputs.
+package testutil
+
+import (
+	"math/rand"
+
+	"rsin/internal/graph"
+)
+
+// RandomNetwork builds a random connected flow network with n internal nodes
+// (plus source and sink), arc probability p, and capacities in [1, maxCap].
+// Costs are in [0, maxCost]. Arcs are oriented from lower to higher index so
+// the network is acyclic, matching the loop-free configurations the paper's
+// method applies to.
+func RandomNetwork(rng *rand.Rand, n int, p float64, maxCap, maxCost int64) *graph.Network {
+	// Node 0 = source, node n+1 = sink, 1..n internal.
+	g := graph.New(n+2, 0, n+1)
+	for v := 1; v <= n; v++ {
+		g.SetName(v, "")
+	}
+	// Guarantee connectivity: a random spine from source to sink.
+	prev := 0
+	for v := 1; v <= n; v++ {
+		if rng.Float64() < 0.5 {
+			g.AddArc(prev, v, 1+rng.Int63n(maxCap), rng.Int63n(maxCost+1))
+			prev = v
+		}
+	}
+	g.AddArc(prev, n+1, 1+rng.Int63n(maxCap), rng.Int63n(maxCost+1))
+	// Random arcs respecting topological order.
+	for u := 0; u <= n; u++ {
+		for v := u + 1; v <= n+1; v++ {
+			if u == 0 && v == n+1 {
+				continue // no direct source->sink shortcut
+			}
+			if rng.Float64() < p {
+				g.AddArc(u, v, 1+rng.Int63n(maxCap), rng.Int63n(maxCost+1))
+			}
+		}
+	}
+	return g
+}
+
+// RandomUnitNetwork builds a random acyclic unit-capacity network shaped like
+// a Transformation-1 output: `stages` layers of `width` nodes between source
+// and sink, with every request/resource arc present and internal arcs chosen
+// with probability p.
+func RandomUnitNetwork(rng *rand.Rand, stages, width int, p float64) *graph.Network {
+	n := stages * width
+	g := graph.New(n+2, 0, n+1)
+	node := func(s, i int) int { return 1 + s*width + i }
+	for i := 0; i < width; i++ {
+		g.AddArc(0, node(0, i), 1, 0)
+		g.AddArc(node(stages-1, i), n+1, 1, 0)
+	}
+	for s := 0; s+1 < stages; s++ {
+		for i := 0; i < width; i++ {
+			deg := 0
+			for j := 0; j < width; j++ {
+				if rng.Float64() < p {
+					g.AddArc(node(s, i), node(s+1, j), 1, 0)
+					deg++
+				}
+			}
+			if deg == 0 { // keep every node useful
+				g.AddArc(node(s, i), node(s+1, rng.Intn(width)), 1, 0)
+			}
+		}
+	}
+	return g
+}

@@ -1,0 +1,100 @@
+// Package token implements the distributed MRSIN architecture of §IV: a
+// cycle-accurate simulation of the request servers (RQ), switchbox
+// processes (NS) and resource servers (RS) that realize Dinic's maximum
+// flow algorithm by token propagation, synchronized through a 7-bit
+// wire-OR status bus.
+//
+// One Schedule call simulates one scheduling cycle. Each iteration of the
+// cycle runs three phases — request-token propagation (layered-network
+// construction, Theorem 4), resource-token propagation (maximal flow of the
+// layered network by parallel backtracking search) and path registration
+// (flow augmentation) — until a request-token phase reaches no resource
+// server. The resulting allocation always equals the software maximum flow
+// (verified by property test against internal/maxflow), while the cost is
+// counted in clock periods rather than executed instructions.
+package token
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Event identifies one bit of the status bus. The event names follow
+// Table I; the printed bit layout in the scanned paper is partially
+// illegible, so the indices below reconstruct the vectors quoted in §IV-B3
+// ("(111000x)" = request-token propagation, "(111001x)" = an RS received a
+// token, "(110100x)" = resource-token propagation, "(110110x)" = path
+// registration), written E1..E7 left to right with E1 the MSB.
+type Event int
+
+const (
+	EvRequestPending Event = iota // E1: some RQ holds an unbonded pending request
+	EvResourceReady               // E2: some RS is ready (free resource)
+	EvRequestTokens               // E3: request tokens are propagating
+	EvResourceTokens              // E4: resource tokens are propagating
+	EvPathRegister                // E5: path registration in progress
+	EvRSHit                       // E6: an RS received a request token
+	EvBonded                      // E7: at least one RQ is bonded to an RS
+	numEvents
+)
+
+func (e Event) String() string {
+	switch e {
+	case EvRequestPending:
+		return "E1:request-pending"
+	case EvResourceReady:
+		return "E2:resource-ready"
+	case EvRequestTokens:
+		return "E3:request-token-propagation"
+	case EvResourceTokens:
+		return "E4:resource-token-propagation"
+	case EvPathRegister:
+		return "E5:path-registration"
+	case EvRSHit:
+		return "E6:rs-received-token"
+	case EvBonded:
+		return "E7:rq-bonded"
+	}
+	return fmt.Sprintf("Event(%d)", int(e))
+}
+
+// BusState is one observation of the status bus: the wire-OR of the
+// per-process status registers.
+type BusState [numEvents]bool
+
+// Vector renders the state as the paper writes it, e.g. "1110001", with E1
+// leftmost.
+func (b BusState) Vector() string {
+	var sb strings.Builder
+	for _, v := range b {
+		if v {
+			sb.WriteByte('1')
+		} else {
+			sb.WriteByte('0')
+		}
+	}
+	return sb.String()
+}
+
+// Matches reports whether the state matches a pattern such as "111000x",
+// where 'x' is a DON'T CARE. Patterns shorter than 7 bits only constrain
+// the leading events.
+func (b BusState) Matches(pattern string) bool {
+	for i := 0; i < len(pattern) && i < int(numEvents); i++ {
+		switch pattern[i] {
+		case '0':
+			if b[i] {
+				return false
+			}
+		case '1':
+			if !b[i] {
+				return false
+			}
+		case 'x', 'X':
+			// don't care
+		default:
+			panic(fmt.Sprintf("token: bad bus pattern %q", pattern))
+		}
+	}
+	return true
+}

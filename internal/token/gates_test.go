@@ -1,0 +1,169 @@
+package token
+
+import (
+	"testing"
+
+	"rsin/internal/topology"
+)
+
+// ref is the behavioral reference: the §IV-B1 rules written imperatively,
+// independently of the gate construction.
+type refIn struct {
+	arrIn0, arrIn1, arrOut0, arrOut1     bool
+	visited                              bool
+	regIn0, regIn1                       bool
+	freeOut0, freeOut1, regOut0, regOut1 bool
+}
+
+func bitsOf(k int) refIn {
+	b := func(i int) bool { return k>>i&1 == 1 }
+	return refIn{
+		arrIn0: b(SigArrIn0), arrIn1: b(SigArrIn1),
+		arrOut0: b(SigArrOut0), arrOut1: b(SigArrOut1),
+		visited: b(SigVisited),
+		regIn0:  b(SigRegIn0), regIn1: b(SigRegIn1),
+		freeOut0: b(SigFreeOut0), freeOut1: b(SigFreeOut1),
+		regOut0: b(SigRegOut0), regOut1: b(SigRegOut1),
+	}
+}
+
+// TestGateLogicMatchesBehavioralRules proves the Boolean realization equal
+// to the simulator's request-phase rules on every one of the 2^11 input
+// combinations.
+func TestGateLogicMatchesBehavioralRules(t *testing.T) {
+	l := BuildNSRequestLogic()
+	for k := 0; k < 1<<NumNSInputs; k++ {
+		in := bitsOf(k)
+		accept := (in.arrIn0 || in.arrIn1 || in.arrOut0 || in.arrOut1) && !in.visited
+		checks := []struct {
+			name string
+			tt   tt
+			want bool
+		}{
+			{"accept", l.Accept, accept},
+			{"emitOut0", l.EmitOut0, accept && in.freeOut0},
+			{"emitOut1", l.EmitOut1, accept && in.freeOut1},
+			{"emitBackIn0", l.EmitBackIn0, accept && in.regIn0},
+			{"emitBackIn1", l.EmitBackIn1, accept && in.regIn1},
+			{"markIn0", l.MarkIn0, accept && (in.arrIn0 || in.regIn0)},
+			{"markIn1", l.MarkIn1, accept && (in.arrIn1 || in.regIn1)},
+			{"markOut0", l.MarkOut0, accept && (in.arrOut0 || in.freeOut0)},
+			{"markOut1", l.MarkOut1, accept && (in.arrOut1 || in.freeOut1)},
+			{"visited'", l.VisitedNext, in.visited || accept},
+		}
+		for _, c := range checks {
+			if c.tt.Eval(k) != c.want {
+				t.Fatalf("input %011b: %s = %v, want %v", k, c.name, c.tt.Eval(k), c.want)
+			}
+		}
+	}
+}
+
+// TestGateCountIsLow pins the paper's "very low gate count" claim: the
+// whole request-phase NS process fits in a couple dozen logic operations.
+func TestGateCountIsLow(t *testing.T) {
+	l := BuildNSRequestLogic()
+	if l.Gates == 0 {
+		t.Fatal("no gates counted")
+	}
+	if l.Gates > 30 {
+		t.Fatalf("gate count %d; the NS process should need only a couple dozen", l.Gates)
+	}
+	t.Logf("NS request-phase logic: %d gates", l.Gates)
+}
+
+// TestGateLogicAgreesWithSimulatedEmissions replays one request phase of
+// the behavioral simulator on an Omega network and checks, box by box and
+// clock by clock, that the gate logic would have emitted the same tokens.
+func TestGateLogicAgreesWithSimulatedEmissions(t *testing.T) {
+	l := BuildNSRequestLogic()
+	// Behavioral run on an empty omega: p0,p1 request, r6,r7 free; first
+	// iteration emissions can be reconstructed from the recv batches.
+	net := topology.Omega(8)
+	s := &sim{
+		net:        net,
+		requesting: flags(8, 0, 1),
+		freeRes:    flags(8, 6, 7),
+		bondedRQ:   make([]bool, 8),
+		bondedRS:   make([]bool, 8),
+		registered: make([]bool, len(net.Links)),
+		maxClk:     1 << 20,
+	}
+	_, _, recv, err := s.requestPhase()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// For each box that accepted a batch, feed its situation into the gate
+	// logic and verify consistency: a marked output port in the simulator
+	// implies EmitOutX or a backward arrival, etc. Here we check emission
+	// targets: every entry recorded downstream of the box corresponds to a
+	// gate-level emit signal.
+	for b := range net.Boxes {
+		batch, ok := recv[elem{elemNS, b}]
+		if !ok {
+			continue
+		}
+		// Assemble the gate inputs for the clock at which the box accepted.
+		k := 0
+		for _, e := range batch {
+			if e.t.forward {
+				// arrived on an input port: which one?
+				for pi, lid := range net.Boxes[b].In {
+					if lid == e.t.link {
+						k |= 1 << (SigArrIn0 + pi)
+					}
+				}
+			} else {
+				for pi, lid := range net.Boxes[b].Out {
+					if lid == e.t.link {
+						k |= 1 << (SigArrOut0 + pi)
+					}
+				}
+			}
+		}
+		for pi, lid := range net.Boxes[b].In {
+			if lid >= 0 && s.registered[lid] {
+				k |= 1 << (SigRegIn0 + pi)
+			}
+		}
+		for pi, lid := range net.Boxes[b].Out {
+			if lid < 0 {
+				continue
+			}
+			if s.registered[lid] {
+				k |= 1 << (SigRegOut0 + pi)
+			} else {
+				k |= 1 << (SigFreeOut0 + pi) // empty network: all free
+			}
+		}
+		if !l.Accept.Eval(k) {
+			t.Fatalf("box %d accepted a batch behaviorally but gate logic rejects (input %011b)", b, k)
+		}
+		// Every downstream element that recorded an entry from this box
+		// must correspond to an asserted emit signal.
+		for d, entries := range recv {
+			for _, e := range entries {
+				if e.t.from != (elem{elemNS, b}) {
+					continue
+				}
+				asserted := false
+				if e.t.forward {
+					for pi, lid := range net.Boxes[b].Out {
+						if lid == e.t.link {
+							asserted = [2]tt{l.EmitOut0, l.EmitOut1}[pi].Eval(k)
+						}
+					}
+				} else {
+					for pi, lid := range net.Boxes[b].In {
+						if lid == e.t.link {
+							asserted = [2]tt{l.EmitBackIn0, l.EmitBackIn1}[pi].Eval(k)
+						}
+					}
+				}
+				if !asserted {
+					t.Fatalf("box %d emitted to %v behaviorally but gate logic is silent", b, d)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,463 @@
+package token
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"rsin/internal/core"
+	"rsin/internal/maxflow"
+	"rsin/internal/topology"
+)
+
+// flags builds a []bool of size n with the listed indices set.
+func flags(n int, idx ...int) []bool {
+	b := make([]bool, n)
+	for _, i := range idx {
+		b[i] = true
+	}
+	return b
+}
+
+func allFlags(n int) []bool {
+	b := make([]bool, n)
+	for i := range b {
+		b[i] = true
+	}
+	return b
+}
+
+func TestScheduleLengthValidation(t *testing.T) {
+	net := topology.Omega(8)
+	if _, err := Schedule(net, make([]bool, 3), make([]bool, 8), nil); err == nil {
+		t.Fatal("bad requesting length accepted")
+	}
+	if _, err := Schedule(net, make([]bool, 8), make([]bool, 2), nil); err == nil {
+		t.Fatal("bad freeRes length accepted")
+	}
+}
+
+func TestEmptyCycle(t *testing.T) {
+	net := topology.Omega(8)
+	res, err := Schedule(net, make([]bool, 8), allFlags(8), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Mapping.Allocated() != 0 || res.Iterations != 0 {
+		t.Fatalf("no requests: %+v", res)
+	}
+}
+
+func TestSingleAllocation(t *testing.T) {
+	net := topology.Omega(8)
+	res, err := Schedule(net, flags(8, 3), flags(8, 6), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Mapping.Allocated() != 1 {
+		t.Fatalf("allocated %d, want 1", res.Mapping.Allocated())
+	}
+	a := res.Mapping.Assigned[0]
+	if a.Req.Proc != 3 || a.Res != 6 {
+		t.Fatalf("wrong binding: %+v", a)
+	}
+	if err := res.Mapping.Apply(net.Clone()); err != nil {
+		t.Fatalf("circuit invalid: %v", err)
+	}
+	if res.Iterations != 1 {
+		t.Fatalf("iterations = %d, want 1", res.Iterations)
+	}
+	// Clock budget: transition + 4 request waves + stop + 4 resource steps
+	// + registration + allocation, all small.
+	if res.Clocks < 8 || res.Clocks > 20 {
+		t.Fatalf("clocks = %d, outside plausible band", res.Clocks)
+	}
+}
+
+func TestFullLoadOmegaIdentity(t *testing.T) {
+	net := topology.Omega(8)
+	res, err := Schedule(net, allFlags(8), allFlags(8), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Mapping.Allocated() != 8 {
+		t.Fatalf("allocated %d of 8", res.Mapping.Allocated())
+	}
+	if err := res.Mapping.Apply(net.Clone()); err != nil {
+		t.Fatalf("mapping invalid: %v", err)
+	}
+}
+
+// fig3Net builds the small MRSIN of Fig. 3/Fig. 4 with an elongated upper
+// branch, forcing the distributed algorithm into a second iteration whose
+// augmenting path traverses a registered link backward (flow cancellation):
+//
+//	p0 -> A -> X -> Y -> r0   (long branch to the "far" resource)
+//	      A -> D -> r1        (short branch)
+//	p1 -> C -> D              (C reaches r1 only through D)
+//
+// Iteration 1 allocates p0 -> r1 via A-D (shortest). Iteration 2 must
+// reroute: request token from p1 goes C -> D, backward over the registered
+// A->D link to A, then forward A -> X -> Y to r0.
+func fig3Net(t *testing.T) *topology.Network {
+	t.Helper()
+	b := topology.NewBuilder("fig3", 2, 2)
+	A := b.AddBox(0, 1, 2)
+	C := b.AddBox(0, 1, 1)
+	D := b.AddBox(1, 2, 1)
+	X := b.AddBox(1, 1, 1)
+	Y := b.AddBox(2, 1, 1)
+	b.LinkProcToBox(0, A, 0)
+	b.LinkProcToBox(1, C, 0)
+	b.LinkBoxToBox(A, 0, D, 0) // the contended short link
+	b.LinkBoxToBox(A, 1, X, 0)
+	b.LinkBoxToBox(X, 0, Y, 0)
+	b.LinkBoxToBox(C, 0, D, 1)
+	b.LinkBoxToRes(Y, 0, 0) // r0 far
+	b.LinkBoxToRes(D, 0, 1) // r1 near
+	n, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+func TestFlowCancellationAcrossIterations(t *testing.T) {
+	net := fig3Net(t)
+	res, err := Schedule(net, allFlags(2), allFlags(2), &Options{RecordBus: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Mapping.Allocated() != 2 {
+		t.Fatalf("allocated %d of 2 (cancellation failed): %+v", res.Mapping.Allocated(), res.Mapping)
+	}
+	if res.Iterations != 2 {
+		t.Fatalf("iterations = %d, want 2 (shortest path first, then reroute)", res.Iterations)
+	}
+	got := map[int]int{}
+	for _, a := range res.Mapping.Assigned {
+		got[a.Req.Proc] = a.Res
+	}
+	if got[0] != 0 || got[1] != 1 {
+		t.Fatalf("final mapping %v, want p0->r0, p1->r1 after reallocation", got)
+	}
+	if err := res.Mapping.Apply(net.Clone()); err != nil {
+		t.Fatalf("mapping invalid: %v", err)
+	}
+}
+
+// TestTheorem4LayeredNetworkMatchesDinic: the levels assigned to switchboxes
+// by the first request-token phase must equal the BFS levels of the
+// corresponding nodes in the Transformation-1 flow network (offset by one
+// for the source stage).
+func TestTheorem4LayeredNetworkMatchesDinic(t *testing.T) {
+	net := topology.Omega(8)
+	requesting := flags(8, 0, 2, 4)
+	free := flags(8, 1, 3, 5)
+	res, err := Schedule(net.Clone(), requesting, free, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var reqs []core.Request
+	for p, b := range requesting {
+		if b {
+			reqs = append(reqs, core.Request{Proc: p})
+		}
+	}
+	var avail []core.Avail
+	for r, b := range free {
+		if b {
+			avail = append(avail, core.Avail{Res: r})
+		}
+	}
+	tr := core.Transform1(net, reqs, avail)
+	levels := maxflow.LayeredNetwork(tr.G)
+	// Box b is flow node 2+b; flow levels count the source arc, so box
+	// level in the flow graph = token level + 1.
+	for b := range net.Boxes {
+		flowLevel := levels[2+b]
+		tokLevel := res.FirstLevels[b]
+		switch {
+		case flowLevel < 0 && tokLevel < 0:
+			// both unreachable: fine
+		case flowLevel >= 0 && tokLevel >= 0:
+			if flowLevel != tokLevel+1 {
+				t.Fatalf("box %d: flow level %d, token level %d", b, flowLevel, tokLevel)
+			}
+		default:
+			// The token phase stops at the first RS hit, so boxes beyond
+			// that level are unreached even though the flow BFS sees them.
+			if tokLevel >= 0 {
+				t.Fatalf("box %d reached by tokens (%d) but not by flow BFS", b, tokLevel)
+			}
+		}
+	}
+}
+
+// TestTokenEqualsDinicOnRandomScenarios is the central §IV property: the
+// distributed token architecture realizes Dinic's algorithm, so its
+// allocation count must equal the software maximum flow, on every topology,
+// with and without pre-occupied circuits.
+func TestTokenEqualsDinicOnRandomScenarios(t *testing.T) {
+	rng := rand.New(rand.NewSource(51))
+	builders := []func() *topology.Network{
+		func() *topology.Network { return topology.Omega(8) },
+		func() *topology.Network { return topology.Omega(16) },
+		func() *topology.Network { return topology.Baseline(8) },
+		func() *topology.Network { return topology.IndirectCube(8) },
+		func() *topology.Network { return topology.Benes(8) },
+		func() *topology.Network { return topology.OmegaExtra(8, 1) },
+		func() *topology.Network { return topology.Gamma(8) },
+		func() *topology.Network { return topology.Crossbar(6, 6) },
+		func() *topology.Network { return topology.Clos(3, 2, 4) },
+	}
+	for trial := 0; trial < 200; trial++ {
+		net := builders[trial%len(builders)]()
+		busyP := map[int]bool{}
+		busyR := map[int]bool{}
+		for k := 0; k < rng.Intn(3); k++ {
+			p, r := rng.Intn(net.Procs), rng.Intn(net.Ress)
+			if busyP[p] || busyR[r] {
+				continue
+			}
+			if c := net.FindPath(p, func(res int) bool { return res == r }); c != nil {
+				if err := net.Establish(*c); err != nil {
+					t.Fatal(err)
+				}
+				busyP[p] = true
+				busyR[r] = true
+			}
+		}
+		requesting := make([]bool, net.Procs)
+		free := make([]bool, net.Ress)
+		var reqs []core.Request
+		var avail []core.Avail
+		for p := 0; p < net.Procs; p++ {
+			if !busyP[p] && rng.Float64() < 0.6 {
+				requesting[p] = true
+				reqs = append(reqs, core.Request{Proc: p})
+			}
+		}
+		for r := 0; r < net.Ress; r++ {
+			if !busyR[r] && rng.Float64() < 0.6 {
+				free[r] = true
+				avail = append(avail, core.Avail{Res: r})
+			}
+		}
+		res, err := Schedule(net, requesting, free, nil)
+		if err != nil {
+			t.Fatalf("trial %d (%s): %v", trial, net.Name, err)
+		}
+		want, err := core.ScheduleMaxFlow(net, reqs, avail)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Mapping.Allocated() != want.Allocated() {
+			t.Fatalf("trial %d (%s): token %d vs Dinic %d",
+				trial, net.Name, res.Mapping.Allocated(), want.Allocated())
+		}
+		if err := res.Mapping.Apply(net.Clone()); err != nil {
+			t.Fatalf("trial %d: invalid circuits: %v", trial, err)
+		}
+		if res.Mapping.Allocated()+len(res.Mapping.Blocked) != len(reqs) {
+			t.Fatalf("trial %d: blocked accounting broken", trial)
+		}
+	}
+}
+
+// TestTokenOnGeneralLoopFreeFabrics: the distributed architecture is
+// likewise topology-independent — random irregular DAG networks must still
+// match the software maximum flow.
+func TestTokenOnGeneralLoopFreeFabrics(t *testing.T) {
+	rng := rand.New(rand.NewSource(117))
+	for trial := 0; trial < 80; trial++ {
+		net := topology.RandomLoopFree(rng, 2+rng.Intn(6), 2+rng.Intn(6), 1+rng.Intn(3), 4)
+		requesting := make([]bool, net.Procs)
+		free := make([]bool, net.Ress)
+		var reqs []core.Request
+		var avail []core.Avail
+		for p := 0; p < net.Procs; p++ {
+			if rng.Float64() < 0.6 {
+				requesting[p] = true
+				reqs = append(reqs, core.Request{Proc: p})
+			}
+		}
+		for r := 0; r < net.Ress; r++ {
+			if rng.Float64() < 0.6 {
+				free[r] = true
+				avail = append(avail, core.Avail{Res: r})
+			}
+		}
+		res, err := Schedule(net, requesting, free, nil)
+		if err != nil {
+			t.Fatalf("trial %d (%s): %v", trial, net.Name, err)
+		}
+		want, err := core.ScheduleMaxFlow(net, reqs, avail)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Mapping.Allocated() != want.Allocated() {
+			t.Fatalf("trial %d (%s): token %d vs flow %d",
+				trial, net.Name, res.Mapping.Allocated(), want.Allocated())
+		}
+		if err := res.Mapping.Apply(net.Clone()); err != nil {
+			t.Fatalf("trial %d: invalid circuits: %v", trial, err)
+		}
+	}
+}
+
+// TestQuickTokenEqualsFlow fuzzes request/free bitmasks with testing/quick
+// on the 8x8 Omega: the distributed result always equals the max flow.
+func TestQuickTokenEqualsFlow(t *testing.T) {
+	f := func(reqMask, freeMask uint8) bool {
+		net := topology.Omega(8)
+		requesting := make([]bool, 8)
+		free := make([]bool, 8)
+		var reqs []core.Request
+		var avail []core.Avail
+		for i := 0; i < 8; i++ {
+			if reqMask>>i&1 == 1 {
+				requesting[i] = true
+				reqs = append(reqs, core.Request{Proc: i})
+			}
+			if freeMask>>i&1 == 1 {
+				free[i] = true
+				avail = append(avail, core.Avail{Res: i})
+			}
+		}
+		res, err := Schedule(net, requesting, free, nil)
+		if err != nil {
+			return false
+		}
+		want, err := core.ScheduleMaxFlow(net, reqs, avail)
+		if err != nil {
+			return false
+		}
+		return res.Mapping.Allocated() == want.Allocated()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBusTraceConformsToFig10 replays the status-bus protocol of §IV-B3:
+// request-token phases show 111000x, the RS-hit transition 111001x,
+// resource-token propagation 1x0100x, and path registration 1x0110x, in
+// that cyclic order.
+func TestBusTraceConformsToFig10(t *testing.T) {
+	net := topology.Omega(8)
+	res, err := Schedule(net, flags(8, 1, 2), flags(8, 4, 5), &Options{RecordBus: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.BusTrace) != res.Clocks {
+		t.Fatalf("trace length %d != clocks %d", len(res.BusTrace), res.Clocks)
+	}
+	sawReq, sawHit, sawRes, sawReg := false, false, false, false
+	for i, b := range res.BusTrace {
+		switch {
+		case b.Matches("111000"):
+			sawReq = true
+			if sawRes && !sawReg {
+				t.Fatalf("clock %d: request phase before registration completed", i)
+			}
+		case b.Matches("111001"):
+			sawHit = true
+			if !sawReq {
+				t.Fatalf("clock %d: RS hit before any request propagation", i)
+			}
+		case b.Matches("1x0100"):
+			sawRes = true
+			if !sawHit {
+				t.Fatalf("clock %d: resource tokens before RS hit", i)
+			}
+		case b.Matches("1x0110"):
+			sawReg = true
+			if !sawRes {
+				t.Fatalf("clock %d: registration before resource tokens", i)
+			}
+		}
+	}
+	if !sawReq || !sawHit || !sawRes || !sawReg {
+		t.Fatalf("trace missed phases: req=%v hit=%v res=%v reg=%v", sawReq, sawHit, sawRes, sawReg)
+	}
+	// After registration the bonded bit must appear.
+	last := res.BusTrace[len(res.BusTrace)-1]
+	if !last[EvBonded] {
+		t.Fatalf("final state lacks E7 bonded: %s", last.Vector())
+	}
+}
+
+func TestBusStateVectorAndMatches(t *testing.T) {
+	var b BusState
+	b[EvRequestPending] = true
+	b[EvRSHit] = true
+	if b.Vector() != "1000010" {
+		t.Fatalf("Vector = %s", b.Vector())
+	}
+	if !b.Matches("1x0001x") || b.Matches("0") {
+		t.Fatal("Matches broken")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("bad pattern accepted")
+		}
+	}()
+	b.Matches("12")
+}
+
+func TestEventStrings(t *testing.T) {
+	names := map[Event]string{
+		EvRequestPending: "E1:request-pending",
+		EvResourceReady:  "E2:resource-ready",
+		EvRequestTokens:  "E3:request-token-propagation",
+		EvResourceTokens: "E4:resource-token-propagation",
+		EvPathRegister:   "E5:path-registration",
+		EvRSHit:          "E6:rs-received-token",
+		EvBonded:         "E7:rq-bonded",
+	}
+	for e, want := range names {
+		if e.String() != want {
+			t.Fatalf("%v != %s", e, want)
+		}
+	}
+	if Event(99).String() == "" {
+		t.Fatal("unknown event rendering")
+	}
+}
+
+// TestOccupiedLinksCarryNoTokens: establish a circuit, then request from
+// the same processor; its link is occupied, so the request cannot even
+// enter the network.
+func TestOccupiedLinksCarryNoTokens(t *testing.T) {
+	net := topology.Omega(8)
+	c := net.FindPath(0, func(r int) bool { return r == 0 })
+	if err := net.Establish(*c); err != nil {
+		t.Fatal(err)
+	}
+	res, err := Schedule(net, flags(8, 0), flags(8, 1), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Mapping.Allocated() != 0 || len(res.Mapping.Blocked) != 1 {
+		t.Fatalf("request escaped over an occupied link: %+v", res.Mapping)
+	}
+}
+
+// TestParallelSearchBeatsSequentialDepth: on a wide scenario, the number of
+// clock periods should scale with path length times iterations, far below
+// the number of links — the "augmenting paths are searched in parallel"
+// speedup claimed in §IV-B.
+func TestParallelSearchBeatsSequentialDepth(t *testing.T) {
+	net := topology.Omega(64)
+	res, err := Schedule(net, allFlags(64), allFlags(64), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Mapping.Allocated() != 64 {
+		t.Fatalf("allocated %d of 64", res.Mapping.Allocated())
+	}
+	if res.Clocks > 200 {
+		t.Fatalf("clocks = %d; parallel search should stay near diameter x iterations", res.Clocks)
+	}
+}

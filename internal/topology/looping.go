@@ -1,0 +1,191 @@
+package topology
+
+import "fmt"
+
+// RoutePermutation constructively routes a full permutation on a Benes
+// network using the classic looping algorithm: the outer switch settings
+// are 2-colored around the constraint cycles (the two connections sharing
+// an input switch must take different subnetworks, likewise per output
+// switch), and the two half-size subpermutations recurse. The returned
+// circuits are link-disjoint and realize perm exactly — the constructive
+// witness of the Benes network's rearrangeability, which the flow-based
+// scheduler only certifies by counting.
+//
+// The network must have been built by Benes(n); perm[p] = r routes
+// processor p to resource r.
+func RoutePermutation(net *Network, perm []int) ([]Circuit, error) {
+	n := net.Procs
+	if len(perm) != n || net.Ress != n {
+		return nil, fmt.Errorf("topology: permutation length %d for %d ports", len(perm), n)
+	}
+	seen := make([]bool, n)
+	for _, r := range perm {
+		if r < 0 || r >= n || seen[r] {
+			return nil, fmt.Errorf("topology: not a permutation: %v", perm)
+		}
+		seen[r] = true
+	}
+	// Entry ports: the links from processors; exit: links to resources.
+	in := make([]int, n)  // link ids entering the fabric, index = fabric input
+	out := make([]int, n) // link ids leaving the fabric, index = fabric output
+	for p := 0; p < n; p++ {
+		in[p] = net.ProcLink[p]
+		out[p] = net.ResLink[p]
+	}
+	paths, err := loopingRoute(net, in, out, perm)
+	if err != nil {
+		return nil, err
+	}
+	circuits := make([]Circuit, n)
+	for p := 0; p < n; p++ {
+		circuits[p] = Circuit{Proc: p, Res: perm[p], Links: paths[p]}
+	}
+	return circuits, nil
+}
+
+// loopingRoute routes perm between the subnetwork whose exposed entry
+// links are `in` (index = subnet input) and exit links `out` (index =
+// subnet output), returning per-input link paths that include the entry
+// and exit links themselves.
+func loopingRoute(net *Network, in, out []int, perm []int) ([][]int, error) {
+	n := len(in)
+	if n == 1 {
+		// Degenerate single line (can occur only for n=1 networks).
+		return [][]int{{in[0], out[0]}}, nil
+	}
+	if n == 2 {
+		// Base case: the two entry links land on one 2x2 box.
+		box := net.Links[in[0]].To
+		if box.Kind != KindBox || net.Links[in[1]].To.Index != box.Index {
+			return nil, fmt.Errorf("topology: looping base case: entries do not share a box")
+		}
+		b := net.Boxes[box.Index]
+		// Output port carrying subnet output k is the one wired to out[k].
+		portOf := func(link int) (int, error) {
+			for port, l := range b.Out {
+				if l == link {
+					return port, nil
+				}
+			}
+			return -1, fmt.Errorf("topology: looping base case: exit link not on the box")
+		}
+		paths := make([][]int, 2)
+		for i := 0; i < 2; i++ {
+			p, err := portOf(out[perm[i]])
+			if err != nil {
+				return nil, err
+			}
+			paths[i] = []int{in[i], b.Out[p]}
+			if b.Out[p] != out[perm[i]] {
+				return nil, fmt.Errorf("topology: looping base case inconsistency")
+			}
+		}
+		// Nonbroadcast check: the two connections must use distinct ports.
+		if perm[0] == perm[1] {
+			return nil, fmt.Errorf("topology: looping base case: duplicate outputs")
+		}
+		// Paths are [entry, exit]: entry link already reaches the box and
+		// the exit link leaves it; nothing in between.
+		for i := range paths {
+			paths[i] = []int{in[i], out[perm[i]]}
+		}
+		return paths, nil
+	}
+
+	// Identify the first- and last-stage boxes and the subnet entry/exit
+	// links: first box j takes entries 2j, 2j+1; its out port 0 feeds the
+	// upper subnet's input j, port 1 the lower. Symmetrically on exit.
+	half := n / 2
+	firstBox := make([]int, half)
+	lastBox := make([]int, half)
+	for j := 0; j < half; j++ {
+		e0 := net.Links[in[2*j]].To
+		e1 := net.Links[in[2*j+1]].To
+		if e0.Kind != KindBox || e1.Kind != KindBox || e0.Index != e1.Index {
+			return nil, fmt.Errorf("topology: looping: entries %d,%d do not pair on a box", 2*j, 2*j+1)
+		}
+		firstBox[j] = e0.Index
+		x0 := net.Links[out[2*j]].From
+		x1 := net.Links[out[2*j+1]].From
+		if x0.Kind != KindBox || x1.Kind != KindBox || x0.Index != x1.Index {
+			return nil, fmt.Errorf("topology: looping: exits %d,%d do not pair on a box", 2*j, 2*j+1)
+		}
+		lastBox[j] = x0.Index
+	}
+	upIn := make([]int, half)
+	loIn := make([]int, half)
+	upOut := make([]int, half)
+	loOut := make([]int, half)
+	for j := 0; j < half; j++ {
+		upIn[j] = net.Boxes[firstBox[j]].Out[0]
+		loIn[j] = net.Boxes[firstBox[j]].Out[1]
+		upOut[j] = net.Boxes[lastBox[j]].In[0]
+		loOut[j] = net.Boxes[lastBox[j]].In[1]
+	}
+
+	// 2-color the connections around the looping cycles: side[i] = 0
+	// (upper) or 1 (lower) for the connection from input i.
+	side := make([]int, n)
+	for i := range side {
+		side[i] = -1
+	}
+	partnerIn := func(i int) int { return i ^ 1 }
+	partnerOutInput := func(i int) int {
+		// The input whose output shares the exit switch with perm[i].
+		want := perm[i] ^ 1
+		for k := 0; k < n; k++ {
+			if perm[k] == want {
+				return k
+			}
+		}
+		panic("topology: looping: permutation inverse lookup failed")
+	}
+	for start := 0; start < n; start++ {
+		if side[start] != -1 {
+			continue
+		}
+		i, s := start, 0
+		for side[i] == -1 {
+			side[i] = s
+			// The connection sharing i's OUTPUT switch must take the
+			// other subnet.
+			j := partnerOutInput(i)
+			if side[j] == -1 {
+				side[j] = 1 - s
+			}
+			// The connection sharing j's INPUT switch must take the other
+			// subnet from j; continue the loop there.
+			i = partnerIn(j)
+			s = 1 - side[j]
+		}
+	}
+
+	// Build the two subpermutations: connection i enters subnet side[i] at
+	// index in/2 and must exit at index perm[i]/2.
+	upPerm := make([]int, half)
+	loPerm := make([]int, half)
+	fill := map[int][]int{0: upPerm, 1: loPerm}
+	for i := 0; i < n; i++ {
+		fill[side[i]][i/2] = perm[i] / 2
+	}
+	upPaths, err := loopingRoute(net, upIn, upOut, upPerm)
+	if err != nil {
+		return nil, err
+	}
+	loPaths, err := loopingRoute(net, loIn, loOut, loPerm)
+	if err != nil {
+		return nil, err
+	}
+	subPaths := map[int][][]int{0: upPaths, 1: loPaths}
+
+	paths := make([][]int, n)
+	for i := 0; i < n; i++ {
+		sp := subPaths[side[i]][i/2]
+		full := make([]int, 0, len(sp)+2)
+		full = append(full, in[i])
+		full = append(full, sp...)
+		full = append(full, out[perm[i]])
+		paths[i] = full
+	}
+	return paths, nil
+}

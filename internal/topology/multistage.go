@@ -1,0 +1,369 @@
+package topology
+
+import "fmt"
+
+// log2 returns the base-2 logarithm of n, panicking unless n is a power of
+// two >= 2 (the multistage constructors require it).
+func log2(n int) int {
+	if n < 2 || n&(n-1) != 0 {
+		panic(fmt.Sprintf("topology: size %d is not a power of two >= 2", n))
+	}
+	k := 0
+	for m := n; m > 1; m >>= 1 {
+		k++
+	}
+	return k
+}
+
+// shuffle2 is the perfect shuffle on n-bit line numbers: rotate left.
+func shuffle2(i, bits int) int {
+	n := 1 << bits
+	return ((i << 1) | (i >> (bits - 1))) & (n - 1)
+}
+
+// invShuffle2 is the inverse perfect shuffle: rotate right.
+func invShuffle2(i, bits int) int {
+	return (i >> 1) | ((i & 1) << (bits - 1))
+}
+
+// stagedFromBoundaries builds an N x N network of S stages of 2x2 boxes
+// from boundary permutations: boundary[b](w) gives the downstream line a
+// wire at upstream position w attaches to, for b = 0 (processors -> stage
+// 0) through S (stage S-1 -> resources). Line j of a stage means box j/2,
+// port j%2.
+func stagedFromBoundaries(name string, n, stages int, boundary func(b, w int) int) *Network {
+	bld := NewBuilder(name, n, n)
+	boxAt := make([][]int, stages)
+	for s := 0; s < stages; s++ {
+		boxAt[s] = make([]int, n/2)
+		for j := 0; j < n/2; j++ {
+			boxAt[s][j] = bld.AddBox(s, 2, 2)
+		}
+	}
+	for p := 0; p < n; p++ {
+		line := boundary(0, p)
+		bld.LinkProcToBox(p, boxAt[0][line/2], line%2)
+	}
+	for s := 0; s+1 < stages; s++ {
+		for w := 0; w < n; w++ {
+			line := boundary(s+1, w)
+			bld.LinkBoxToBox(boxAt[s][w/2], w%2, boxAt[s+1][line/2], line%2)
+		}
+	}
+	for w := 0; w < n; w++ {
+		r := boundary(stages, w)
+		bld.LinkBoxToRes(boxAt[stages-1][w/2], w%2, r)
+	}
+	return bld.MustBuild()
+}
+
+// Omega builds Lawrie's N x N Omega network: log2(N) stages of 2x2 boxes,
+// each preceded by a perfect shuffle (§II, Fig. 2). Requests route by
+// destination bits MSB-first; here the network is used as an RSIN, so no
+// destination tags exist and the scheduler decides the switch settings.
+func Omega(n int) *Network {
+	return OmegaExtra(n, 0)
+}
+
+// OmegaExtra builds an Omega network with extra additional shuffle-exchange
+// stages prepended, multiplying the path count per source-destination pair
+// by 2^extra. The paper (§II) observes that with extra stages "resources
+// may be fully allocated in most cases even when an arbitrary
+// resource-request mapping is used"; experiment E7 quantifies it.
+func OmegaExtra(n, extra int) *Network {
+	bits := log2(n)
+	stages := bits + extra
+	name := fmt.Sprintf("omega-%dx%d", n, n)
+	if extra > 0 {
+		name = fmt.Sprintf("omega+%d-%dx%d", extra, n, n)
+	}
+	return stagedFromBoundaries(name, n, stages, func(b, w int) int {
+		if b == stages { // into resources: identity
+			return w
+		}
+		return shuffle2(w, bits)
+	})
+}
+
+// Flip builds the STARAN flip network [3]: the inverse of the Omega — an
+// identity boundary into the first stage and an inverse perfect shuffle
+// after every stage. As a graph it is the Omega mirrored, so it has unique
+// paths and the same blocking structure traversed in reverse.
+func Flip(n int) *Network {
+	bits := log2(n)
+	return stagedFromBoundaries(fmt.Sprintf("flip-%dx%d", n, n), n, bits, func(b, w int) int {
+		if b == 0 {
+			return w
+		}
+		return invShuffle2(w, bits)
+	})
+}
+
+// swapBits exchanges bits a and b of i.
+func swapBits(i, a, b int) int {
+	x := (i >> a) & 1
+	y := (i >> b) & 1
+	if x == y {
+		return i
+	}
+	return i ^ (1 << a) ^ (1 << b)
+}
+
+// IndirectCube builds Pease's indirect binary n-cube: log2(N) stages where
+// stage k pairs lines differing in bit k, wired with straight lines in the
+// natural numbering. Isomorphic to the Omega network as a graph, but with
+// the paper's "8 x 8 cube network" port arrangement ([41]).
+func IndirectCube(n int) *Network {
+	bits := log2(n)
+	// Local position of natural line j at stage k: swap bits 0 and k, so
+	// the pair (j, j^2^k) lands on one box.
+	local := func(k, j int) int { return swapBits(j, 0, k) }
+	return stagedFromBoundaries(fmt.Sprintf("cube-%dx%d", n, n), n, bits, func(b, w int) int {
+		switch {
+		case b == 0:
+			return local(0, w)
+		case b == bits:
+			return local(bits-1, w) // natural line of local output w
+		default:
+			// Output w of stage b-1 is natural line local(b-1, w) (swap is
+			// an involution); it enters stage b at local(b, natural).
+			return local(b, local(b-1, w))
+		}
+	})
+}
+
+// Baseline builds the Wu-Feng baseline network: stage boundaries perform an
+// inverse perfect shuffle within blocks that halve at every stage [46].
+func Baseline(n int) *Network {
+	bits := log2(n)
+	return stagedFromBoundaries(fmt.Sprintf("baseline-%dx%d", n, n), n, bits, func(b, w int) int {
+		if b == 0 || b == bits {
+			return w
+		}
+		// Inverse shuffle within blocks of size n >> (b-1).
+		blockBits := bits - (b - 1)
+		blockSize := 1 << blockBits
+		base := w &^ (blockSize - 1)
+		return base | invShuffle2(w&(blockSize-1), blockBits)
+	})
+}
+
+// portRef names one port of a box during recursive construction.
+type portRef struct{ box, port int }
+
+// Benes builds the rearrangeable Benes binary network: 2 log2(N) - 1 stages
+// built recursively from two half-size networks between an outer stage pair
+// [5]. Every permutation is routable, so an unoccupied Benes RSIN never
+// blocks an optimal mapping.
+func Benes(n int) *Network {
+	bld := NewBuilder(fmt.Sprintf("benes-%dx%d", n, n), n, n)
+	in, out := benesRec(bld, n, 0)
+	for p := 0; p < n; p++ {
+		bld.LinkProcToBox(p, in[p].box, in[p].port)
+	}
+	for r := 0; r < n; r++ {
+		bld.LinkBoxToRes(out[r].box, out[r].port, r)
+	}
+	return bld.MustBuild()
+}
+
+// benesRec builds a Benes subnetwork of size n whose first stage is stage0,
+// returning its exposed input and output ports.
+func benesRec(bld *Builder, n, stage0 int) (in, out []portRef) {
+	if n == 2 {
+		b := bld.AddBox(stage0, 2, 2)
+		return []portRef{{b, 0}, {b, 1}}, []portRef{{b, 0}, {b, 1}}
+	}
+	depth := 2*log2(n) - 1
+	first := make([]int, n/2)
+	last := make([]int, n/2)
+	for j := 0; j < n/2; j++ {
+		first[j] = bld.AddBox(stage0, 2, 2)
+		last[j] = bld.AddBox(stage0+depth-1, 2, 2)
+	}
+	upIn, upOut := benesRec(bld, n/2, stage0+1)
+	loIn, loOut := benesRec(bld, n/2, stage0+1)
+	for j := 0; j < n/2; j++ {
+		bld.LinkBoxToBox(first[j], 0, upIn[j].box, upIn[j].port)
+		bld.LinkBoxToBox(first[j], 1, loIn[j].box, loIn[j].port)
+		bld.LinkBoxToBox(upOut[j].box, upOut[j].port, last[j], 0)
+		bld.LinkBoxToBox(loOut[j].box, loOut[j].port, last[j], 1)
+	}
+	in = make([]portRef, n)
+	out = make([]portRef, n)
+	for j := 0; j < n/2; j++ {
+		in[2*j] = portRef{first[j], 0}
+		in[2*j+1] = portRef{first[j], 1}
+		out[2*j] = portRef{last[j], 0}
+		out[2*j+1] = portRef{last[j], 1}
+	}
+	return in, out
+}
+
+// Clos builds a three-stage Clos network C(m, n, r): r ingress boxes of
+// size n x m, m middle boxes of size r x r, r egress boxes of size m x n,
+// serving r*n processors and r*n resources [9]. Strictly nonblocking when
+// m >= 2n-1, rearrangeable when m >= n.
+func Clos(m, n, r int) *Network {
+	if m <= 0 || n <= 0 || r <= 0 {
+		panic(fmt.Sprintf("topology.Clos: bad parameters m=%d n=%d r=%d", m, n, r))
+	}
+	bld := NewBuilder(fmt.Sprintf("clos-%d-%d-%d", m, n, r), n*r, n*r)
+	ingress := make([]int, r)
+	egress := make([]int, r)
+	middle := make([]int, m)
+	for i := 0; i < r; i++ {
+		ingress[i] = bld.AddBox(0, n, m)
+		egress[i] = bld.AddBox(2, m, n)
+	}
+	for j := 0; j < m; j++ {
+		middle[j] = bld.AddBox(1, r, r)
+	}
+	for i := 0; i < r; i++ {
+		for k := 0; k < n; k++ {
+			bld.LinkProcToBox(i*n+k, ingress[i], k)
+			bld.LinkBoxToRes(egress[i], k, i*n+k)
+		}
+		for j := 0; j < m; j++ {
+			bld.LinkBoxToBox(ingress[i], j, middle[j], i)
+			bld.LinkBoxToBox(middle[j], i, egress[i], j)
+		}
+	}
+	return bld.MustBuild()
+}
+
+// Crossbar builds a single n x m crossbar switch: the degenerate one-box
+// MRSIN, for which optimal scheduling reduces to bipartite matching.
+func Crossbar(n, m int) *Network {
+	bld := NewBuilder(fmt.Sprintf("crossbar-%dx%d", n, m), n, m)
+	b := bld.AddBox(0, n, m)
+	for p := 0; p < n; p++ {
+		bld.LinkProcToBox(p, b, p)
+	}
+	for r := 0; r < m; r++ {
+		bld.LinkBoxToRes(b, r, r)
+	}
+	return bld.MustBuild()
+}
+
+// Delta builds Patel's delta network with b x b crossbar boxes and size
+// b^stages, wired with the base-b perfect shuffle (digit rotation) before
+// each stage — the Omega network is Delta with b = 2 [37].
+func Delta(b, stages int) *Network {
+	if b < 2 || stages < 1 {
+		panic(fmt.Sprintf("topology.Delta: bad parameters b=%d stages=%d", b, stages))
+	}
+	n := 1
+	for i := 0; i < stages; i++ {
+		n *= b
+	}
+	shuffleB := func(i int) int { return (i*b)%n + (i*b)/n }
+	bld := NewBuilder(fmt.Sprintf("delta-%d^%d", b, stages), n, n)
+	boxAt := make([][]int, stages)
+	for s := 0; s < stages; s++ {
+		boxAt[s] = make([]int, n/b)
+		for j := range boxAt[s] {
+			boxAt[s][j] = bld.AddBox(s, b, b)
+		}
+	}
+	for p := 0; p < n; p++ {
+		line := shuffleB(p)
+		bld.LinkProcToBox(p, boxAt[0][line/b], line%b)
+	}
+	for s := 0; s+1 < stages; s++ {
+		for w := 0; w < n; w++ {
+			line := shuffleB(w)
+			bld.LinkBoxToBox(boxAt[s][w/b], w%b, boxAt[s+1][line/b], line%b)
+		}
+	}
+	for w := 0; w < n; w++ {
+		bld.LinkBoxToRes(boxAt[stages-1][w/b], w%b, w)
+	}
+	return bld.MustBuild()
+}
+
+// ADM builds the augmented data manipulator [42],[33]: like the gamma
+// network, a multipath fabric of N 3x3 switch columns connected by
+// straight and ±stride links, but with strides *decreasing* from 2^(n-1)
+// down to 1 (Feng's data manipulator ordering with individual box
+// control). §V names it among the multipath networks the flow method
+// covers directly.
+func ADM(n int) *Network {
+	bits := log2(n)
+	bld := NewBuilder(fmt.Sprintf("adm-%dx%d", n, n), n, n)
+	cols := bits + 1
+	boxAt := make([][]int, cols)
+	for c := 0; c < cols; c++ {
+		boxAt[c] = make([]int, n)
+		for i := 0; i < n; i++ {
+			nIn, nOut := 3, 3
+			if c == 0 {
+				nIn = 1
+			}
+			if c == cols-1 {
+				nOut = 1
+			}
+			boxAt[c][i] = bld.AddBox(c, nIn, nOut)
+		}
+	}
+	for p := 0; p < n; p++ {
+		bld.LinkProcToBox(p, boxAt[0][p], 0)
+	}
+	for c := 0; c+1 < cols; c++ {
+		d := 1 << (bits - 1 - c) // decreasing strides: N/2, N/4, ..., 1
+		for i := 0; i < n; i++ {
+			minus := ((i-d)%n + n) % n
+			plus := (i + d) % n
+			bld.LinkBoxToBox(boxAt[c][i], 0, boxAt[c+1][minus], 2)
+			bld.LinkBoxToBox(boxAt[c][i], 1, boxAt[c+1][i], 1)
+			bld.LinkBoxToBox(boxAt[c][i], 2, boxAt[c+1][plus], 0)
+		}
+	}
+	for r := 0; r < n; r++ {
+		bld.LinkBoxToRes(boxAt[cols-1][r], 0, r)
+	}
+	return bld.MustBuild()
+}
+
+// Gamma builds the Parker-Raghavendra gamma network: log2(N)+1 columns of N
+// switches connected by straight, +2^j and -2^j (mod N) links, giving
+// redundant paths between every source-destination pair [36]. The paper
+// names it as a multipath network to which the method applies directly.
+func Gamma(n int) *Network {
+	bits := log2(n)
+	bld := NewBuilder(fmt.Sprintf("gamma-%dx%d", n, n), n, n)
+	cols := bits + 1
+	boxAt := make([][]int, cols)
+	for c := 0; c < cols; c++ {
+		boxAt[c] = make([]int, n)
+		for i := 0; i < n; i++ {
+			nIn, nOut := 3, 3
+			if c == 0 {
+				nIn = 1
+			}
+			if c == cols-1 {
+				nOut = 1
+			}
+			boxAt[c][i] = bld.AddBox(c, nIn, nOut)
+		}
+	}
+	for p := 0; p < n; p++ {
+		bld.LinkProcToBox(p, boxAt[0][p], 0)
+	}
+	for c := 0; c+1 < cols; c++ {
+		d := 1 << c
+		for i := 0; i < n; i++ {
+			minus := ((i-d)%n + n) % n
+			plus := (i + d) % n
+			// Out ports: 0 = -2^c, 1 = straight, 2 = +2^c.
+			// In ports on the receiver mirror the sender's choice.
+			bld.LinkBoxToBox(boxAt[c][i], 0, boxAt[c+1][minus], 2)
+			bld.LinkBoxToBox(boxAt[c][i], 1, boxAt[c+1][i], 1)
+			bld.LinkBoxToBox(boxAt[c][i], 2, boxAt[c+1][plus], 0)
+		}
+	}
+	for r := 0; r < n; r++ {
+		bld.LinkBoxToRes(boxAt[cols-1][r], 0, r)
+	}
+	return bld.MustBuild()
+}

@@ -1,0 +1,133 @@
+package topology
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// RandomLoopFree builds a random irregular loop-free fabric: `stages`
+// stages of switchboxes with varying port counts, every processor and
+// resource wired, and arbitrary (possibly stage-skipping) forward links.
+// The paper's central applicability claim is that the flow method works on
+// "any general loop-free network configuration in which the requesting
+// processors and free resources can be partitioned into two disjoint
+// subsets" — the property tests exercise the schedulers on exactly these
+// fabrics, far from the regular MINs.
+//
+// Construction guarantees: every box input port is wired, every box output
+// port is wired, every processor reaches stage 0, every resource hangs off
+// the last stage, and the box DAG respects stage order (hence loop-free).
+func RandomLoopFree(rng *rand.Rand, procs, ress, stages, maxBoxPorts int) *Network {
+	if stages < 1 || maxBoxPorts < 1 || procs < 1 || ress < 1 {
+		panic(fmt.Sprintf("topology.RandomLoopFree: procs=%d ress=%d stages=%d maxPorts=%d",
+			procs, ress, stages, maxBoxPorts))
+	}
+	bld := NewBuilder(fmt.Sprintf("random-%dx%d-s%d", procs, ress, stages), procs, ress)
+
+	// Decide per-stage input demand: stage 0 consumes the processor links,
+	// the final boundary feeds the resources; intermediate boundaries
+	// carry a random wire count.
+	wires := make([]int, stages+1) // wires entering stage s (wires[stages] feeds resources)
+	wires[0] = procs
+	wires[stages] = ress
+	for s := 1; s < stages; s++ {
+		lo := procs
+		if ress > lo {
+			lo = ress
+		}
+		wires[s] = lo + rng.Intn(lo+1) // enough capacity to avoid starving either side
+	}
+
+	// Build boxes per stage: partition the incoming wires into boxes of
+	// random input arity; output arity chosen to sum to the next
+	// boundary's wire count.
+	type port struct{ box, port int }
+	incoming := make([]port, 0) // unwired input ports of the current stage
+	var outgoing []port         // output ports produced by the current stage
+
+	for s := 0; s < stages; s++ {
+		in := wires[s]
+		out := wires[s+1]
+		// Split `in` inputs and `out` outputs across a common set of
+		// boxes. Number of boxes: enough that each box has >= 1 input and
+		// >= 1 output.
+		nBoxes := 1 + rng.Intn(min(in, out))
+		inCounts := partition(rng, in, nBoxes, maxBoxPorts)
+		outCounts := partition(rng, out, nBoxes, maxBoxPorts)
+		incoming = incoming[:0]
+		prevOut := outgoing
+		outgoing = nil
+		for b := 0; b < nBoxes; b++ {
+			id := bld.AddBox(s, inCounts[b], outCounts[b])
+			for p := 0; p < inCounts[b]; p++ {
+				incoming = append(incoming, port{id, p})
+			}
+			for p := 0; p < outCounts[b]; p++ {
+				outgoing = append(outgoing, port{id, p})
+			}
+		}
+		// Wire the previous boundary's outputs to this stage's inputs with
+		// a random matching.
+		perm := rng.Perm(len(incoming))
+		if s == 0 {
+			for i := 0; i < procs; i++ {
+				dst := incoming[perm[i]]
+				bld.LinkProcToBox(i, dst.box, dst.port)
+			}
+		} else {
+			for i, src := range prevOut {
+				dst := incoming[perm[i]]
+				bld.LinkBoxToBox(src.box, src.port, dst.box, dst.port)
+			}
+		}
+	}
+	perm := rng.Perm(len(outgoing))
+	for r := 0; r < ress; r++ {
+		src := outgoing[perm[r]]
+		bld.LinkBoxToRes(src.box, src.port, r)
+	}
+	return bld.MustBuild()
+}
+
+// partition splits total into n positive parts each at most maxPart
+// (growing n implicitly impossible, so maxPart is stretched if needed).
+func partition(rng *rand.Rand, total, n, maxPart int) []int {
+	if n > total {
+		n = total
+	}
+	parts := make([]int, n)
+	for i := range parts {
+		parts[i] = 1
+	}
+	rem := total - n
+	for rem > 0 {
+		i := rng.Intn(n)
+		if parts[i] < maxPart {
+			parts[i]++
+			rem--
+			continue
+		}
+		// All candidates may be full; find any with room or stretch.
+		found := false
+		for j := 0; j < n; j++ {
+			if parts[j] < maxPart {
+				parts[j]++
+				rem--
+				found = true
+				break
+			}
+		}
+		if !found {
+			parts[i]++ // stretch beyond maxPart as a last resort
+			rem--
+		}
+	}
+	return parts
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,584 @@
+package topology
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// countPaths enumerates all directed paths from processor p to resource r
+// over free links.
+func countPaths(n *Network, p, r int) int {
+	var count int
+	var walk func(lid int)
+	walk = func(lid int) {
+		l := n.Links[lid]
+		if l.State != LinkFree {
+			return
+		}
+		switch l.To.Kind {
+		case KindResource:
+			if l.To.Index == r {
+				count++
+			}
+		case KindBox:
+			for _, out := range n.Boxes[l.To.Index].Out {
+				if out != -1 {
+					walk(out)
+				}
+			}
+		}
+	}
+	if n.ProcLink[p] != -1 {
+		walk(n.ProcLink[p])
+	}
+	return count
+}
+
+// pathTo returns some path p -> r as a Circuit, or nil.
+func pathTo(n *Network, p, r int) *Circuit {
+	return n.FindPath(p, func(res int) bool { return res == r })
+}
+
+func TestOmegaStructure(t *testing.T) {
+	n := Omega(8)
+	if got := n.NumStages(); got != 3 {
+		t.Fatalf("stages = %d, want 3", got)
+	}
+	if len(n.Boxes) != 12 {
+		t.Fatalf("boxes = %d, want 12", len(n.Boxes))
+	}
+	if len(n.Links) != 8+16+8 {
+		t.Fatalf("links = %d, want 32", len(n.Links))
+	}
+	for _, b := range n.Boxes {
+		if len(b.In) != 2 || len(b.Out) != 2 {
+			t.Fatalf("box %d is %dx%d, want 2x2", b.ID, len(b.In), len(b.Out))
+		}
+		for _, l := range b.In {
+			if l == -1 {
+				t.Fatalf("box %d has unwired input", b.ID)
+			}
+		}
+	}
+}
+
+func TestOmegaUniquePath(t *testing.T) {
+	for _, size := range []int{2, 4, 8, 16} {
+		n := Omega(size)
+		for p := 0; p < size; p++ {
+			for r := 0; r < size; r++ {
+				if c := countPaths(n, p, r); c != 1 {
+					t.Fatalf("omega-%d: %d paths from p%d to r%d, want 1", size, c, p, r)
+				}
+			}
+		}
+	}
+}
+
+func TestBaselineAndCubeUniquePath(t *testing.T) {
+	for _, build := range []func(int) *Network{Baseline, IndirectCube} {
+		n := build(8)
+		for p := 0; p < 8; p++ {
+			for r := 0; r < 8; r++ {
+				if c := countPaths(n, p, r); c != 1 {
+					t.Fatalf("%s: %d paths p%d->r%d, want 1", n.Name, c, p, r)
+				}
+			}
+		}
+	}
+}
+
+func TestDeltaUniquePathAndOmegaEquivalence(t *testing.T) {
+	n := Delta(3, 2) // 9x9 of 3x3 boxes
+	if n.Procs != 9 || len(n.Boxes) != 6 {
+		t.Fatalf("delta-3^2: procs=%d boxes=%d, want 9, 6", n.Procs, len(n.Boxes))
+	}
+	for p := 0; p < 9; p++ {
+		for r := 0; r < 9; r++ {
+			if c := countPaths(n, p, r); c != 1 {
+				t.Fatalf("delta: %d paths p%d->r%d, want 1", c, p, r)
+			}
+		}
+	}
+	// Delta with b=2 is an Omega network: same path structure.
+	d := Delta(2, 3)
+	o := Omega(8)
+	for p := 0; p < 8; p++ {
+		for r := 0; r < 8; r++ {
+			if countPaths(d, p, r) != countPaths(o, p, r) {
+				t.Fatalf("delta-2^3 and omega-8 disagree at p%d->r%d", p, r)
+			}
+		}
+	}
+}
+
+func TestOmegaExtraStagesMultiplyPaths(t *testing.T) {
+	for extra := 0; extra <= 2; extra++ {
+		n := OmegaExtra(8, extra)
+		if n.NumStages() != 3+extra {
+			t.Fatalf("extra=%d: stages=%d", extra, n.NumStages())
+		}
+		want := 1 << extra
+		for p := 0; p < 8; p++ {
+			for r := 0; r < 8; r++ {
+				if c := countPaths(n, p, r); c != want {
+					t.Fatalf("omega+%d: %d paths p%d->r%d, want %d", extra, c, p, r, want)
+				}
+			}
+		}
+	}
+}
+
+func TestBenesPathCount(t *testing.T) {
+	// Benes(N) has N/2 paths per source-destination pair.
+	for _, size := range []int{2, 4, 8} {
+		n := Benes(size)
+		if n.NumStages() != 2*log2(size)-1 {
+			t.Fatalf("benes-%d: stages=%d", size, n.NumStages())
+		}
+		want := size / 2
+		for p := 0; p < size; p++ {
+			for r := 0; r < size; r++ {
+				if c := countPaths(n, p, r); c != want {
+					t.Fatalf("benes-%d: %d paths p%d->r%d, want %d", size, c, p, r, want)
+				}
+			}
+		}
+	}
+}
+
+func TestClosPathCount(t *testing.T) {
+	n := Clos(3, 2, 4) // 8x8, 3 middle boxes
+	if n.Procs != 8 || n.NumStages() != 3 {
+		t.Fatalf("clos: procs=%d stages=%d", n.Procs, n.NumStages())
+	}
+	for p := 0; p < 8; p++ {
+		for r := 0; r < 8; r++ {
+			if c := countPaths(n, p, r); c != 3 {
+				t.Fatalf("clos: %d paths p%d->r%d, want m=3", c, p, r)
+			}
+		}
+	}
+}
+
+func TestGammaRedundantPaths(t *testing.T) {
+	n := Gamma(8)
+	if n.NumStages() != 4 {
+		t.Fatalf("gamma-8 stages=%d, want 4", n.NumStages())
+	}
+	multi := 0
+	for p := 0; p < 8; p++ {
+		for r := 0; r < 8; r++ {
+			c := countPaths(n, p, r)
+			if c < 1 {
+				t.Fatalf("gamma: no path p%d->r%d", p, r)
+			}
+			if c > 1 {
+				multi++
+			}
+		}
+	}
+	if multi == 0 {
+		t.Fatal("gamma network shows no redundant paths")
+	}
+}
+
+func TestADMRedundantPaths(t *testing.T) {
+	n := ADM(8)
+	if n.NumStages() != 4 {
+		t.Fatalf("adm-8 stages=%d, want 4", n.NumStages())
+	}
+	multi := 0
+	for p := 0; p < 8; p++ {
+		for r := 0; r < 8; r++ {
+			c := countPaths(n, p, r)
+			if c < 1 {
+				t.Fatalf("adm: no path p%d->r%d", p, r)
+			}
+			if c > 1 {
+				multi++
+			}
+		}
+	}
+	if multi == 0 {
+		t.Fatal("ADM shows no redundant paths")
+	}
+	// ADM and Gamma are distinct wirings (stride order reversed) but have
+	// the same element counts.
+	g := Gamma(8)
+	if len(n.Links) != len(g.Links) || len(n.Boxes) != len(g.Boxes) {
+		t.Fatal("ADM/Gamma structural counts differ")
+	}
+}
+
+func TestCrossbarFullConnectivity(t *testing.T) {
+	n := Crossbar(3, 5)
+	if len(n.Boxes) != 1 || n.Procs != 3 || n.Ress != 5 {
+		t.Fatal("crossbar structure wrong")
+	}
+	for p := 0; p < 3; p++ {
+		for r := 0; r < 5; r++ {
+			if countPaths(n, p, r) != 1 {
+				t.Fatalf("crossbar path p%d->r%d missing", p, r)
+			}
+		}
+	}
+}
+
+func TestEstablishRelease(t *testing.T) {
+	n := Omega(8)
+	c := pathTo(n, 0, 5)
+	if c == nil {
+		t.Fatal("no path p0->r5")
+	}
+	if err := n.Establish(*c); err != nil {
+		t.Fatalf("Establish: %v", err)
+	}
+	for _, lid := range c.Links {
+		if n.Links[lid].State != LinkOccupied {
+			t.Fatal("link not occupied after Establish")
+		}
+	}
+	// Re-establishing must fail and change nothing.
+	if err := n.Establish(*c); err == nil {
+		t.Fatal("double Establish succeeded")
+	}
+	if err := n.Release(*c); err != nil {
+		t.Fatalf("Release: %v", err)
+	}
+	if n.FreeLinks() != len(n.Links) {
+		t.Fatal("links not freed")
+	}
+	if err := n.Release(*c); err == nil {
+		t.Fatal("double Release succeeded")
+	}
+}
+
+func TestEstablishRejectsBrokenPaths(t *testing.T) {
+	n := Omega(8)
+	good := pathTo(n, 0, 5)
+	bad := Circuit{Proc: 0, Res: 5, Links: nil}
+	if err := n.Establish(bad); err == nil {
+		t.Fatal("empty circuit accepted")
+	}
+	bad = Circuit{Proc: 1, Res: 5, Links: good.Links} // wrong processor
+	if err := n.Establish(bad); err == nil {
+		t.Fatal("circuit with wrong processor accepted")
+	}
+	bad = Circuit{Proc: 0, Res: 4, Links: good.Links} // wrong resource
+	if err := n.Establish(bad); err == nil {
+		t.Fatal("circuit with wrong resource accepted")
+	}
+	// Discontiguous path: first link of p0 plus last link into r5 only.
+	bad = Circuit{Proc: 0, Res: 5, Links: []int{good.Links[0], good.Links[len(good.Links)-1]}}
+	if len(good.Links) > 2 {
+		if err := n.Establish(bad); err == nil {
+			t.Fatal("discontiguous circuit accepted")
+		}
+	}
+}
+
+func TestFindPathHonorsOccupancy(t *testing.T) {
+	n := Omega(8)
+	c := pathTo(n, 0, 5)
+	if err := n.Establish(*c); err != nil {
+		t.Fatal(err)
+	}
+	// Unique-path network: p0 can no longer reach r5.
+	if got := pathTo(n, 0, 5); got != nil {
+		t.Fatal("FindPath found a path through occupied links")
+	}
+	// But other processors may still reach other resources.
+	free := 0
+	for r := 0; r < 8; r++ {
+		if pathTo(n, 7, r) != nil {
+			free++
+		}
+	}
+	if free == 0 {
+		t.Fatal("occupying one circuit killed all of p7's reachability")
+	}
+}
+
+func TestResetAndClone(t *testing.T) {
+	n := Omega(8)
+	c := pathTo(n, 2, 3)
+	if err := n.Establish(*c); err != nil {
+		t.Fatal(err)
+	}
+	cl := n.Clone()
+	n.Reset()
+	if n.FreeLinks() != len(n.Links) {
+		t.Fatal("Reset did not free links")
+	}
+	if cl.FreeLinks() == len(cl.Links) {
+		t.Fatal("Clone shares link state with original")
+	}
+	cl.Boxes[0].In[0] = -99
+	if n.Boxes[0].In[0] == -99 {
+		t.Fatal("Clone shares box storage")
+	}
+}
+
+func TestBuilderDetectsUnwiredEndpoints(t *testing.T) {
+	b := NewBuilder("partial", 2, 2)
+	box := b.AddBox(0, 2, 2)
+	b.LinkProcToBox(0, box, 0)
+	b.LinkBoxToRes(box, 0, 0)
+	b.LinkBoxToRes(box, 1, 1)
+	if _, err := b.Build(); err == nil || !strings.Contains(err.Error(), "processor 1") {
+		t.Fatalf("unwired processor not reported: %v", err)
+	}
+}
+
+func TestBuilderDetectsCycle(t *testing.T) {
+	b := NewBuilder("cyclic", 1, 1)
+	b1 := b.AddBox(0, 2, 2)
+	b2 := b.AddBox(1, 2, 2)
+	b.LinkProcToBox(0, b1, 0)
+	b.LinkBoxToBox(b1, 0, b2, 0)
+	b.LinkBoxToBox(b2, 0, b1, 1) // back edge: cycle
+	b.LinkBoxToRes(b2, 1, 0)
+	if _, err := b.Build(); err == nil || !strings.Contains(err.Error(), "cycle") {
+		t.Fatalf("cycle not reported: %v", err)
+	}
+}
+
+func TestBuilderPanicsOnDoubleWire(t *testing.T) {
+	b := NewBuilder("dup", 2, 2)
+	box := b.AddBox(0, 2, 2)
+	b.LinkProcToBox(0, box, 0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double wiring accepted")
+		}
+	}()
+	b.LinkProcToBox(1, box, 0) // same input port
+}
+
+func TestLinkProcToRes(t *testing.T) {
+	b := NewBuilder("direct", 1, 1)
+	b.LinkProcToRes(0, 0)
+	n, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if countPaths(n, 0, 0) != 1 {
+		t.Fatal("direct link not a path")
+	}
+}
+
+func TestLog2Panics(t *testing.T) {
+	for _, bad := range []int{0, 1, 3, 6} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("log2(%d) did not panic", bad)
+				}
+			}()
+			log2(bad)
+		}()
+	}
+	if log2(16) != 4 {
+		t.Fatal("log2(16) != 4")
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	n := Crossbar(2, 2)
+	s := n.String()
+	if !strings.Contains(s, "crossbar-2x2") || !strings.Contains(s, "proc0") {
+		t.Fatalf("String output missing content:\n%s", s)
+	}
+	c := pathTo(n, 0, 1)
+	if err := n.Establish(*c); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(n.String(), "(occupied)") {
+		t.Fatal("occupied state not rendered")
+	}
+}
+
+// TestOmegaDestinationTagRouting verifies the classic property behind
+// address mapping on the Omega: along the unique path from any processor
+// to resource r, the output port taken at stage s equals bit (n-1-s) of r
+// — i.e. the destination tag controls the switches MSB-first.
+func TestOmegaDestinationTagRouting(t *testing.T) {
+	for _, size := range []int{8, 16} {
+		bits := 0
+		for m := size; m > 1; m >>= 1 {
+			bits++
+		}
+		net := Omega(size)
+		for p := 0; p < size; p++ {
+			for r := 0; r < size; r++ {
+				c := pathTo(net, p, r)
+				if c == nil {
+					t.Fatalf("no path p%d->r%d", p, r)
+				}
+				// Links: proc->stage0, stage0->stage1, ..., stage(n-1)->res.
+				for s := 0; s < bits; s++ {
+					out := net.Links[c.Links[s+1]]
+					if out.From.Kind != KindBox {
+						t.Fatalf("path structure wrong at stage %d", s)
+					}
+					wantPort := (r >> (bits - 1 - s)) & 1
+					if out.From.Port != wantPort {
+						t.Fatalf("omega-%d p%d->r%d stage %d: port %d, want bit %d",
+							size, p, r, s, out.From.Port, wantPort)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestLoopingRoutesAllPermutations: the looping algorithm routes every
+// permutation of the 4x4 Benes (all 24) and a large random sample on the
+// 8x8 and 16x16, producing link-disjoint circuits that establish cleanly.
+func TestLoopingRoutesAllPermutations(t *testing.T) {
+	checkPerm := func(t *testing.T, n int, perm []int) {
+		net := Benes(n)
+		circuits, err := RoutePermutation(net, perm)
+		if err != nil {
+			t.Fatalf("perm %v: %v", perm, err)
+		}
+		if len(circuits) != n {
+			t.Fatalf("perm %v: %d circuits", perm, len(circuits))
+		}
+		for p, c := range circuits {
+			if c.Proc != p || c.Res != perm[p] {
+				t.Fatalf("perm %v: circuit %d endpoints wrong: %+v", perm, p, c)
+			}
+			if err := net.Establish(c); err != nil {
+				t.Fatalf("perm %v: establishing circuit %d: %v", perm, p, err)
+			}
+		}
+		if net.FreeLinks() != 0 {
+			t.Fatalf("perm %v: %d links unused (a full permutation saturates the Benes edge stages?)",
+				perm, net.FreeLinks())
+		}
+	}
+	// All 24 permutations of size 4.
+	perms4 := permute([]int{0, 1, 2, 3})
+	for _, p := range perms4 {
+		checkPerm(t, 4, p)
+	}
+	// Random samples at 8 and 16.
+	rng := rand.New(rand.NewSource(131))
+	for trial := 0; trial < 300; trial++ {
+		checkPerm(t, 8, rng.Perm(8))
+	}
+	for trial := 0; trial < 50; trial++ {
+		checkPerm(t, 16, rng.Perm(16))
+	}
+}
+
+func permute(xs []int) [][]int {
+	if len(xs) <= 1 {
+		return [][]int{append([]int(nil), xs...)}
+	}
+	var out [][]int
+	for i := range xs {
+		rest := append(append([]int(nil), xs[:i]...), xs[i+1:]...)
+		for _, p := range permute(rest) {
+			out = append(out, append([]int{xs[i]}, p...))
+		}
+	}
+	return out
+}
+
+func TestRoutePermutationValidation(t *testing.T) {
+	net := Benes(4)
+	if _, err := RoutePermutation(net, []int{0, 1}); err == nil {
+		t.Fatal("short permutation accepted")
+	}
+	if _, err := RoutePermutation(net, []int{0, 0, 1, 2}); err == nil {
+		t.Fatal("non-permutation accepted")
+	}
+	if _, err := RoutePermutation(net, []int{0, 1, 2, 9}); err == nil {
+		t.Fatal("out-of-range accepted")
+	}
+	// Wrong topology: Omega cannot route all permutations; the structural
+	// pairing assumptions fail.
+	if _, err := RoutePermutation(Omega(8), []int{1, 0, 3, 2, 5, 4, 7, 6}); err == nil {
+		t.Log("omega accepted a permutation (pairing happened to match); not an error")
+	}
+}
+
+func TestFlipIsMirroredOmega(t *testing.T) {
+	f := Flip(8)
+	if f.NumStages() != 3 {
+		t.Fatalf("flip stages = %d", f.NumStages())
+	}
+	for p := 0; p < 8; p++ {
+		for r := 0; r < 8; r++ {
+			if c := countPaths(f, p, r); c != 1 {
+				t.Fatalf("flip: %d paths p%d->r%d", c, p, r)
+			}
+		}
+	}
+	// Mirror property: the path p->r in Flip visits stages in the reverse
+	// wiring order of Omega's r->p; structurally we just confirm that the
+	// link count matches Omega's.
+	o := Omega(8)
+	if len(f.Links) != len(o.Links) || len(f.Boxes) != len(o.Boxes) {
+		t.Fatal("flip and omega differ structurally")
+	}
+}
+
+func TestRandomLoopFreeInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(111))
+	for trial := 0; trial < 60; trial++ {
+		procs := 2 + rng.Intn(6)
+		ress := 2 + rng.Intn(6)
+		stages := 1 + rng.Intn(4)
+		net := RandomLoopFree(rng, procs, ress, stages, 4)
+		if net.Procs != procs || net.Ress != ress {
+			t.Fatalf("trial %d: wrong endpoint counts", trial)
+		}
+		// Builder already checked acyclicity and endpoint wiring; verify
+		// every box port is wired (the generator's stronger guarantee).
+		for _, b := range net.Boxes {
+			for _, l := range b.In {
+				if l == -1 {
+					t.Fatalf("trial %d: box %d has unwired input", trial, b.ID)
+				}
+			}
+			for _, l := range b.Out {
+				if l == -1 {
+					t.Fatalf("trial %d: box %d has unwired output", trial, b.ID)
+				}
+			}
+		}
+		// Every processor can reach at least one resource.
+		for p := 0; p < procs; p++ {
+			if net.FindPath(p, func(int) bool { return true }) == nil {
+				t.Fatalf("trial %d: processor %d is disconnected", trial, p)
+			}
+		}
+	}
+}
+
+func TestRandomLoopFreePanicsOnBadArgs(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("bad args accepted")
+		}
+	}()
+	RandomLoopFree(rng, 0, 4, 2, 2)
+}
+
+func TestEndpointAndKindStrings(t *testing.T) {
+	if (Endpoint{KindBox, 3, 1}).String() != "box3.1" {
+		t.Fatal("box endpoint rendering")
+	}
+	if (Endpoint{KindProcessor, 2, 0}).String() != "proc2" {
+		t.Fatal("proc endpoint rendering")
+	}
+	if KindResource.String() != "res" || Kind(9).String() == "" {
+		t.Fatal("Kind rendering")
+	}
+}

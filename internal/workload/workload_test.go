@@ -1,0 +1,167 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+
+	"rsin/internal/topology"
+)
+
+func TestGenerateRespectsProbabilities(t *testing.T) {
+	rng := rand.New(rand.NewSource(81))
+	net := topology.Omega(64)
+	var reqs, frees int
+	const trials = 200
+	for i := 0; i < trials; i++ {
+		p := Generate(rng, net, Config{PRequest: 0.25, PFree: 0.75})
+		reqs += len(p.Requests)
+		frees += len(p.Avail)
+		if len(p.Requests) != countTrue(p.Requesting) || len(p.Avail) != countTrue(p.Free) {
+			t.Fatal("slice/flag mismatch")
+		}
+	}
+	meanReq := float64(reqs) / float64(trials*64)
+	meanFree := float64(frees) / float64(trials*64)
+	if meanReq < 0.2 || meanReq > 0.3 {
+		t.Fatalf("request rate %.3f, want ~0.25", meanReq)
+	}
+	if meanFree < 0.7 || meanFree > 0.8 {
+		t.Fatalf("free rate %.3f, want ~0.75", meanFree)
+	}
+}
+
+func countTrue(b []bool) int {
+	n := 0
+	for _, v := range b {
+		if v {
+			n++
+		}
+	}
+	return n
+}
+
+func TestGenerateSkipsOccupiedEndpoints(t *testing.T) {
+	rng := rand.New(rand.NewSource(82))
+	net := topology.Omega(8)
+	c := net.FindPath(2, func(r int) bool { return r == 3 })
+	if err := net.Establish(*c); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		p := Generate(rng, net, Config{PRequest: 1, PFree: 1})
+		if p.Requesting[2] {
+			t.Fatal("transmitting processor generated a request")
+		}
+		if p.Free[3] {
+			t.Fatal("busy resource reported free")
+		}
+	}
+}
+
+func TestGeneratePrioritiesPreferencesTypes(t *testing.T) {
+	rng := rand.New(rand.NewSource(83))
+	net := topology.Omega(8)
+	p := Generate(rng, net, Config{PRequest: 1, PFree: 1, Priorities: 10, Preferences: 5, Types: 3})
+	for _, r := range p.Requests {
+		if r.Priority < 1 || r.Priority > 10 {
+			t.Fatalf("priority %d out of range", r.Priority)
+		}
+		if r.Type < 0 || r.Type >= 3 {
+			t.Fatalf("type %d out of range", r.Type)
+		}
+	}
+	for _, a := range p.Avail {
+		if a.Preference < 1 || a.Preference > 5 {
+			t.Fatalf("preference %d out of range", a.Preference)
+		}
+	}
+}
+
+func TestHotSpotSkew(t *testing.T) {
+	rng := rand.New(rand.NewSource(84))
+	net := topology.Omega(64)
+	hot, cold := 0, 0
+	for i := 0; i < 300; i++ {
+		p := Generate(rng, net, Config{PRequest: 0.3, PFree: 1, HotSpot: true})
+		for _, r := range p.Requests {
+			if r.Proc < 16 {
+				hot++
+			} else {
+				cold++
+			}
+		}
+	}
+	hotRate := float64(hot) / (300 * 16)
+	coldRate := float64(cold) / (300 * 48)
+	if hotRate < 1.5*coldRate {
+		t.Fatalf("hot-spot skew missing: hot %.3f vs cold %.3f", hotRate, coldRate)
+	}
+}
+
+func TestOccupyRandomReachesTarget(t *testing.T) {
+	rng := rand.New(rand.NewSource(85))
+	net := topology.Omega(16)
+	circuits := OccupyRandom(rng, net, 0.3)
+	occupied := len(net.Links) - net.FreeLinks()
+	if occupied == 0 || len(circuits) == 0 {
+		t.Fatal("nothing occupied")
+	}
+	// Every circuit must be releasable (i.e. was validly established).
+	for _, c := range circuits {
+		if err := net.Release(c); err != nil {
+			t.Fatalf("invalid occupied circuit: %v", err)
+		}
+	}
+	if net.FreeLinks() != len(net.Links) {
+		t.Fatal("release accounting broken")
+	}
+}
+
+func TestOccupyRandomZeroFraction(t *testing.T) {
+	rng := rand.New(rand.NewSource(86))
+	net := topology.Omega(8)
+	if cs := OccupyRandom(rng, net, 0); len(cs) != 0 || net.FreeLinks() != len(net.Links) {
+		t.Fatal("zero fraction occupied links")
+	}
+}
+
+func TestFailRandomLinksSparesEndpoints(t *testing.T) {
+	rng := rand.New(rand.NewSource(87))
+	net := topology.Omega(16)
+	failed := FailRandomLinks(rng, net, 0.2)
+	if len(failed) == 0 {
+		t.Fatal("nothing failed")
+	}
+	for _, id := range failed {
+		l := net.Links[id]
+		if l.From.Kind != topology.KindBox || l.To.Kind != topology.KindBox {
+			t.Fatalf("endpoint link %d failed", id)
+		}
+		if l.State != topology.LinkOccupied {
+			t.Fatalf("failed link %d not marked occupied", id)
+		}
+	}
+	if got := FailRandomLinks(rng, net, 0); got != nil {
+		t.Fatal("zero fraction failed links")
+	}
+	// Excess fraction clips at the interior link count.
+	net2 := topology.Omega(8)
+	all := FailRandomLinks(rng, net2, 10)
+	if len(all) != 16 { // omega-8 has 2 interior boundaries x 8 wires
+		t.Fatalf("failed %d interior links, want 16", len(all))
+	}
+}
+
+func TestDeterminismFromSeed(t *testing.T) {
+	net := topology.Omega(8)
+	a := Generate(rand.New(rand.NewSource(99)), net, Config{PRequest: 0.5, PFree: 0.5, Types: 2})
+	b := Generate(rand.New(rand.NewSource(99)), net, Config{PRequest: 0.5, PFree: 0.5, Types: 2})
+	if len(a.Requests) != len(b.Requests) || len(a.Avail) != len(b.Avail) {
+		t.Fatal("same seed, different patterns")
+	}
+	for i := range a.Requests {
+		if a.Requests[i] != b.Requests[i] {
+			t.Fatal("request mismatch")
+		}
+	}
+}

@@ -1,0 +1,108 @@
+// Package rsin reproduces "Resource Sharing Interconnection Networks in
+// Multiprocessors" (Juang & Wah, ICPP 1986 / IEEE TC Jan 1989): optimal
+// distributed scheduling of shared resources in circuit-switched
+// interconnection networks by transformation to network flow problems.
+//
+// This root package is a thin facade over the implementation packages so
+// module users have one import for the common workflow:
+//
+//	net := rsin.Omega(8)                     // build a topology
+//	m, err := rsin.ScheduleMaxFlow(net,      // optimal mapping (Transformation 1)
+//	    []rsin.Request{{Proc: 0}, {Proc: 3}},
+//	    []rsin.Avail{{Res: 1}, {Res: 5}})
+//	err = m.Apply(net)                       // establish the circuits
+//
+// The full surface lives in the internal packages: topology (network
+// builders and circuit state), core (the flow-transformation schedulers),
+// token (the distributed token-propagation architecture of §IV),
+// monitorarch (the centralized monitor), heuristic (baselines), multiflow /
+// mincost / maxflow / lp (the flow and LP engines), workload, sim and
+// stats (experiment machinery).
+package rsin
+
+import (
+	"rsin/internal/core"
+	"rsin/internal/system"
+	"rsin/internal/token"
+	"rsin/internal/topology"
+)
+
+// Re-exported types: the scheduling vocabulary.
+type (
+	// Network is a circuit-switched interconnection network.
+	Network = topology.Network
+	// Circuit is an established processor-to-resource connection.
+	Circuit = topology.Circuit
+	// Request is a pending resource request.
+	Request = core.Request
+	// Avail describes one free resource.
+	Avail = core.Avail
+	// Mapping is the outcome of a scheduling cycle.
+	Mapping = core.Mapping
+	// Assignment binds one request to one resource through a circuit.
+	Assignment = core.Assignment
+	// HeteroOptions tunes heterogeneous (multi-type) scheduling.
+	HeteroOptions = core.HeteroOptions
+	// TokenResult is the outcome of a distributed token-architecture cycle.
+	TokenResult = token.Result
+	// TokenOptions tunes the token-architecture simulation.
+	TokenOptions = token.Options
+	// System is the long-running resource-sharing machine: task queues,
+	// scheduling cycles, transmission/service life cycle, multi-resource
+	// acquisition with deadlock avoidance.
+	System = system.System
+	// SystemConfig parameterizes a System.
+	SystemConfig = system.Config
+	// SystemTask is a unit of work submitted to a System.
+	SystemTask = system.Task
+)
+
+// NewSystem constructs a System (see internal/system for the life cycle).
+var NewSystem = system.New
+
+// Topology constructors (see internal/topology for the full set).
+var (
+	// Omega builds an N x N Omega network.
+	Omega = topology.Omega
+	// OmegaExtra builds an Omega network with extra stages.
+	OmegaExtra = topology.OmegaExtra
+	// IndirectCube builds an N x N indirect binary n-cube.
+	IndirectCube = topology.IndirectCube
+	// Baseline builds an N x N baseline network.
+	Baseline = topology.Baseline
+	// Benes builds an N x N Benes network.
+	Benes = topology.Benes
+	// Clos builds a three-stage Clos network C(m, n, r).
+	Clos = topology.Clos
+	// Crossbar builds a single n x m crossbar.
+	Crossbar = topology.Crossbar
+	// Delta builds a delta network of b x b crossbars.
+	Delta = topology.Delta
+	// Gamma builds an N x N gamma network with redundant paths.
+	Gamma = topology.Gamma
+	// Flip builds the STARAN flip network (inverse Omega).
+	Flip = topology.Flip
+	// RandomLoopFree builds a random irregular loop-free fabric.
+	RandomLoopFree = topology.RandomLoopFree
+	// NewBuilder starts an arbitrary loop-free network.
+	NewBuilder = topology.NewBuilder
+)
+
+// Schedulers (see internal/core).
+var (
+	// ScheduleMaxFlow computes the optimal homogeneous mapping
+	// (Transformation 1 + maximum flow).
+	ScheduleMaxFlow = core.ScheduleMaxFlow
+	// ScheduleMinCost computes the optimal prioritized mapping
+	// (Transformation 2 + minimum-cost flow, successive shortest paths).
+	ScheduleMinCost = core.ScheduleMinCost
+	// ScheduleMinCostOutOfKilter is ScheduleMinCost solved with Fulkerson's
+	// out-of-kilter algorithm (the paper's cited method).
+	ScheduleMinCostOutOfKilter = core.ScheduleMinCostOutOfKilter
+	// ScheduleHetero computes the optimal heterogeneous mapping
+	// (multicommodity flow).
+	ScheduleHetero = core.ScheduleHetero
+	// TokenSchedule runs one scheduling cycle on the distributed
+	// token-propagation architecture of §IV.
+	TokenSchedule = token.Schedule
+)
