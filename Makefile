@@ -1,0 +1,30 @@
+# Tier-1 verification plus the race-detector gate for the concurrent
+# packages. `make` (or `make all`) is what CI runs.
+GO ?= go
+
+.PHONY: all vet build test race bench fuzz
+
+all: vet build test race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The scheduling service and the system facade are the two packages with
+# concurrency (or concurrent callers); their stress tests must stay
+# race-clean.
+race:
+	$(GO) test -race ./internal/sched ./internal/system
+
+bench:
+	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
+
+# Short smoke-fuzz of the life-cycle and parser fuzzers.
+fuzz:
+	$(GO) test -fuzz FuzzSubmitCycle -fuzztime 30s ./internal/system
+	$(GO) test -fuzz FuzzParse -fuzztime 30s ./internal/dimacs

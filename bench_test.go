@@ -3,7 +3,10 @@ package rsin
 import (
 	"fmt"
 	"math/rand"
+	"sync"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"rsin/internal/core"
 	"rsin/internal/experiments"
@@ -16,7 +19,9 @@ import (
 	"rsin/internal/netsimplex"
 	"rsin/internal/packetsim"
 	"rsin/internal/placement"
+	"rsin/internal/sched"
 	"rsin/internal/sim"
+	"rsin/internal/system"
 	"rsin/internal/testutil"
 	"rsin/internal/token"
 	"rsin/internal/topology"
@@ -423,13 +428,119 @@ func BenchmarkMicroFlowAlgorithms(b *testing.B) {
 		algo := algo
 		b.Run(name, func(b *testing.B) {
 			b.ReportAllocs()
+			// The §IV monitor cost model charges by these counters, so a
+			// regression here would silently skew it: accumulation across
+			// iterations must stay non-negative and monotone.
+			var acc maxflow.Counters
 			for i := 0; i < b.N; i++ {
 				g := tr.G.Clone()
 				g.ResetFlow()
-				algo(g)
+				res := algo(g)
+				if res.Ops.Augmentations < 0 || res.Ops.Phases < 0 ||
+					res.Ops.ArcScans < 0 || res.Ops.NodeVisits < 0 {
+					b.Fatalf("negative counters: %+v", res.Ops)
+				}
+				prev := acc
+				acc.Add(res.Ops)
+				if acc.ArcScans < prev.ArcScans || acc.NodeVisits < prev.NodeVisits ||
+					acc.Augmentations < prev.Augmentations || acc.Phases < prev.Phases {
+					b.Fatalf("counter accumulation not monotone: %+v after %+v", acc, prev)
+				}
 			}
 		})
 	}
+}
+
+// BenchmarkSchedBatchedVsMutex contrasts the two ways to serve 64
+// concurrent clients on an Omega(64): a naive mutex around a single
+// System (one lock round-trip and one max-flow solve per task) versus the
+// batched-epoch scheduling service (one solve amortized over the batch).
+// The acceptance bar for the service is >= 2x the naive throughput.
+func BenchmarkSchedBatchedVsMutex(b *testing.B) {
+	const clients = 64
+	runClients := func(b *testing.B, serve func(client, proc int) bool) {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for c := 0; c < clients; c++ {
+			wg.Add(1)
+			go func(c int) {
+				defer wg.Done()
+				for {
+					i := next.Add(1) - 1
+					if i >= int64(b.N) {
+						return
+					}
+					if !serve(c, int(i)%64) {
+						next.Store(int64(b.N)) // stop the other clients
+						return
+					}
+				}
+			}(c)
+		}
+		wg.Wait()
+	}
+	b.Run("mutex", func(b *testing.B) {
+		sys, err := system.New(system.Config{Net: topology.Omega(64)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		var mu sync.Mutex
+		runClients(b, func(c, proc int) bool {
+			mu.Lock()
+			defer mu.Unlock()
+			id, err := sys.Submit(system.Task{Proc: proc})
+			if err != nil {
+				b.Error(err)
+				return false
+			}
+			r, err := sys.Cycle()
+			if err != nil {
+				b.Error(err)
+				return false
+			}
+			if r.Granted > 0 {
+				if err := sys.EndTransmission(proc); err != nil {
+					b.Error(err)
+					return false
+				}
+			}
+			if sys.Remaining(id) == 0 {
+				if err := sys.EndService(id); err != nil {
+					b.Error(err)
+					return false
+				}
+			}
+			return true
+		})
+	})
+	b.Run("batched", func(b *testing.B) {
+		s, err := sched.New(sched.Config{
+			Shards:     []system.Config{{Net: topology.Omega(64)}},
+			BatchSize:  clients,
+			FlushEvery: 200 * time.Microsecond,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer s.Close()
+		runClients(b, func(c, proc int) bool {
+			h, err := s.Submit(0, system.Task{Proc: proc})
+			if err != nil {
+				b.Error(err)
+				return false
+			}
+			<-h.Done()
+			if h.Err() != nil {
+				b.Error(h.Err())
+				return false
+			}
+			if err := s.EndService(h); err != nil {
+				b.Error(err)
+				return false
+			}
+			return true
+		})
+	})
 }
 
 func BenchmarkMicroMinCost(b *testing.B) {

@@ -1,0 +1,133 @@
+// rsinserve drives the concurrent batched scheduling service
+// (internal/sched) at load and reports throughput, latency percentiles
+// and solver-cost counters. It is the sizing harness for the production
+// tier: sweep -clients, -batch, -flush and -shards to find the epoch
+// geometry for a target fabric.
+//
+//	go run ./cmd/rsinserve                             # 64 clients on one Omega(64)
+//	go run ./cmd/rsinserve -shards 4 -topo benes -n 16 # four Benes(16) planes
+//	go run ./cmd/rsinserve -clients 256 -batch 128
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"rsin/internal/sched"
+	"rsin/internal/stats"
+	"rsin/internal/system"
+	"rsin/internal/topology"
+)
+
+func main() {
+	var (
+		topo    = flag.String("topo", "omega", "fabric per shard: omega | benes | cube | baseline | crossbar")
+		n       = flag.Int("n", 64, "fabric size (N x N) per shard")
+		shards  = flag.Int("shards", 1, "independent shards (disjoint sub-networks)")
+		workers = flag.Int("workers", 0, "solver worker pool size (0 = one per shard)")
+		clients = flag.Int("clients", 64, "concurrent client goroutines")
+		tasks   = flag.Int("tasks", 500, "tasks per client")
+		need    = flag.Int("need", 1, "resources per task")
+		batch   = flag.Int("batch", 0, "epoch batch size (0 = library default)")
+		flush   = flag.Duration("flush", 0, "epoch flush period (0 = library default)")
+		naive   = flag.Bool("no-avoidance", false, "disable banker's deadlock avoidance for need > 1 (can wedge, §II)")
+	)
+	flag.Parse()
+
+	build := map[string]func(int) *topology.Network{
+		"omega":    topology.Omega,
+		"benes":    topology.Benes,
+		"cube":     topology.IndirectCube,
+		"baseline": topology.Baseline,
+		"crossbar": func(n int) *topology.Network { return topology.Crossbar(n, n) },
+	}[*topo]
+	if build == nil {
+		fmt.Fprintf(os.Stderr, "unknown topology %q\n", *topo)
+		os.Exit(2)
+	}
+
+	// Multi-resource tasks hold-and-wait between cycles; without the
+	// banker's policy the fabric can wedge in the §II deadlock.
+	avoidance := system.AvoidanceNone
+	if *need > 1 && !*naive {
+		avoidance = system.AvoidanceBankers
+	}
+	cfg := sched.Config{BatchSize: *batch, FlushEvery: *flush, Workers: *workers}
+	for i := 0; i < *shards; i++ {
+		cfg.Shards = append(cfg.Shards, system.Config{Net: build(*n), Avoidance: avoidance})
+	}
+	s, err := sched.New(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	total := *clients * *tasks
+	latencies := make([][]float64, *clients) // per client; merged after the run
+	var failed atomic.Int64
+	var wg sync.WaitGroup
+	start := time.Now()
+	for c := 0; c < *clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			shard := c % *shards
+			proc := (c / *shards) % *n
+			lat := make([]float64, 0, *tasks)
+			for i := 0; i < *tasks; i++ {
+				t0 := time.Now()
+				h, err := s.Submit(shard, system.Task{Proc: proc, Need: *need})
+				if err != nil {
+					failed.Add(1)
+					continue
+				}
+				<-h.Done()
+				if h.Err() != nil {
+					failed.Add(1)
+					continue
+				}
+				lat = append(lat, time.Since(t0).Seconds()*1e3)
+				if err := s.EndService(h); err != nil {
+					failed.Add(1)
+				}
+			}
+			latencies[c] = lat
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	st := s.Stats()
+	s.Close()
+
+	var all []float64
+	for _, lat := range latencies {
+		all = append(all, lat...)
+	}
+	qs := stats.Percentiles(all, 0.50, 0.90, 0.99, 1)
+
+	effWorkers := *workers
+	if effWorkers <= 0 || effWorkers > *shards {
+		effWorkers = *shards
+	}
+	fmt.Printf("fabric        %d shard(s) x %s(%d), %d solver worker(s)\n", *shards, *topo, *n, effWorkers)
+	fmt.Printf("load          %d clients x %d tasks (need=%d), %d total\n", *clients, *tasks, *need, total)
+	fmt.Printf("wall time     %v\n", elapsed.Round(time.Millisecond))
+	fmt.Printf("throughput    %.0f tasks/s\n", float64(len(all))/elapsed.Seconds())
+	fmt.Printf("latency (ms)  p50=%.3f p90=%.3f p99=%.3f max=%.3f (n=%d)\n", qs[0], qs[1], qs[2], qs[3], len(all))
+	fmt.Printf("service       epochs=%d cycles=%d granted=%d serviced=%d deferred=%d\n",
+		st.Epochs, st.Cycles, st.Granted, st.Serviced, st.Deferred)
+	if st.Epochs > 0 {
+		fmt.Printf("batching      %.1f tasks/epoch, %.1f cycles/epoch\n",
+			float64(st.Submitted)/float64(st.Epochs), float64(st.Cycles)/float64(st.Epochs))
+	}
+	fmt.Printf("solver ops    augmentations=%d phases=%d arc-scans=%d node-visits=%d\n",
+		st.Ops.Augmentations, st.Ops.Phases, st.Ops.ArcScans, st.Ops.NodeVisits)
+	if f := failed.Load(); f > 0 {
+		fmt.Printf("FAILED        %d tasks\n", f)
+		os.Exit(1)
+	}
+}

@@ -338,8 +338,24 @@ func sortMapping(m *Mapping) {
 // number of resources (§III-B). Priorities, preferences and types on the
 // inputs are ignored.
 func ScheduleMaxFlow(net *topology.Network, reqs []Request, avail []Avail) (*Mapping, error) {
+	var p Planner
+	return p.ScheduleMaxFlow(net, reqs, avail)
+}
+
+// Planner is a reusable scheduling workspace for hot paths that solve one
+// flow problem per cycle for the lifetime of a system (internal/system,
+// internal/sched): it keeps the max-flow residual arena warm between
+// cycles. The zero value is ready to use. A Planner is not safe for
+// concurrent use; give each scheduling shard its own.
+type Planner struct {
+	buf maxflow.Buffers
+}
+
+// ScheduleMaxFlow is the package-level ScheduleMaxFlow computed with the
+// planner's recycled solver buffers.
+func (p *Planner) ScheduleMaxFlow(net *topology.Network, reqs []Request, avail []Avail) (*Mapping, error) {
 	tr := Transform1(net, reqs, avail)
-	res := maxflow.Dinic(tr.G)
+	res := p.buf.Dinic(tr.G)
 	m, err := tr.MappingFromFlow()
 	if err != nil {
 		return nil, err

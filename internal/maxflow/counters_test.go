@@ -1,0 +1,97 @@
+package maxflow
+
+import (
+	"math/rand"
+	"testing"
+
+	"rsin/internal/testutil"
+)
+
+// TestCountersAdd pins the accumulation semantics the monitor cost model
+// depends on: Add sums every field, the zero value is an identity, and
+// accumulation over algorithm runs is monotone.
+func TestCountersAdd(t *testing.T) {
+	a := Counters{Augmentations: 1, Phases: 2, ArcScans: 3, NodeVisits: 4}
+	b := Counters{Augmentations: 10, Phases: 20, ArcScans: 30, NodeVisits: 40}
+	a.Add(b)
+	want := Counters{Augmentations: 11, Phases: 22, ArcScans: 33, NodeVisits: 44}
+	if a != want {
+		t.Fatalf("Add: got %+v, want %+v", a, want)
+	}
+	var zero Counters
+	a.Add(zero)
+	if a != want {
+		t.Fatalf("adding zero changed counters: %+v", a)
+	}
+	zero.Add(want)
+	if zero != want {
+		t.Fatalf("zero.Add: got %+v, want %+v", zero, want)
+	}
+}
+
+// TestCountersMonotone accumulates the counters of real computations and
+// asserts every field stays non-negative and non-decreasing — the property
+// the §IV monitor cost model needs from its instruction counts.
+func TestCountersMonotone(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	var acc Counters
+	prev := acc
+	for i := 0; i < 20; i++ {
+		g := testutil.RandomUnitNetwork(rng, 3, 6, 0.4)
+		res := Dinic(g)
+		if res.Ops.Augmentations < 0 || res.Ops.Phases < 0 || res.Ops.ArcScans < 0 || res.Ops.NodeVisits < 0 {
+			t.Fatalf("negative counter: %+v", res.Ops)
+		}
+		acc.Add(res.Ops)
+		if acc.ArcScans < prev.ArcScans || acc.NodeVisits < prev.NodeVisits ||
+			acc.Augmentations < prev.Augmentations || acc.Phases < prev.Phases {
+			t.Fatalf("accumulation not monotone: %+v after %+v", acc, prev)
+		}
+		prev = acc
+	}
+	if acc.ArcScans == 0 || acc.NodeVisits == 0 {
+		t.Fatalf("counters never advanced: %+v", acc)
+	}
+}
+
+// TestBuffersDinicMatchesFresh runs the buffered Dinic across many
+// differently-shaped networks through one Buffers instance and checks each
+// result against a cold Dinic run: same value, legal written-back flow.
+func TestBuffersDinicMatchesFresh(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var buf Buffers
+	for i := 0; i < 50; i++ {
+		stages := 2 + rng.Intn(3)
+		width := 2 + rng.Intn(7)
+		g := testutil.RandomUnitNetwork(rng, stages, width, 0.2+0.6*rng.Float64())
+		cold := Dinic(g.Clone())
+		warm := buf.Dinic(g)
+		if warm.Value != cold.Value {
+			t.Fatalf("instance %d: buffered value %d, fresh value %d", i, warm.Value, cold.Value)
+		}
+		if warm.Ops != cold.Ops {
+			t.Fatalf("instance %d: buffered ops %+v, fresh ops %+v", i, warm.Ops, cold.Ops)
+		}
+		if err := g.CheckLegal(); err != nil {
+			t.Fatalf("instance %d: buffered write-back illegal: %v", i, err)
+		}
+		if g.Value() != warm.Value {
+			t.Fatalf("instance %d: written-back value %d, reported %d", i, g.Value(), warm.Value)
+		}
+	}
+}
+
+// TestBuffersShrinkGrow exercises the reset path across shrinking and
+// growing instances, where stale capacity reuse bugs would show.
+func TestBuffersShrinkGrow(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	var buf Buffers
+	for _, width := range []int{12, 2, 9, 3, 16, 1, 16} {
+		g := testutil.RandomUnitNetwork(rng, 3, width, 0.5)
+		cold := Dinic(g.Clone())
+		warm := buf.Dinic(g)
+		if warm.Value != cold.Value {
+			t.Fatalf("width %d: buffered value %d, fresh value %d", width, warm.Value, cold.Value)
+		}
+	}
+}

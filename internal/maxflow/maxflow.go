@@ -49,12 +49,23 @@ type residual struct {
 	head [][]int32
 }
 
-func newResidual(g *graph.Network) *residual {
-	r := &residual{
-		g:    g,
-		to:   make([]int, 2*len(g.Arcs)),
-		cap:  make([]int64, 2*len(g.Arcs)),
-		head: make([][]int32, g.NumNodes()),
+// reset rebuilds the residual for g, reusing the backing arrays from any
+// previous computation. Adjacency sub-slices keep their capacity across
+// resets, so a warm residual builds without allocating on the hot path of
+// repeated scheduling cycles.
+func (r *residual) reset(g *graph.Network) {
+	r.g = g
+	m := 2 * len(g.Arcs)
+	r.to = growInts(r.to, m)
+	r.cap = growInt64s(r.cap, m)
+	n := g.NumNodes()
+	if n > cap(r.head) {
+		r.head = make([][]int32, n)
+	} else {
+		r.head = r.head[:n]
+	}
+	for i := range r.head {
+		r.head[i] = r.head[i][:0]
 	}
 	for i := range g.Arcs {
 		a := &g.Arcs[i]
@@ -65,7 +76,50 @@ func newResidual(g *graph.Network) *residual {
 		r.head[a.From] = append(r.head[a.From], int32(2*i))
 		r.head[a.To] = append(r.head[a.To], int32(2*i+1))
 	}
+}
+
+func newResidual(g *graph.Network) *residual {
+	r := &residual{}
+	r.reset(g)
 	return r
+}
+
+// growInts returns s resized to length n, reusing its backing array when
+// large enough.
+func growInts(s []int, n int) []int {
+	if cap(s) < n {
+		return make([]int, n)
+	}
+	return s[:n]
+}
+
+func growInt64s(s []int64, n int) []int64 {
+	if cap(s) < n {
+		return make([]int64, n)
+	}
+	return s[:n]
+}
+
+// Buffers is a reusable workspace for repeated max-flow computations. The
+// zero value is ready to use; each call recycles the residual arrays and
+// search scratch of the previous call, so a long-lived solver (one per
+// scheduling shard, say) runs the per-cycle flow solve without rebuilding
+// its arena. Buffers is not safe for concurrent use; give each goroutine
+// its own.
+type Buffers struct {
+	r     residual
+	level []int
+	iter  []int
+}
+
+// Dinic computes a maximum flow like the package-level Dinic, reusing b's
+// storage.
+func (b *Buffers) Dinic(g *graph.Network) Result {
+	b.r.reset(g)
+	n := g.NumNodes()
+	b.level = growInts(b.level, n)
+	b.iter = growInts(b.iter, n)
+	return dinic(g, &b.r, b.level, b.iter)
 }
 
 // push advances amt units of flow along residual arc id.
@@ -199,11 +253,15 @@ func EdmondsKarp(g *graph.Network) Result {
 // phase"). The loop ends when the sink is no longer reachable.
 func Dinic(g *graph.Network) Result {
 	r := newResidual(g)
+	n := g.NumNodes()
+	return dinic(g, r, make([]int, n), make([]int, n))
+}
+
+// dinic is the shared Dinic body; level and iter must have length
+// g.NumNodes() (their contents are overwritten).
+func dinic(g *graph.Network, r *residual, level, iter []int) Result {
 	var res Result
 	res.Value = g.Value()
-	n := g.NumNodes()
-	level := make([]int, n)
-	iter := make([]int, n)
 
 	bfs := func() bool {
 		for i := range level {

@@ -1,0 +1,432 @@
+// Package sched is the goroutine-safe batched scheduling service layered
+// over internal/system. A system.System is deliberately single-threaded —
+// it models the hardware monitor of §IV, which serializes every request.
+// At production scale that serialization is the bottleneck: N concurrent
+// clients would pay N lock round-trips and N max-flow solves.
+//
+// The service removes both costs:
+//
+//   - Batched epochs. Client operations (Submit, EndService) are buffered
+//     per shard and flushed as one scheduling epoch when either BatchSize
+//     operations have accumulated or the FlushEvery timer ticks. One epoch
+//     runs the underlying System's Cycle — one flow solve covering every
+//     request in the batch — repeating only while grants are still being
+//     made (multi-resource tasks acquire one unit per cycle, §II).
+//   - Sharding. The fabric is partitioned into disjoint sub-networks (one
+//     Clos plane, one resource type, one tenant...), each owned by its own
+//     shard goroutine with its own System, so independent shards schedule
+//     in parallel with zero shared state. A worker-pool semaphore caps how
+//     many shards solve simultaneously.
+//   - Buffer reuse. Each shard's System carries a core.Planner whose
+//     maxflow.Buffers recycle the residual arena between cycles, keeping
+//     the per-epoch solve allocation-light.
+//
+// Transmission is modeled as completing within the epoch that grants it
+// (the service calls EndTransmission on behalf of the client); the
+// client-visible service time is the interval between Handle readiness and
+// the client's EndService call.
+package sched
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"rsin/internal/maxflow"
+	"rsin/internal/system"
+)
+
+// ErrClosed is reported by operations issued against a closed Scheduler
+// and by handles abandoned when the Scheduler shut down before the task
+// could be provisioned.
+var ErrClosed = errors.New("sched: scheduler closed")
+
+// Config parameterizes a Scheduler.
+type Config struct {
+	// Shards holds one system configuration per disjoint sub-network.
+	// Shard i is addressed by the shard argument of Submit. At least one
+	// shard is required.
+	Shards []system.Config
+	// BatchSize flushes a shard's epoch once this many operations are
+	// buffered. Default 32.
+	BatchSize int
+	// FlushEvery bounds the latency of a partially-filled batch: a timer
+	// flush fires at this period whenever work is pending. Default 500µs.
+	FlushEvery time.Duration
+	// Workers caps how many shards may run their solver concurrently
+	// (the solver worker pool). Default: one worker per shard.
+	Workers int
+}
+
+// Stats is a snapshot of service counters, summed over shards.
+type Stats struct {
+	Submitted int64 // tasks accepted into a shard system
+	Granted   int64 // resources granted across all cycles
+	Serviced  int64 // tasks completed by EndService
+	Epochs    int64 // batches flushed
+	Cycles    int64 // scheduling cycles run (>= Epochs when work pending)
+	Deferred  int64 // requests withheld by deadlock avoidance
+	Free      int   // free resources after each shard's latest epoch
+	// Ops accumulates the solver's primitive-operation counters across
+	// every cycle — the §IV monitor cost model, summed service-wide.
+	Ops maxflow.Counters
+}
+
+// Handle tracks one submitted task. Wait on Done(), then check Err() and
+// read Resources(); pass the handle to EndService when the task finishes
+// computing.
+type Handle struct {
+	shard int
+	id    system.TaskID
+	done  chan struct{}
+	res   []int // resources held; written by the shard goroutine before done closes
+	err   error // terminal submission error; written before done closes
+}
+
+// Done is closed once the task is fully provisioned (or has failed —
+// check Err).
+func (h *Handle) Done() <-chan struct{} { return h.done }
+
+// Err reports the task's terminal error. Valid after Done is closed.
+func (h *Handle) Err() error { return h.err }
+
+// Resources lists the resources granted to the task. Valid after Done is
+// closed and until EndService.
+func (h *Handle) Resources() []int { return append([]int(nil), h.res...) }
+
+// Shard reports the shard the task was routed to.
+func (h *Handle) Shard() int { return h.shard }
+
+type opKind int
+
+const (
+	opSubmit opKind = iota
+	opEnd
+)
+
+type op struct {
+	kind  opKind
+	task  system.Task
+	h     *Handle
+	reply chan error // opEnd: the outcome of System.EndService
+}
+
+// shard owns one System. Only the shard's goroutine touches sys, tracked
+// and dead; stats is the one structure shared with Stats() readers.
+type shard struct {
+	idx     int
+	sys     *system.System
+	procs   int
+	ress    int
+	ops     chan op
+	tracked map[system.TaskID]*Handle // provisioning not yet complete
+
+	mu    sync.Mutex
+	stats Stats
+
+	dead error // set on an internal Cycle failure; shard rejects all work
+}
+
+// Scheduler is the concurrent batched scheduling service. All methods are
+// safe for concurrent use.
+type Scheduler struct {
+	cfg    Config
+	shards []*shard
+	sem    chan struct{} // solver worker pool
+
+	mu     sync.RWMutex // guards closed vs. in-flight channel sends
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// New validates the configuration, builds one System per shard and starts
+// the shard goroutines.
+func New(cfg Config) (*Scheduler, error) {
+	if len(cfg.Shards) == 0 {
+		return nil, fmt.Errorf("sched: at least one shard is required")
+	}
+	if cfg.BatchSize <= 0 {
+		cfg.BatchSize = 32
+	}
+	if cfg.FlushEvery <= 0 {
+		cfg.FlushEvery = 500 * time.Microsecond
+	}
+	if cfg.Workers <= 0 || cfg.Workers > len(cfg.Shards) {
+		cfg.Workers = len(cfg.Shards)
+	}
+	s := &Scheduler{
+		cfg: cfg,
+		sem: make(chan struct{}, cfg.Workers),
+	}
+	for i, sc := range cfg.Shards {
+		sys, err := system.New(sc)
+		if err != nil {
+			return nil, fmt.Errorf("sched: shard %d: %w", i, err)
+		}
+		sh := &shard{
+			idx:     i,
+			sys:     sys,
+			procs:   sc.Net.Procs,
+			ress:    sc.Net.Ress,
+			ops:     make(chan op, 2*cfg.BatchSize),
+			tracked: make(map[system.TaskID]*Handle),
+		}
+		sh.stats.Free = sc.Net.Ress
+		s.shards = append(s.shards, sh)
+	}
+	for _, sh := range s.shards {
+		s.wg.Add(1)
+		go s.run(sh)
+	}
+	return s, nil
+}
+
+// NumShards reports the number of configured shards.
+func (s *Scheduler) NumShards() int { return len(s.shards) }
+
+// Submit queues a task on a shard and returns a handle immediately. The
+// task joins the next scheduling epoch; wait on Handle.Done for its
+// resources.
+func (s *Scheduler) Submit(shard int, t system.Task) (*Handle, error) {
+	if shard < 0 || shard >= len(s.shards) {
+		return nil, fmt.Errorf("sched: shard %d out of range [0,%d)", shard, len(s.shards))
+	}
+	sh := s.shards[shard]
+	if t.Proc < 0 || t.Proc >= sh.procs {
+		return nil, fmt.Errorf("sched: shard %d: processor %d out of range [0,%d)", shard, t.Proc, sh.procs)
+	}
+	if t.Need > sh.ress {
+		return nil, fmt.Errorf("sched: shard %d: task needs %d resources, shard has %d", shard, t.Need, sh.ress)
+	}
+	h := &Handle{shard: shard, done: make(chan struct{})}
+	if err := s.send(sh, op{kind: opSubmit, task: t, h: h}); err != nil {
+		return nil, err
+	}
+	return h, nil
+}
+
+// EndService releases every resource a finished task holds. It may only
+// be called after the handle's Done channel closed with a nil Err; it
+// blocks until the release epoch has run.
+func (s *Scheduler) EndService(h *Handle) error {
+	if h == nil {
+		return fmt.Errorf("sched: nil handle")
+	}
+	select {
+	case <-h.done:
+	default:
+		return fmt.Errorf("sched: task on shard %d is not fully provisioned", h.shard)
+	}
+	if h.err != nil {
+		return fmt.Errorf("sched: task failed and holds nothing: %w", h.err)
+	}
+	reply := make(chan error, 1)
+	if err := s.send(s.shards[h.shard], op{kind: opEnd, h: h, reply: reply}); err != nil {
+		return err
+	}
+	return <-reply
+}
+
+// send delivers an op to a shard unless the scheduler is closed. The read
+// lock spans the channel send so Close cannot close the channel between
+// the check and the send.
+func (s *Scheduler) send(sh *shard, o op) error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.closed {
+		return ErrClosed
+	}
+	sh.ops <- o
+	return nil
+}
+
+// Stats sums the per-shard counters.
+func (s *Scheduler) Stats() Stats {
+	var tot Stats
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		st := sh.stats
+		sh.mu.Unlock()
+		tot.Submitted += st.Submitted
+		tot.Granted += st.Granted
+		tot.Serviced += st.Serviced
+		tot.Epochs += st.Epochs
+		tot.Cycles += st.Cycles
+		tot.Deferred += st.Deferred
+		tot.Free += st.Free
+		tot.Ops.Add(st.Ops)
+	}
+	return tot
+}
+
+// Close stops accepting work, runs a final epoch per shard and waits for
+// the shard goroutines to exit. Tasks still unprovisioned after the final
+// epoch have their handles closed with ErrClosed. Close is idempotent.
+func (s *Scheduler) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	s.mu.Unlock()
+	for _, sh := range s.shards {
+		close(sh.ops)
+	}
+	s.wg.Wait()
+	return nil
+}
+
+// run is the shard goroutine: buffer ops, flush epochs on batch size or
+// timer tick, and keep re-scheduling while unprovisioned tasks remain.
+func (s *Scheduler) run(sh *shard) {
+	defer s.wg.Done()
+	ticker := time.NewTicker(s.cfg.FlushEvery)
+	defer ticker.Stop()
+	buf := make([]op, 0, s.cfg.BatchSize)
+	for {
+		select {
+		case o, ok := <-sh.ops:
+			if !ok {
+				s.shutdown(sh, buf)
+				return
+			}
+			buf = append(buf, o)
+			// Drain whatever else is already queued, up to the batch size.
+		drain:
+			for len(buf) < s.cfg.BatchSize {
+				select {
+				case o, ok := <-sh.ops:
+					if !ok {
+						s.shutdown(sh, buf)
+						return
+					}
+					buf = append(buf, o)
+				default:
+					break drain
+				}
+			}
+			if len(buf) >= s.cfg.BatchSize {
+				buf = s.flush(sh, buf)
+			}
+		case <-ticker.C:
+			if len(buf) > 0 || len(sh.tracked) > 0 {
+				buf = s.flush(sh, buf)
+			}
+		}
+	}
+}
+
+// shutdown runs the final epoch for whatever is buffered, then fails any
+// handle the service could not provision.
+func (s *Scheduler) shutdown(sh *shard, buf []op) {
+	if len(buf) > 0 || len(sh.tracked) > 0 {
+		s.flush(sh, buf)
+	}
+	for id, h := range sh.tracked {
+		h.err = ErrClosed
+		close(h.done)
+		delete(sh.tracked, id)
+	}
+}
+
+// flush is one scheduling epoch: apply releases and submissions, cycle the
+// discipline while it makes progress, then publish completed handles. The
+// worker-pool semaphore is held for the whole epoch (the solver-bound
+// phase dominates it).
+func (s *Scheduler) flush(sh *shard, buf []op) []op {
+	s.sem <- struct{}{}
+	defer func() { <-s.sem }()
+
+	var epoch Stats
+	// Releases first: resources freed by finished tasks are available to
+	// this very epoch's solve.
+	for _, o := range buf {
+		switch o.kind {
+		case opEnd:
+			var err error
+			if sh.dead != nil {
+				err = sh.dead
+			} else {
+				err = sh.sys.EndService(o.h.id)
+			}
+			if err == nil {
+				epoch.Serviced++
+			}
+			o.reply <- err
+		case opSubmit:
+			if sh.dead != nil {
+				o.h.err = sh.dead
+				close(o.h.done)
+				continue
+			}
+			id, err := sh.sys.Submit(o.task)
+			if err != nil {
+				o.h.err = err
+				close(o.h.done)
+				continue
+			}
+			o.h.id = id
+			sh.tracked[id] = o.h
+			epoch.Submitted++
+		}
+	}
+
+	// Scheduling: one Cycle solves the whole batch; repeat only while
+	// grants keep landing (multi-resource tasks and freshly unblocked
+	// queue heads acquire on the follow-up cycles).
+	for sh.dead == nil && len(sh.tracked) > 0 {
+		r, err := sh.sys.Cycle()
+		if err != nil {
+			// A Cycle error means the shard's internal state is no longer
+			// trustworthy; poison the shard rather than limp on.
+			sh.dead = fmt.Errorf("sched: shard %d: %w", sh.idx, err)
+			for id, h := range sh.tracked {
+				h.err = sh.dead
+				close(h.done)
+				delete(sh.tracked, id)
+			}
+			break
+		}
+		epoch.Cycles++
+		epoch.Granted += int64(r.Granted)
+		epoch.Deferred += int64(r.Deferred)
+		epoch.Ops.Add(maxflow.Counters{
+			Augmentations: r.Mapping.Ops.Augmentations,
+			Phases:        r.Mapping.Ops.Phases,
+			ArcScans:      r.Mapping.Ops.ArcScans,
+			NodeVisits:    r.Mapping.Ops.NodeVisits,
+		})
+		if r.Granted == 0 {
+			break
+		}
+		for _, a := range r.Mapping.Assigned {
+			if err := sh.sys.EndTransmission(a.Req.Proc); err != nil {
+				sh.dead = fmt.Errorf("sched: shard %d: %w", sh.idx, err)
+				break
+			}
+		}
+	}
+
+	// Publish tasks that finished acquiring.
+	for id, h := range sh.tracked {
+		if sh.sys.Remaining(id) == 0 {
+			h.res = sh.sys.Holding(id)
+			close(h.done)
+			delete(sh.tracked, id)
+		}
+	}
+
+	sh.mu.Lock()
+	sh.stats.Submitted += epoch.Submitted
+	sh.stats.Serviced += epoch.Serviced
+	sh.stats.Granted += epoch.Granted
+	sh.stats.Deferred += epoch.Deferred
+	sh.stats.Cycles += epoch.Cycles
+	sh.stats.Epochs++
+	sh.stats.Free = sh.sys.FreeResources()
+	sh.stats.Ops.Add(epoch.Ops)
+	sh.mu.Unlock()
+	return buf[:0]
+}

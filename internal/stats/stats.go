@@ -133,6 +133,22 @@ func (h *Histogram) String() string {
 	return sb.String()
 }
 
+// Percentiles returns the qs-quantiles of a sample slice in one pass over
+// a single sorted copy — the latency-report shape (p50/p90/p99/...) the
+// load harnesses print.
+func Percentiles(samples []float64, qs ...float64) []float64 {
+	out := make([]float64, len(qs))
+	if len(samples) == 0 {
+		return out
+	}
+	s := append([]float64(nil), samples...)
+	sort.Float64s(s)
+	for i, q := range qs {
+		out[i] = quantileSorted(s, q)
+	}
+	return out
+}
+
 // Quantile returns the q-quantile (0 <= q <= 1) of a sample slice, using
 // linear interpolation; the slice is not modified.
 func Quantile(samples []float64, q float64) float64 {
@@ -141,6 +157,12 @@ func Quantile(samples []float64, q float64) float64 {
 	}
 	s := append([]float64(nil), samples...)
 	sort.Float64s(s)
+	return quantileSorted(s, q)
+}
+
+// quantileSorted interpolates the q-quantile of an already-sorted,
+// non-empty slice.
+func quantileSorted(s []float64, q float64) float64 {
 	if q <= 0 {
 		return s[0]
 	}

@@ -123,3 +123,28 @@ func TestQuantileInterpolation(t *testing.T) {
 		t.Fatalf("interpolated median = %v, want 5", got)
 	}
 }
+
+func TestPercentiles(t *testing.T) {
+	var samples []float64
+	for i := 100; i >= 1; i-- {
+		samples = append(samples, float64(i))
+	}
+	got := Percentiles(samples, 0, 0.5, 0.99, 1)
+	want := []float64{
+		Quantile(samples, 0),
+		Quantile(samples, 0.5),
+		Quantile(samples, 0.99),
+		Quantile(samples, 1),
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("percentile %d: got %v, want %v", i, got[i], want[i])
+		}
+	}
+	if got[0] != 1 || got[3] != 100 {
+		t.Fatalf("extremes wrong: %v", got)
+	}
+	if empty := Percentiles(nil, 0.5, 0.9); empty[0] != 0 || empty[1] != 0 {
+		t.Fatalf("empty input: %v", empty)
+	}
+}

@@ -1,0 +1,101 @@
+package system
+
+import (
+	"testing"
+
+	"rsin/internal/topology"
+)
+
+// FuzzSubmitCycle fuzzes interleavings of the §II life-cycle operations —
+// Submit, Cycle, EndTransmission, EndService — with arbitrary payloads and
+// asserts the system's invariants hold after every step instead of merely
+// not crashing:
+//
+//   - held ⊆ granted: every resource a task reports holding is a real
+//     resource, held by exactly one live task, and the holder census
+//     balances FreeResources (held + free == Ress);
+//   - Pending() is never negative and counts exactly the live tasks;
+//   - a task never holds more than its declared Need.
+//
+// Operation errors (bad processor, premature EndService, ...) are legal
+// outcomes; invariant violations are not.
+func FuzzSubmitCycle(f *testing.F) {
+	f.Add([]byte{0x00, 0x01, 0x02, 0x03})
+	f.Add([]byte{0x10, 0x50, 0x01, 0x01, 0x02, 0x03, 0x03, 0x03})
+	f.Add([]byte{0xff, 0x00, 0x40, 0x01, 0x81, 0x01, 0xc2, 0x03})
+	f.Add([]byte{0x20, 0x60, 0xa0, 0xe0, 0x01, 0x01, 0x01, 0x02, 0x02, 0x03, 0x03})
+	f.Fuzz(func(t *testing.T, ops []byte) {
+		if len(ops) > 1<<12 {
+			return
+		}
+		avoid := AvoidanceNone
+		if len(ops) > 0 && ops[0]&1 == 1 {
+			avoid = AvoidanceBankers
+		}
+		net := topology.Omega(4)
+		s, err := New(Config{Net: net, Avoidance: avoid})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var ids []TaskID
+		for _, b := range ops {
+			switch b & 0x03 {
+			case 0: // Submit(proc, need) from the upper bits
+				task := Task{Proc: int(b>>2) & 0x07, Need: int(b>>5) & 0x03}
+				if id, err := s.Submit(task); err == nil {
+					ids = append(ids, id)
+				}
+			case 1: // Cycle
+				if _, err := s.Cycle(); err != nil {
+					t.Fatalf("cycle: %v", err)
+				}
+			case 2: // EndTransmission(proc); "not transmitting" is fine
+				_ = s.EndTransmission(int(b>>2) & 0x07)
+			case 3: // EndService on a fuzzer-chosen submitted task
+				if len(ids) > 0 {
+					_ = s.EndService(ids[int(b>>2)%len(ids)])
+				}
+			}
+			checkInvariants(t, s, net, ids)
+		}
+	})
+}
+
+// checkInvariants audits the externally observable state of the system.
+func checkInvariants(t *testing.T, s *System, net *topology.Network, ids []TaskID) {
+	t.Helper()
+	if s.Pending() < 0 {
+		t.Fatalf("Pending() = %d", s.Pending())
+	}
+	holder := make(map[int]TaskID)
+	live := 0
+	for _, id := range ids {
+		held := s.Holding(id)
+		rem := s.Remaining(id)
+		if rem == -1 {
+			if held != nil {
+				t.Fatalf("serviced task %d still holds %v", id, held)
+			}
+			continue
+		}
+		live++
+		if rem < 0 {
+			t.Fatalf("task %d remaining %d", id, rem)
+		}
+		for _, r := range held {
+			if r < 0 || r >= net.Ress {
+				t.Fatalf("task %d holds nonexistent resource %d", id, r)
+			}
+			if prev, dup := holder[r]; dup {
+				t.Fatalf("resource %d held by both task %d and task %d", r, prev, id)
+			}
+			holder[r] = id
+		}
+	}
+	if live != s.Pending() {
+		t.Fatalf("Pending() = %d but %d live tasks observed", s.Pending(), live)
+	}
+	if got, want := s.FreeResources(), net.Ress-len(holder); got != want {
+		t.Fatalf("FreeResources() = %d, want %d (%d held of %d)", got, want, len(holder), net.Ress)
+	}
+}

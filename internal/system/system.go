@@ -74,10 +74,9 @@ type Task struct {
 }
 
 type taskState struct {
-	id       TaskID
-	task     Task
-	held     []int // resources acquired so far
-	serviced bool
+	id   TaskID
+	task Task
+	held []int // resources acquired so far
 }
 
 // CycleResult reports one scheduling cycle.
@@ -100,6 +99,8 @@ type System struct {
 	resHolder    []TaskID // per resource: holding task, or -1
 	transmitting []TaskID // per processor: task currently holding a circuit, or -1
 	circuits     map[TaskID][]topology.Circuit
+
+	planner core.Planner // recycled solver buffers for the MaxFlow discipline
 }
 
 // New validates the configuration and returns an empty system.
@@ -202,7 +203,7 @@ func (s *System) hypothetical() *hypoState {
 		}
 	}
 	for id, t := range s.tasks {
-		if t.serviced || len(t.held) == 0 {
+		if len(t.held) == 0 {
 			continue
 		}
 		h.committed[id] = &hypoTask{typ: t.task.Type, rem: t.remaining(), held: len(t.held)}
@@ -302,7 +303,7 @@ func (s *System) Cycle() (*CycleResult, error) {
 	var err error
 	switch s.cfg.Discipline {
 	case MaxFlow:
-		m, err = core.ScheduleMaxFlow(s.net, reqs, avail)
+		m, err = s.planner.ScheduleMaxFlow(s.net, reqs, avail)
 	case MinCost:
 		m, err = core.ScheduleMinCost(s.net, reqs, avail)
 	case Hetero:
@@ -355,6 +356,9 @@ func (s *System) Cycle() (*CycleResult, error) {
 // until it has acquired all Need resources; then it leaves the queue,
 // computing until EndService.
 func (s *System) EndTransmission(p int) error {
+	if p < 0 || p >= s.net.Procs {
+		return fmt.Errorf("system: processor %d out of range", p)
+	}
 	id := s.transmitting[p]
 	if id == -1 {
 		return fmt.Errorf("system: processor %d is not transmitting", p)
@@ -372,14 +376,14 @@ func (s *System) EndTransmission(p int) error {
 	return nil
 }
 
-// EndService completes a task: all its resources become free.
+// EndService completes a task: all its resources become free and the
+// task's bookkeeping is dropped, so a long-running system does not grow
+// with its service history. A second EndService on the same ID therefore
+// reports the task as unknown.
 func (s *System) EndService(id TaskID) error {
 	t, ok := s.tasks[id]
 	if !ok {
 		return fmt.Errorf("system: unknown task %d", id)
-	}
-	if t.serviced {
-		return fmt.Errorf("system: task %d already serviced", id)
 	}
 	if t.remaining() != 0 {
 		return fmt.Errorf("system: task %d still needs %d resources", id, t.remaining())
@@ -390,17 +394,38 @@ func (s *System) EndService(id TaskID) error {
 	for _, r := range t.held {
 		s.resHolder[r] = -1
 	}
-	t.serviced = true
+	delete(s.tasks, id)
+	delete(s.circuits, id)
 	return nil
 }
 
 // Holding reports the resources currently held by a task.
 func (s *System) Holding(id TaskID) []int {
 	t, ok := s.tasks[id]
-	if !ok || t.serviced {
+	if !ok {
 		return nil
 	}
 	return append([]int(nil), t.held...)
+}
+
+// Remaining reports how many more resources a task must acquire before it
+// is fully provisioned (0 means ready to compute / EndService), or -1 if
+// the task is unknown or already serviced.
+func (s *System) Remaining(id TaskID) int {
+	t, ok := s.tasks[id]
+	if !ok {
+		return -1
+	}
+	return t.remaining()
+}
+
+// Transmitting reports the task currently holding processor p's circuit,
+// or -1.
+func (s *System) Transmitting(p int) TaskID {
+	if p < 0 || p >= len(s.transmitting) {
+		return -1
+	}
+	return s.transmitting[p]
 }
 
 // FreeResources counts unheld resources.
@@ -415,15 +440,7 @@ func (s *System) FreeResources() int {
 }
 
 // Pending counts unserviced submitted tasks.
-func (s *System) Pending() int {
-	n := 0
-	for _, t := range s.tasks {
-		if !t.serviced {
-			n++
-		}
-	}
-	return n
-}
+func (s *System) Pending() int { return len(s.tasks) }
 
 // Deadlocked reports the hold-and-wait deadlock of §II: no transmission is
 // in flight, no fully-provisioned task remains to be serviced, and every
@@ -443,9 +460,6 @@ func (s *System) Deadlocked() bool {
 	}
 	anyWaitingHolder := false
 	for _, t := range s.tasks {
-		if t.serviced {
-			continue
-		}
 		if t.remaining() == 0 {
 			return false // serviceable: progress possible
 		}

@@ -262,7 +262,7 @@ func TestBankersStress(t *testing.T) {
 				}
 				// Service any fully-provisioned, non-transmitting task.
 				for id, st := range s.tasks {
-					if !st.serviced && st.remaining() == 0 && s.transmitting[st.task.Proc] != id {
+					if st.remaining() == 0 && s.transmitting[st.task.Proc] != id {
 						if rng.Float64() < 0.7 {
 							if err := s.EndService(id); err != nil {
 								t.Fatal(err)

@@ -22,6 +22,7 @@ package rsin
 
 import (
 	"rsin/internal/core"
+	"rsin/internal/sched"
 	"rsin/internal/system"
 	"rsin/internal/token"
 	"rsin/internal/topology"
@@ -55,10 +56,25 @@ type (
 	SystemConfig = system.Config
 	// SystemTask is a unit of work submitted to a System.
 	SystemTask = system.Task
+	// Scheduler is the goroutine-safe batched scheduling service: client
+	// submissions are coalesced into epochs, each epoch costs one flow
+	// solve, and disjoint shards schedule in parallel.
+	Scheduler = sched.Scheduler
+	// SchedulerConfig parameterizes a Scheduler (shards, batch size,
+	// flush period, solver worker pool).
+	SchedulerConfig = sched.Config
+	// SchedulerStats is a snapshot of service counters.
+	SchedulerStats = sched.Stats
+	// TaskHandle tracks a task submitted to a Scheduler.
+	TaskHandle = sched.Handle
 )
 
 // NewSystem constructs a System (see internal/system for the life cycle).
 var NewSystem = system.New
+
+// NewScheduler starts the concurrent batched scheduling service (see
+// internal/sched for semantics and sizing guidance).
+var NewScheduler = sched.New
 
 // Topology constructors (see internal/topology for the full set).
 var (
