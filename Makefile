@@ -2,7 +2,7 @@
 # packages. `make` (or `make all`) is what CI runs.
 GO ?= go
 
-.PHONY: all vet build test race bench fuzz
+.PHONY: all vet build test race bench fuzz lint vuln
 
 all: vet build test race
 
@@ -12,14 +12,23 @@ vet:
 build:
 	$(GO) build ./...
 
+# -shuffle=on surfaces order-dependent tests (CI runs the same).
 test:
-	$(GO) test ./...
+	$(GO) test -shuffle=on ./...
 
 # The scheduling service and the system facade are the two packages with
 # concurrency (or concurrent callers); their stress tests must stay
 # race-clean.
 race:
-	$(GO) test -race ./internal/sched ./internal/system
+	$(GO) test -race -shuffle=on ./internal/sched ./internal/system
+
+# lint/vuln need staticcheck / govulncheck on PATH (CI installs them);
+# they are not part of `all` so an offline checkout still builds.
+lint:
+	staticcheck ./...
+
+vuln:
+	govulncheck ./...
 
 bench:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...

@@ -7,9 +7,19 @@
 //	go run ./cmd/rsinserve                             # 64 clients on one Omega(64)
 //	go run ./cmd/rsinserve -shards 4 -topo benes -n 16 # four Benes(16) planes
 //	go run ./cmd/rsinserve -clients 256 -batch 128
+//
+// The -inject flag scripts deterministic faults into the shard systems
+// (see internal/faultinject) to exercise the supervisor's recovery path
+// at load, and -deadline puts a per-task context deadline on every
+// client, exercising cancellation:
+//
+//	go run ./cmd/rsinserve -inject cycle:%500          # fail every 500th solve
+//	go run ./cmd/rsinserve -deadline 2ms               # cancel slow tasks
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -17,6 +27,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"rsin/internal/faultinject"
 	"rsin/internal/sched"
 	"rsin/internal/stats"
 	"rsin/internal/system"
@@ -34,9 +45,20 @@ func main() {
 		need    = flag.Int("need", 1, "resources per task")
 		batch   = flag.Int("batch", 0, "epoch batch size (0 = library default)")
 		flush   = flag.Duration("flush", 0, "epoch flush period (0 = library default)")
-		naive   = flag.Bool("no-avoidance", false, "disable banker's deadlock avoidance for need > 1 (can wedge, §II)")
+		naive    = flag.Bool("no-avoidance", false, "disable banker's deadlock avoidance for need > 1 (can wedge, §II)")
+		inject   = flag.String("inject", "", "fault-injection script, e.g. cycle:%500,endtransmission:3 (see internal/faultinject)")
+		deadline = flag.Duration("deadline", 0, "per-task context deadline (0 = none); expired tasks are canceled")
 	)
 	flag.Parse()
+
+	var injector *faultinject.Injector
+	if *inject != "" {
+		var err error
+		if injector, err = faultinject.Parse(*inject); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+	}
 
 	build := map[string]func(int) *topology.Network{
 		"omega":    topology.Omega,
@@ -58,7 +80,11 @@ func main() {
 	}
 	cfg := sched.Config{BatchSize: *batch, FlushEvery: *flush, Workers: *workers}
 	for i := 0; i < *shards; i++ {
-		cfg.Shards = append(cfg.Shards, system.Config{Net: build(*n), Avoidance: avoidance})
+		sc := system.Config{Net: build(*n), Avoidance: avoidance}
+		if injector != nil {
+			sc.FaultHook = injector.Hook // one injector: counters span shards
+		}
+		cfg.Shards = append(cfg.Shards, sc)
 	}
 	s, err := sched.New(cfg)
 	if err != nil {
@@ -68,7 +94,20 @@ func main() {
 
 	total := *clients * *tasks
 	latencies := make([][]float64, *clients) // per client; merged after the run
-	var failed atomic.Int64
+	// Expected casualties of -inject and -deadline are tallied apart from
+	// genuine failures: lost counts ErrShardDown (grants discarded by a
+	// supervisor restart), canceled counts ErrTaskCanceled deadlines.
+	var failed, lost, canceled atomic.Int64
+	tally := func(err error) {
+		switch {
+		case errors.Is(err, sched.ErrShardDown):
+			lost.Add(1)
+		case errors.Is(err, sched.ErrTaskCanceled):
+			canceled.Add(1)
+		default:
+			failed.Add(1)
+		}
+	}
 	var wg sync.WaitGroup
 	start := time.Now()
 	for c := 0; c < *clients; c++ {
@@ -77,22 +116,40 @@ func main() {
 			defer wg.Done()
 			shard := c % *shards
 			proc := (c / *shards) % *n
+			task := system.Task{Proc: proc, Need: *need}
+			// runTask submits and waits for provisioning, under a deadline
+			// when one is configured.
+			runTask := func() (*sched.Handle, error) {
+				if *deadline <= 0 {
+					h, err := s.Submit(shard, task)
+					if err == nil {
+						<-h.Done()
+					}
+					return h, err
+				}
+				ctx, cancel := context.WithTimeout(context.Background(), *deadline)
+				defer cancel()
+				h, err := s.SubmitCtx(ctx, shard, task)
+				if err == nil {
+					<-h.Done()
+				}
+				return h, err
+			}
 			lat := make([]float64, 0, *tasks)
 			for i := 0; i < *tasks; i++ {
 				t0 := time.Now()
-				h, err := s.Submit(shard, system.Task{Proc: proc, Need: *need})
+				h, err := runTask()
 				if err != nil {
-					failed.Add(1)
+					tally(err)
 					continue
 				}
-				<-h.Done()
 				if h.Err() != nil {
-					failed.Add(1)
+					tally(h.Err())
 					continue
 				}
 				lat = append(lat, time.Since(t0).Seconds()*1e3)
 				if err := s.EndService(h); err != nil {
-					failed.Add(1)
+					tally(err)
 				}
 			}
 			latencies[c] = lat
@@ -120,12 +177,22 @@ func main() {
 	fmt.Printf("latency (ms)  p50=%.3f p90=%.3f p99=%.3f max=%.3f (n=%d)\n", qs[0], qs[1], qs[2], qs[3], len(all))
 	fmt.Printf("service       epochs=%d cycles=%d granted=%d serviced=%d deferred=%d\n",
 		st.Epochs, st.Cycles, st.Granted, st.Serviced, st.Deferred)
+	if injector != nil || *deadline > 0 || st.Restarts > 0 || st.Canceled > 0 {
+		fired := 0
+		if injector != nil {
+			fired = injector.Fired()
+		}
+		fmt.Printf("faults        injected=%d restarts=%d lost=%d canceled=%d\n",
+			fired, st.Restarts, lost.Load(), canceled.Load())
+	}
 	if st.Epochs > 0 {
 		fmt.Printf("batching      %.1f tasks/epoch, %.1f cycles/epoch\n",
 			float64(st.Submitted)/float64(st.Epochs), float64(st.Cycles)/float64(st.Epochs))
 	}
 	fmt.Printf("solver ops    augmentations=%d phases=%d arc-scans=%d node-visits=%d\n",
 		st.Ops.Augmentations, st.Ops.Phases, st.Ops.ArcScans, st.Ops.NodeVisits)
+	// Shard-down losses and deadline cancellations are the expected cost
+	// of -inject / -deadline runs; anything else is a real failure.
 	if f := failed.Load(); f > 0 {
 		fmt.Printf("FAILED        %d tasks\n", f)
 		os.Exit(1)

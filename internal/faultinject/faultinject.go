@@ -1,0 +1,136 @@
+// Package faultinject provides deterministic, scriptable fault injection
+// for the system life cycle. An Injector counts calls per named fault
+// point (system.FaultCycle, system.FaultEndTransmission) and fails
+// exactly the scripted ones, so recovery tests and load drivers can force
+// solver errors, EndTransmission failures and (by wedging grants) deadlock
+// scenarios at a reproducible instant instead of waiting for entropy.
+//
+// An Injector is safe for concurrent use: one instance may back every
+// shard of a scheduling service, its call counters shared service-wide.
+//
+// Scripts are comma-separated point:trigger pairs:
+//
+//	cycle:3                    fail the 3rd Cycle call
+//	endtransmission:1          fail the 1st EndTransmission call
+//	cycle:%100                 fail every 100th Cycle call
+//	cycle:3,cycle:9,endtransmission:%50
+package faultinject
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// ErrInjected is the error every injected fault wraps; match it with
+// errors.Is to tell scripted failures from organic ones.
+var ErrInjected = errors.New("faultinject: injected fault")
+
+type rule struct {
+	at    map[int]bool // 1-based call numbers that fail
+	every int          // additionally fail every Nth call; 0 = off
+}
+
+// Injector scripts which calls at which fault points fail.
+type Injector struct {
+	mu    sync.Mutex
+	rules map[string]*rule
+	calls map[string]int
+	fired int
+}
+
+// New returns an empty Injector; without FailAt/FailEvery rules its Hook
+// never fires.
+func New() *Injector {
+	return &Injector{rules: map[string]*rule{}, calls: map[string]int{}}
+}
+
+// FailAt scripts the nth (1-based) call at point to fail. It returns the
+// Injector for chaining.
+func (in *Injector) FailAt(point string, nth int) *Injector {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	r := in.rule(point)
+	r.at[nth] = true
+	return in
+}
+
+// FailEvery scripts every nth call at point to fail. It returns the
+// Injector for chaining.
+func (in *Injector) FailEvery(point string, nth int) *Injector {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.rule(point).every = nth
+	return in
+}
+
+// rule returns the rule for a point, creating it. Callers hold in.mu.
+func (in *Injector) rule(point string) *rule {
+	r := in.rules[point]
+	if r == nil {
+		r = &rule{at: map[int]bool{}}
+		in.rules[point] = r
+	}
+	return r
+}
+
+// Parse builds an Injector from a script (see the package comment for the
+// grammar). An empty script yields an Injector that never fires.
+func Parse(spec string) (*Injector, error) {
+	in := New()
+	for _, field := range strings.Split(spec, ",") {
+		field = strings.TrimSpace(field)
+		if field == "" {
+			continue
+		}
+		point, trigger, ok := strings.Cut(field, ":")
+		if !ok || point == "" || trigger == "" {
+			return nil, fmt.Errorf("faultinject: %q is not point:trigger", field)
+		}
+		every := strings.HasPrefix(trigger, "%")
+		n, err := strconv.Atoi(strings.TrimPrefix(trigger, "%"))
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("faultinject: %q: trigger must be a positive call number", field)
+		}
+		if every {
+			in.FailEvery(point, n)
+		} else {
+			in.FailAt(point, n)
+		}
+	}
+	return in, nil
+}
+
+// Hook is the system.Config.FaultHook implementation: it counts the call
+// and fails it if scripted. The returned error wraps ErrInjected.
+func (in *Injector) Hook(point string) error {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.calls[point]++
+	r := in.rules[point]
+	if r == nil {
+		return nil
+	}
+	n := in.calls[point]
+	if r.at[n] || (r.every > 0 && n%r.every == 0) {
+		in.fired++
+		return fmt.Errorf("%w: %s call %d", ErrInjected, point, n)
+	}
+	return nil
+}
+
+// Calls reports how many times point has been consulted.
+func (in *Injector) Calls(point string) int {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.calls[point]
+}
+
+// Fired reports how many faults have been injected across all points.
+func (in *Injector) Fired() int {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.fired
+}

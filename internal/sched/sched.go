@@ -25,9 +25,23 @@
 // (the service calls EndTransmission on behalf of the client); the
 // client-visible service time is the interval between Handle readiness and
 // the client's EndService call.
+//
+// # Failure semantics
+//
+// A shard whose System fails internally (a solver error, an
+// EndTransmission fault) is not poisoned: a supervisor fails every
+// in-flight handle with an error matching ErrShardDown, rebuilds the
+// shard's System from a fresh state and resumes accepting work.
+// Stats.Restarts counts these recoveries. Resources granted before the
+// fault belong to the lost generation — EndService on such a handle also
+// reports ErrShardDown rather than corrupting the rebuilt state. Clients
+// with a deadline use SubmitCtx: an expired context withdraws the task
+// from its shard (releasing the queue slot and anything it holds) and
+// fails the handle with ErrTaskCanceled.
 package sched
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -41,6 +55,16 @@ import (
 // and by handles abandoned when the Scheduler shut down before the task
 // could be provisioned.
 var ErrClosed = errors.New("sched: scheduler closed")
+
+// ErrShardDown is matched (errors.Is) by the error of every handle that
+// was in flight when its shard's System failed, and by EndService calls
+// whose grants were lost to the resulting restart. The shard itself
+// recovers and keeps accepting work.
+var ErrShardDown = errors.New("sched: shard down")
+
+// ErrTaskCanceled is matched by the error of a handle withdrawn by
+// SubmitCtx context cancellation before it was fully provisioned.
+var ErrTaskCanceled = errors.New("sched: task canceled")
 
 // Config parameterizes a Scheduler.
 type Config struct {
@@ -67,6 +91,8 @@ type Stats struct {
 	Epochs    int64 // batches flushed
 	Cycles    int64 // scheduling cycles run (>= Epochs when work pending)
 	Deferred  int64 // requests withheld by deadlock avoidance
+	Canceled  int64 // tasks withdrawn by SubmitCtx context cancellation
+	Restarts  int64 // shard recoveries from internal System failures
 	Free      int   // free resources after each shard's latest epoch
 	// Ops accumulates the solver's primitive-operation counters across
 	// every cycle — the §IV monitor cost model, summed service-wide.
@@ -79,6 +105,7 @@ type Stats struct {
 type Handle struct {
 	shard int
 	id    system.TaskID
+	gen   int // shard restart generation the task was admitted under
 	done  chan struct{}
 	res   []int // resources held; written by the shard goroutine before done closes
 	err   error // terminal submission error; written before done closes
@@ -103,6 +130,7 @@ type opKind int
 const (
 	opSubmit opKind = iota
 	opEnd
+	opCancel
 )
 
 type op struct {
@@ -110,22 +138,28 @@ type op struct {
 	task  system.Task
 	h     *Handle
 	reply chan error // opEnd: the outcome of System.EndService
+	cause error      // opCancel: the context's Err at cancellation
 }
 
 // shard owns one System. Only the shard's goroutine touches sys, tracked
 // and dead; stats is the one structure shared with Stats() readers.
 type shard struct {
-	idx     int
-	sys     *system.System
-	procs   int
-	ress    int
-	ops     chan op
-	tracked map[system.TaskID]*Handle // provisioning not yet complete
+	idx       int
+	sys       *system.System
+	procs     int
+	ress      int
+	typeCount map[int]int // resources per configured type; nil without Types
+	ops       chan op
+	tracked   map[system.TaskID]*Handle // provisioning not yet complete
+	gen       int                       // bumped by every supervisor restart
 
 	mu    sync.Mutex
 	stats Stats
 
-	dead error // set on an internal Cycle failure; shard rejects all work
+	// dead is the last resort: it is set only when a supervisor restart
+	// itself fails (the shard config no longer builds a System); the
+	// shard then rejects all work.
+	dead error
 }
 
 // Scheduler is the concurrent batched scheduling service. All methods are
@@ -172,6 +206,12 @@ func New(cfg Config) (*Scheduler, error) {
 			ops:     make(chan op, 2*cfg.BatchSize),
 			tracked: make(map[system.TaskID]*Handle),
 		}
+		if sc.Types != nil {
+			sh.typeCount = make(map[int]int)
+			for _, ty := range sc.Types {
+				sh.typeCount[ty]++
+			}
+		}
 		sh.stats.Free = sc.Net.Ress
 		s.shards = append(s.shards, sh)
 	}
@@ -196,13 +236,49 @@ func (s *Scheduler) Submit(shard int, t system.Task) (*Handle, error) {
 	if t.Proc < 0 || t.Proc >= sh.procs {
 		return nil, fmt.Errorf("sched: shard %d: processor %d out of range [0,%d)", shard, t.Proc, sh.procs)
 	}
-	if t.Need > sh.ress {
-		return nil, fmt.Errorf("sched: shard %d: task needs %d resources, shard has %d", shard, t.Need, sh.ress)
+	need := t.Need
+	if need <= 0 {
+		need = 1
+	}
+	if need > sh.ress {
+		return nil, fmt.Errorf("sched: shard %d: task needs %d resources, shard has %d: %w",
+			shard, need, sh.ress, system.ErrUnsatisfiable)
+	}
+	if sh.typeCount != nil && need > sh.typeCount[t.Type] {
+		return nil, fmt.Errorf("sched: shard %d: task needs %d resources of type %d, shard has %d: %w",
+			shard, need, t.Type, sh.typeCount[t.Type], system.ErrUnsatisfiable)
 	}
 	h := &Handle{shard: shard, done: make(chan struct{})}
 	if err := s.send(sh, op{kind: opSubmit, task: t, h: h}); err != nil {
 		return nil, err
 	}
+	return h, nil
+}
+
+// SubmitCtx is Submit with a cancellation contract: if ctx ends before
+// the task is fully provisioned, the task is withdrawn from its shard —
+// the queue slot and any partially-acquired resources are released — and
+// the handle fails with an error matching ErrTaskCanceled. Cancellation
+// is best-effort against a racing grant: if Done closes with a nil Err,
+// the client owns the resources and must still call EndService.
+func (s *Scheduler) SubmitCtx(ctx context.Context, shard int, t system.Task) (*Handle, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("sched: %w: %w", ErrTaskCanceled, err)
+	}
+	h, err := s.Submit(shard, t)
+	if err != nil || ctx.Done() == nil {
+		return h, err
+	}
+	go func() {
+		select {
+		case <-h.done:
+		case <-ctx.Done():
+			// The shard decides the race: the cancel op is a no-op if the
+			// task completed (or was failed) before it drains. A closed
+			// scheduler already fails the handle in shutdown.
+			_ = s.send(s.shards[shard], op{kind: opCancel, h: h, cause: ctx.Err()})
+		}
+	}()
 	return h, nil
 }
 
@@ -254,6 +330,8 @@ func (s *Scheduler) Stats() Stats {
 		tot.Epochs += st.Epochs
 		tot.Cycles += st.Cycles
 		tot.Deferred += st.Deferred
+		tot.Canceled += st.Canceled
+		tot.Restarts += st.Restarts
 		tot.Free += st.Free
 		tot.Ops.Add(st.Ops)
 	}
@@ -309,9 +387,17 @@ func (s *Scheduler) run(sh *shard) {
 			}
 			if len(buf) >= s.cfg.BatchSize {
 				buf = s.flush(sh, buf)
+				// The batch flush just ran an epoch; a timer flush due any
+				// moment would re-solve an unchanged state.
+				ticker.Reset(s.cfg.FlushEvery)
 			}
 		case <-ticker.C:
-			if len(buf) > 0 || len(sh.tracked) > 0 {
+			// Flush only when buffered ops can change the shard state. A
+			// blocked tracked task alone is no reason to re-solve: every
+			// epoch already cycles to quiescence, and the System evolves
+			// only through ops — re-running the solver on an unchanged
+			// state is a hot polling loop that grants nothing.
+			if len(buf) > 0 {
 				buf = s.flush(sh, buf)
 			}
 		}
@@ -340,15 +426,22 @@ func (s *Scheduler) flush(sh *shard, buf []op) []op {
 	defer func() { <-s.sem }()
 
 	var epoch Stats
-	// Releases first: resources freed by finished tasks are available to
-	// this very epoch's solve.
+	// Releases and withdrawals first: resources freed by finished or
+	// canceled tasks are available to this very epoch's solve. Buffer
+	// order guarantees a task's submit precedes its cancel.
 	for _, o := range buf {
 		switch o.kind {
 		case opEnd:
 			var err error
-			if sh.dead != nil {
+			switch {
+			case sh.dead != nil:
 				err = sh.dead
-			} else {
+			case o.h.gen != sh.gen:
+				// The grants were made by a System discarded in a restart;
+				// applying the release to the rebuilt one would free
+				// resources it never granted.
+				err = fmt.Errorf("sched: shard %d: grants lost to restart: %w", sh.idx, ErrShardDown)
+			default:
 				err = sh.sys.EndService(o.h.id)
 			}
 			if err == nil {
@@ -368,8 +461,27 @@ func (s *Scheduler) flush(sh *shard, buf []op) []op {
 				continue
 			}
 			o.h.id = id
+			o.h.gen = sh.gen
 			sh.tracked[id] = o.h
 			epoch.Submitted++
+		case opCancel:
+			h := o.h
+			if h.gen != sh.gen {
+				continue // already failed by the restart that bumped gen
+			}
+			if _, ok := sh.tracked[h.id]; !ok {
+				continue // provisioned or failed before the cancel drained
+			}
+			if err := sh.sys.Cancel(h.id); err != nil {
+				// A tracked task the System cannot withdraw means the
+				// shard state is suspect; let the supervisor rebuild it.
+				s.failShard(sh, fmt.Errorf("canceling task %d: %w", h.id, err), &epoch)
+				continue
+			}
+			delete(sh.tracked, h.id)
+			h.err = fmt.Errorf("sched: shard %d: %w: %w", sh.idx, ErrTaskCanceled, o.cause)
+			close(h.done)
+			epoch.Canceled++
 		}
 	}
 
@@ -379,14 +491,7 @@ func (s *Scheduler) flush(sh *shard, buf []op) []op {
 	for sh.dead == nil && len(sh.tracked) > 0 {
 		r, err := sh.sys.Cycle()
 		if err != nil {
-			// A Cycle error means the shard's internal state is no longer
-			// trustworthy; poison the shard rather than limp on.
-			sh.dead = fmt.Errorf("sched: shard %d: %w", sh.idx, err)
-			for id, h := range sh.tracked {
-				h.err = sh.dead
-				close(h.done)
-				delete(sh.tracked, id)
-			}
+			s.failShard(sh, err, &epoch)
 			break
 		}
 		epoch.Cycles++
@@ -401,11 +506,16 @@ func (s *Scheduler) flush(sh *shard, buf []op) []op {
 		if r.Granted == 0 {
 			break
 		}
+		faulted := false
 		for _, a := range r.Mapping.Assigned {
 			if err := sh.sys.EndTransmission(a.Req.Proc); err != nil {
-				sh.dead = fmt.Errorf("sched: shard %d: %w", sh.idx, err)
+				s.failShard(sh, err, &epoch)
+				faulted = true
 				break
 			}
+		}
+		if faulted {
+			break
 		}
 	}
 
@@ -423,10 +533,37 @@ func (s *Scheduler) flush(sh *shard, buf []op) []op {
 	sh.stats.Serviced += epoch.Serviced
 	sh.stats.Granted += epoch.Granted
 	sh.stats.Deferred += epoch.Deferred
+	sh.stats.Canceled += epoch.Canceled
+	sh.stats.Restarts += epoch.Restarts
 	sh.stats.Cycles += epoch.Cycles
 	sh.stats.Epochs++
 	sh.stats.Free = sh.sys.FreeResources()
 	sh.stats.Ops.Add(epoch.Ops)
 	sh.mu.Unlock()
 	return buf[:0]
+}
+
+// failShard is the shard supervisor. The System reported an internal
+// fault, so its state is no longer trustworthy: contain it by failing
+// every in-flight handle with an ErrShardDown error, then rebuild the
+// System from a fresh state under a new generation and resume accepting
+// work. Releases of grants made by the lost generation are rejected by
+// the gen check in flush rather than applied to the rebuilt state.
+func (s *Scheduler) failShard(sh *shard, cause error, epoch *Stats) {
+	down := fmt.Errorf("sched: shard %d: %w: %w", sh.idx, ErrShardDown, cause)
+	for id, h := range sh.tracked {
+		h.err = down
+		close(h.done)
+		delete(sh.tracked, id)
+	}
+	sys, err := system.New(s.cfg.Shards[sh.idx])
+	if err != nil {
+		// The config built a System at New; if it no longer does,
+		// recovery is impossible and the shard stays down for good.
+		sh.dead = fmt.Errorf("sched: shard %d: rebuilding after fault: %w (fault: %w)", sh.idx, err, cause)
+		return
+	}
+	sh.sys = sys
+	sh.gen++
+	epoch.Restarts++
 }

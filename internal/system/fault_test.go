@@ -1,0 +1,150 @@
+package system
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"rsin/internal/topology"
+)
+
+// TestCancelQueued: canceling a queued task frees its queue slot so the
+// task behind it reaches the head.
+func TestCancelQueued(t *testing.T) {
+	s, _ := New(Config{Net: topology.Omega(8)})
+	a := mustSubmit(t, s, Task{Proc: 0})
+	b := mustSubmit(t, s, Task{Proc: 0})
+	if err := s.Cancel(a); err != nil {
+		t.Fatal(err)
+	}
+	cycle(t, s)
+	if len(s.Holding(b)) != 1 {
+		t.Fatal("task behind the canceled one was not served")
+	}
+	if s.Pending() != 1 {
+		t.Fatalf("pending %d, want 1", s.Pending())
+	}
+}
+
+// TestCancelPartiallyProvisioned: canceling a task that holds resources
+// and an in-flight circuit releases everything — the fabric is as good
+// as new for the next task.
+func TestCancelPartiallyProvisioned(t *testing.T) {
+	s, _ := New(Config{Net: topology.Omega(8)})
+	id := mustSubmit(t, s, Task{Proc: 2, Need: 3})
+	cycle(t, s) // grants one resource; the circuit is still up
+	if len(s.Holding(id)) != 1 || s.Transmitting(2) != id {
+		t.Fatalf("setup: holding %v, transmitting %d", s.Holding(id), s.Transmitting(2))
+	}
+	if err := s.Cancel(id); err != nil {
+		t.Fatal(err)
+	}
+	if s.FreeResources() != 8 || s.Pending() != 0 || s.Transmitting(2) != -1 {
+		t.Fatalf("after cancel: free=%d pending=%d transmitting=%d",
+			s.FreeResources(), s.Pending(), s.Transmitting(2))
+	}
+	// The released circuit's links must be reusable.
+	next := mustSubmit(t, s, Task{Proc: 2})
+	if r := cycle(t, s); r.Granted != 1 {
+		t.Fatalf("post-cancel grant failed: %+v", r)
+	}
+	if err := s.EndTransmission(2); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.EndService(next); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCancelUnknown(t *testing.T) {
+	s, _ := New(Config{Net: topology.Omega(8)})
+	if err := s.Cancel(42); err == nil {
+		t.Fatal("unknown task canceled")
+	}
+	id := mustSubmit(t, s, Task{Proc: 0})
+	cycle(t, s)
+	if err := s.EndTransmission(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.EndService(id); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Cancel(id); err == nil {
+		t.Fatal("serviced task canceled")
+	}
+}
+
+// TestSubmitUnsatisfiableByType: with Types set, a Need larger than the
+// task's own type count is rejected at submit with ErrUnsatisfiable —
+// under both avoidance modes (Bankers would defer it forever,
+// AvoidanceNone would let it hold units and deadlock).
+func TestSubmitUnsatisfiableByType(t *testing.T) {
+	for _, av := range []Avoidance{AvoidanceNone, AvoidanceBankers} {
+		t.Run(fmt.Sprintf("avoidance=%d", av), func(t *testing.T) {
+			s, err := New(Config{
+				Net:       topology.Omega(8),
+				Avoidance: av,
+				Types:     []int{0, 0, 0, 1, 1, 1, 1, 1}, // three of type 0
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			_, err = s.Submit(Task{Proc: 0, Type: 0, Need: 4})
+			if !errors.Is(err, ErrUnsatisfiable) {
+				t.Fatalf("Need=4 of 3 type-0 units: err = %v, want ErrUnsatisfiable", err)
+			}
+			if _, err := s.Submit(Task{Proc: 0, Type: 0, Need: 3}); err != nil {
+				t.Fatalf("satisfiable task rejected: %v", err)
+			}
+			if _, err := s.Submit(Task{Proc: 1, Type: 1, Need: 5}); err != nil {
+				t.Fatalf("satisfiable task rejected: %v", err)
+			}
+			_, err = s.Submit(Task{Proc: 2, Need: 9})
+			if !errors.Is(err, ErrUnsatisfiable) {
+				t.Fatalf("Need over total: err = %v, want ErrUnsatisfiable", err)
+			}
+		})
+	}
+}
+
+// TestFaultHook: the hook fails the named operation before it mutates
+// state, and a nil-returning hook is transparent.
+func TestFaultHook(t *testing.T) {
+	boom := errors.New("boom")
+	var fail string // which point should fail
+	s, err := New(Config{
+		Net: topology.Omega(8),
+		FaultHook: func(point string) error {
+			if point == fail {
+				return boom
+			}
+			return nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := mustSubmit(t, s, Task{Proc: 1})
+
+	fail = FaultCycle
+	if _, err := s.Cycle(); !errors.Is(err, boom) {
+		t.Fatalf("Cycle err = %v, want boom", err)
+	}
+	fail = ""
+	cycle(t, s)
+
+	fail = FaultEndTransmission
+	if err := s.EndTransmission(1); !errors.Is(err, boom) {
+		t.Fatalf("EndTransmission err = %v, want boom", err)
+	}
+	if s.Transmitting(1) != id {
+		t.Fatal("failed EndTransmission mutated transmission state")
+	}
+	fail = ""
+	if err := s.EndTransmission(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.EndService(id); err != nil {
+		t.Fatal(err)
+	}
+}

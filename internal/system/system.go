@@ -16,12 +16,30 @@
 package system
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 
 	"rsin/internal/core"
 	"rsin/internal/token"
 	"rsin/internal/topology"
+)
+
+// ErrUnsatisfiable is wrapped by Submit when a task's declared demand can
+// never be met by the fabric — its Need exceeds the total resource count,
+// or (with Config.Types set) the count of resources of its own type.
+// Admitting such a task would wedge the system instead: the banker's
+// policy defers it forever, and AvoidanceNone lets it hold units it can
+// never complete with (the §II hold-and-wait deadlock, made permanent).
+var ErrUnsatisfiable = errors.New("system: task demand can never be satisfied")
+
+// Fault points at which Config.FaultHook is consulted.
+const (
+	// FaultCycle fires at the top of every Cycle, before the solver runs.
+	FaultCycle = "cycle"
+	// FaultEndTransmission fires in EndTransmission after argument
+	// validation and before any state changes.
+	FaultEndTransmission = "endtransmission"
 )
 
 // Discipline selects the scheduler run on each cycle.
@@ -59,6 +77,13 @@ type Config struct {
 	Preferences []int64
 	// Types assigns a resource type per resource (Hetero); nil = all 0.
 	Types []int
+	// FaultHook, when non-nil, is consulted at the named fault points
+	// (FaultCycle, FaultEndTransmission). A non-nil return makes that
+	// operation fail with the hook's error before it mutates any state.
+	// It exists for deterministic fault injection in recovery tests and
+	// load drivers (see internal/faultinject); production configs leave
+	// it nil.
+	FaultHook func(point string) error
 }
 
 // TaskID identifies a submitted task.
@@ -99,6 +124,7 @@ type System struct {
 	resHolder    []TaskID // per resource: holding task, or -1
 	transmitting []TaskID // per processor: task currently holding a circuit, or -1
 	circuits     map[TaskID][]topology.Circuit
+	typeCount    map[int]int // resources per configured type; nil when Types is nil
 
 	planner core.Planner // recycled solver buffers for the MaxFlow discipline
 }
@@ -129,6 +155,12 @@ func New(cfg Config) (*System, error) {
 	for i := range s.transmitting {
 		s.transmitting[i] = -1
 	}
+	if cfg.Types != nil {
+		s.typeCount = make(map[int]int)
+		for _, ty := range cfg.Types {
+			s.typeCount[ty]++
+		}
+	}
 	return s, nil
 }
 
@@ -141,7 +173,11 @@ func (s *System) Submit(t Task) (TaskID, error) {
 		t.Need = 1
 	}
 	if t.Need > s.net.Ress {
-		return 0, fmt.Errorf("system: task needs %d resources, system has %d", t.Need, s.net.Ress)
+		return 0, fmt.Errorf("system: task needs %d resources, system has %d: %w", t.Need, s.net.Ress, ErrUnsatisfiable)
+	}
+	if s.typeCount != nil && t.Need > s.typeCount[t.Type] {
+		return 0, fmt.Errorf("system: task needs %d resources of type %d, system has %d: %w",
+			t.Need, t.Type, s.typeCount[t.Type], ErrUnsatisfiable)
 	}
 	s.nextID++
 	id := s.nextID
@@ -264,6 +300,11 @@ func (h *hypoState) admit(id TaskID, t Task) bool {
 // each, the configured discipline maps them, and granted circuits are
 // established (the processors begin transmitting).
 func (s *System) Cycle() (*CycleResult, error) {
+	if s.cfg.FaultHook != nil {
+		if err := s.cfg.FaultHook(FaultCycle); err != nil {
+			return nil, fmt.Errorf("system: cycle: %w", err)
+		}
+	}
 	res := &CycleResult{}
 	var reqs []core.Request
 	taskOf := map[int]*taskState{}
@@ -363,6 +404,11 @@ func (s *System) EndTransmission(p int) error {
 	if id == -1 {
 		return fmt.Errorf("system: processor %d is not transmitting", p)
 	}
+	if s.cfg.FaultHook != nil {
+		if err := s.cfg.FaultHook(FaultEndTransmission); err != nil {
+			return fmt.Errorf("system: end transmission: %w", err)
+		}
+	}
 	t := s.tasks[id]
 	circ := s.circuits[id][len(s.circuits[id])-1]
 	if err := s.net.Release(circ); err != nil {
@@ -373,6 +419,40 @@ func (s *System) EndTransmission(p int) error {
 	if t.remaining() == 0 {
 		s.queues[p] = s.queues[p][1:] // task fully provisioned; frees the port
 	}
+	return nil
+}
+
+// Cancel withdraws a task at any point before EndService: it is removed
+// from its processor's queue, any in-flight circuit is torn down, and
+// every resource it holds returns to the free pool. Unlike EndService it
+// does not require the task to be fully provisioned or idle, so a client
+// that abandons a queued or partially-provisioned task (a deadline, a
+// crashed caller) cannot strand its queue-head slot or leak held units.
+func (s *System) Cancel(id TaskID) error {
+	t, ok := s.tasks[id]
+	if !ok {
+		return fmt.Errorf("system: unknown task %d", id)
+	}
+	p := t.task.Proc
+	for _, c := range s.circuits[id] {
+		if err := s.net.Release(c); err != nil {
+			return fmt.Errorf("system: canceling task %d: releasing circuit: %w", id, err)
+		}
+	}
+	if s.transmitting[p] == id {
+		s.transmitting[p] = -1
+	}
+	for _, r := range t.held {
+		s.resHolder[r] = -1
+	}
+	for i, qid := range s.queues[p] {
+		if qid == id {
+			s.queues[p] = append(s.queues[p][:i], s.queues[p][i+1:]...)
+			break
+		}
+	}
+	delete(s.tasks, id)
+	delete(s.circuits, id)
 	return nil
 }
 

@@ -56,6 +56,10 @@ type (
 	SystemConfig = system.Config
 	// SystemTask is a unit of work submitted to a System.
 	SystemTask = system.Task
+	// Discipline selects the scheduler a System runs each cycle.
+	Discipline = system.Discipline
+	// Avoidance selects a System's multi-resource deadlock policy.
+	Avoidance = system.Avoidance
 	// Scheduler is the goroutine-safe batched scheduling service: client
 	// submissions are coalesced into epochs, each epoch costs one flow
 	// solve, and disjoint shards schedule in parallel.
@@ -69,12 +73,51 @@ type (
 	TaskHandle = sched.Handle
 )
 
+// SystemConfig.Discipline and .Avoidance values (the internal constants,
+// reachable from outside the module).
+const (
+	// DisciplineMaxFlow is the homogeneous optimal discipline
+	// (Transformation 1); resource types are ignored.
+	DisciplineMaxFlow = system.MaxFlow
+	// DisciplineMinCost honors priorities and preferences
+	// (Transformation 2).
+	DisciplineMinCost = system.MinCost
+	// DisciplineHetero schedules typed requests (multicommodity flow);
+	// the only discipline that matches Task.Type to Config.Types.
+	DisciplineHetero = system.Hetero
+	// DisciplineToken runs the distributed token architecture (§IV).
+	DisciplineToken = system.TokenArch
+
+	// AvoidanceNone grants greedily; hold-and-wait deadlock is possible.
+	AvoidanceNone = system.AvoidanceNone
+	// AvoidanceBankers admits multi-resource requests only while a safe
+	// completion order remains.
+	AvoidanceBankers = system.AvoidanceBankers
+)
+
 // NewSystem constructs a System (see internal/system for the life cycle).
 var NewSystem = system.New
 
 // NewScheduler starts the concurrent batched scheduling service (see
-// internal/sched for semantics and sizing guidance).
+// internal/sched for semantics, failure semantics and sizing guidance).
 var NewScheduler = sched.New
+
+// Typed failure-semantics errors (match with errors.Is).
+var (
+	// ErrSchedulerClosed is reported by operations on a closed Scheduler
+	// and by handles abandoned at shutdown.
+	ErrSchedulerClosed = sched.ErrClosed
+	// ErrShardDown marks handles and EndService calls whose grants were
+	// lost when a shard's System failed and was rebuilt by the
+	// supervisor; the shard itself recovers and keeps accepting work.
+	ErrShardDown = sched.ErrShardDown
+	// ErrTaskCanceled marks handles withdrawn by Scheduler.SubmitCtx
+	// context cancellation before provisioning completed.
+	ErrTaskCanceled = sched.ErrTaskCanceled
+	// ErrUnsatisfiable is wrapped by Submit when a task's Need exceeds
+	// what its fabric (or its resource type) can ever supply.
+	ErrUnsatisfiable = system.ErrUnsatisfiable
+)
 
 // Topology constructors (see internal/topology for the full set).
 var (
