@@ -10,11 +10,20 @@
 //
 // The -inject flag scripts deterministic faults into the shard systems
 // (see internal/faultinject) to exercise the supervisor's recovery path
-// at load, and -deadline puts a per-task context deadline on every
-// client, exercising cancellation:
+// at load — including scripted hardware faults — and -deadline puts a
+// per-task context deadline on every client, exercising cancellation.
+// The -linkfault flag runs continuous fail→heal hardware chaos: a random
+// link fails, the fabric schedules degraded, the link heals, repeat:
 //
-//	go run ./cmd/rsinserve -inject cycle:%500          # fail every 500th solve
-//	go run ./cmd/rsinserve -deadline 2ms               # cancel slow tasks
+//	go run ./cmd/rsinserve -inject cycle:%500            # fail every 500th solve
+//	go run ./cmd/rsinserve -inject cycle:100:fail-link=3 # kill link 3 at cycle 100
+//	go run ./cmd/rsinserve -deadline 2ms                 # cancel slow tasks
+//	go run ./cmd/rsinserve -linkfault 5ms                # fail→heal a link every 5ms
+//
+// rsinserve shuts down gracefully on SIGINT/SIGTERM: clients stop
+// admitting new tasks, in-flight tasks drain (bounded by -drain), and the
+// full statistics report is printed for whatever portion of the run
+// completed.
 package main
 
 import (
@@ -22,9 +31,12 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"math/rand"
 	"os"
+	"os/signal"
 	"sync"
 	"sync/atomic"
+	"syscall"
 	"time"
 
 	"rsin/internal/faultinject"
@@ -34,22 +46,42 @@ import (
 	"rsin/internal/topology"
 )
 
+// sleepCtx sleeps for d, returning false early if ctx is done.
+func sleepCtx(ctx context.Context, d time.Duration) bool {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return false
+	case <-t.C:
+		return true
+	}
+}
+
 func main() {
 	var (
-		topo    = flag.String("topo", "omega", "fabric per shard: omega | benes | cube | baseline | crossbar")
-		n       = flag.Int("n", 64, "fabric size (N x N) per shard")
-		shards  = flag.Int("shards", 1, "independent shards (disjoint sub-networks)")
-		workers = flag.Int("workers", 0, "solver worker pool size (0 = one per shard)")
-		clients = flag.Int("clients", 64, "concurrent client goroutines")
-		tasks   = flag.Int("tasks", 500, "tasks per client")
-		need    = flag.Int("need", 1, "resources per task")
-		batch   = flag.Int("batch", 0, "epoch batch size (0 = library default)")
-		flush   = flag.Duration("flush", 0, "epoch flush period (0 = library default)")
-		naive    = flag.Bool("no-avoidance", false, "disable banker's deadlock avoidance for need > 1 (can wedge, §II)")
-		inject   = flag.String("inject", "", "fault-injection script, e.g. cycle:%500,endtransmission:3 (see internal/faultinject)")
-		deadline = flag.Duration("deadline", 0, "per-task context deadline (0 = none); expired tasks are canceled")
+		topo      = flag.String("topo", "omega", "fabric per shard: omega | benes | cube | baseline | crossbar")
+		n         = flag.Int("n", 64, "fabric size (N x N) per shard")
+		shards    = flag.Int("shards", 1, "independent shards (disjoint sub-networks)")
+		workers   = flag.Int("workers", 0, "solver worker pool size (0 = one per shard)")
+		clients   = flag.Int("clients", 64, "concurrent client goroutines")
+		tasks     = flag.Int("tasks", 500, "tasks per client")
+		need      = flag.Int("need", 1, "resources per task")
+		batch     = flag.Int("batch", 0, "epoch batch size (0 = library default)")
+		flush     = flag.Duration("flush", 0, "epoch flush period (0 = library default)")
+		naive     = flag.Bool("no-avoidance", false, "disable banker's deadlock avoidance for need > 1 (can wedge, §II)")
+		inject    = flag.String("inject", "", "fault-injection script, e.g. cycle:%500,cycle:9:fail-link=3 (see internal/faultinject)")
+		deadline  = flag.Duration("deadline", 0, "per-task context deadline (0 = none); expired tasks are canceled")
+		linkfault = flag.Duration("linkfault", 0, "hardware chaos: fail then heal one random link per period (0 = off)")
+		drain     = flag.Duration("drain", 10*time.Second, "in-flight drain deadline after SIGINT/SIGTERM")
 	)
 	flag.Parse()
+
+	// Graceful shutdown: the first SIGINT/SIGTERM stops admission; clients
+	// finish their in-flight task, the run drains and the stats print. A
+	// second signal kills the process the default way.
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
 
 	var injector *faultinject.Injector
 	if *inject != "" {
@@ -83,6 +115,7 @@ func main() {
 		sc := system.Config{Net: build(*n), Avoidance: avoidance}
 		if injector != nil {
 			sc.FaultHook = injector.Hook // one injector: counters span shards
+			sc.HardwareHook = injector.HardwareHook
 		}
 		cfg.Shards = append(cfg.Shards, sc)
 	}
@@ -92,18 +125,57 @@ func main() {
 		os.Exit(1)
 	}
 
+	// Hardware chaos: one goroutine periodically fails a random link on a
+	// random shard, lets the fabric run degraded for half the period, then
+	// repairs it. Severed circuits, degraded admission and capacity
+	// recovery are all exercised continuously under live load.
+	chaosCtx, chaosStop := context.WithCancel(ctx)
+	var chaosWg sync.WaitGroup
+	if *linkfault > 0 {
+		nLinks := len(cfg.Shards[0].Net.Links)
+		chaosWg.Add(1)
+		go func() {
+			defer chaosWg.Done()
+			rng := rand.New(rand.NewSource(1)) // deterministic chaos schedule
+			half := *linkfault / 2
+			for {
+				shard, link := rng.Intn(*shards), rng.Intn(nLinks)
+				if err := s.FailLink(shard, link); err != nil {
+					if !sleepCtx(chaosCtx, *linkfault) {
+						return
+					}
+					continue
+				}
+				ok := sleepCtx(chaosCtx, half)
+				s.RepairLink(shard, link) // always heal, even on the way out
+				if !ok || !sleepCtx(chaosCtx, half) {
+					return
+				}
+			}
+		}()
+	}
+
 	total := *clients * *tasks
 	latencies := make([][]float64, *clients) // per client; merged after the run
-	// Expected casualties of -inject and -deadline are tallied apart from
-	// genuine failures: lost counts ErrShardDown (grants discarded by a
-	// supervisor restart), canceled counts ErrTaskCanceled deadlines.
-	var failed, lost, canceled atomic.Int64
+	// Expected casualties of -inject, -deadline and -linkfault are tallied
+	// apart from genuine failures: lost counts ErrShardDown (grants
+	// discarded by a supervisor restart), canceled counts ErrTaskCanceled
+	// deadlines, severed counts sever-retry-budget exhaustion, unsat counts
+	// degraded-capacity rejections, aborted counts tasks abandoned by
+	// shutdown.
+	var failed, lost, canceled, severed, unsat, aborted atomic.Int64
 	tally := func(err error) {
 		switch {
 		case errors.Is(err, sched.ErrShardDown):
 			lost.Add(1)
 		case errors.Is(err, sched.ErrTaskCanceled):
 			canceled.Add(1)
+		case errors.Is(err, system.ErrCircuitSevered):
+			severed.Add(1)
+		case errors.Is(err, system.ErrUnsatisfiable):
+			unsat.Add(1)
+		case errors.Is(err, sched.ErrClosed):
+			aborted.Add(1)
 		default:
 			failed.Add(1)
 		}
@@ -127,9 +199,9 @@ func main() {
 					}
 					return h, err
 				}
-				ctx, cancel := context.WithTimeout(context.Background(), *deadline)
+				tctx, cancel := context.WithTimeout(ctx, *deadline)
 				defer cancel()
-				h, err := s.SubmitCtx(ctx, shard, task)
+				h, err := s.SubmitCtx(tctx, shard, task)
 				if err == nil {
 					<-h.Done()
 				}
@@ -137,6 +209,9 @@ func main() {
 			}
 			lat := make([]float64, 0, *tasks)
 			for i := 0; i < *tasks; i++ {
+				if ctx.Err() != nil {
+					break // shutting down: stop admitting new tasks
+				}
 				t0 := time.Now()
 				h, err := runTask()
 				if err != nil {
@@ -155,7 +230,27 @@ func main() {
 			latencies[c] = lat
 		}(c)
 	}
-	wg.Wait()
+	// Drain: wait for the clients; on a signal, bound the wait with -drain
+	// and abandon stragglers by closing the scheduler (their handles fail
+	// with ErrClosed, unblocking them).
+	clientsDone := make(chan struct{})
+	go func() { wg.Wait(); close(clientsDone) }()
+	interrupted := false
+	select {
+	case <-clientsDone:
+	case <-ctx.Done():
+		interrupted = true
+		fmt.Fprintln(os.Stderr, "rsinserve: signal received, draining in-flight tasks ...")
+		select {
+		case <-clientsDone:
+		case <-time.After(*drain):
+			fmt.Fprintln(os.Stderr, "rsinserve: drain deadline exceeded, abandoning in-flight tasks")
+			s.Close()
+			<-clientsDone
+		}
+	}
+	chaosStop()
+	chaosWg.Wait() // chaos heals its last fault before stats are read
 	elapsed := time.Since(start)
 	st := s.Stats()
 	s.Close()
@@ -184,6 +279,18 @@ func main() {
 		}
 		fmt.Printf("faults        injected=%d restarts=%d lost=%d canceled=%d\n",
 			fired, st.Restarts, lost.Load(), canceled.Load())
+	}
+	hwFired := 0
+	if injector != nil {
+		hwFired = injector.HardwareFired() // ops applied via HardwareHook, not the sched API
+	}
+	if *linkfault > 0 || hwFired > 0 || st.LinkFaults > 0 || st.Repairs > 0 || st.Severed > 0 {
+		fmt.Printf("hardware      faults=%d repairs=%d hook-ops=%d severed=%d usable=%d severed-tasks=%d unsat=%d\n",
+			st.LinkFaults, st.Repairs, hwFired, st.Severed, st.Usable, severed.Load(), unsat.Load())
+	}
+	if interrupted {
+		fmt.Printf("shutdown      interrupted; %d of %d tasks admitted, %d abandoned\n",
+			st.Submitted, int64(total), aborted.Load())
 	}
 	if st.Epochs > 0 {
 		fmt.Printf("batching      %.1f tasks/epoch, %.1f cycles/epoch\n",

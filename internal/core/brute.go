@@ -13,8 +13,8 @@ import (
 func BruteForceMax(net *topology.Network, reqs []Request, avail []Avail) int {
 	usedLink := make([]bool, len(net.Links))
 	for i, l := range net.Links {
-		if l.State != topology.LinkFree {
-			usedLink[i] = true
+		if l.State != topology.LinkFree || !net.LinkUsable(l.ID) {
+			usedLink[i] = true // occupied or failed: unavailable to any path
 		}
 	}
 	usedRes := make(map[int]bool)

@@ -233,6 +233,13 @@ func transform(net *topology.Network, reqs []Request, avail []Avail, priced bool
 		if l.State != topology.LinkFree {
 			continue // (T3): occupied links get capacity 0, (T4) removes them
 		}
+		if !net.LinkUsable(l.ID) {
+			// Hardware fault masking: a failed link (or a link on a failed
+			// switchbox / into a failed resource) is removed exactly like an
+			// occupied one, so the flow problem — and with it Theorems 1-2 —
+			// is posed on the surviving subgraph.
+			continue
+		}
 		from, ok1 := nodeOf(l.From)
 		to, ok2 := nodeOf(l.To)
 		if !ok1 || !ok2 {

@@ -5,46 +5,104 @@
 // solver errors, EndTransmission failures and (by wedging grants) deadlock
 // scenarios at a reproducible instant instead of waiting for entropy.
 //
+// Beyond software faults, an Injector can script hardware faults: link,
+// switchbox and resource failures (and repairs) that fire at scripted
+// cycles and are applied by the system through Config.HardwareHook. That
+// turns fail→heal scenarios — "link 3 dies at cycle 5, comes back at
+// cycle 9" — into one flag on a load driver.
+//
 // An Injector is safe for concurrent use: one instance may back every
 // shard of a scheduling service, its call counters shared service-wide.
 //
-// Scripts are comma-separated point:trigger pairs:
+// Scripts are comma-separated point:trigger[:action] fields:
 //
 //	cycle:3                    fail the 3rd Cycle call
 //	endtransmission:1          fail the 1st EndTransmission call
 //	cycle:%100                 fail every 100th Cycle call
+//	cycle:p=0.01               fail each Cycle call with probability 0.01
+//	cycle:5:fail-link=3        hardware: fail link 3 at the 5th Cycle
+//	cycle:9:repair-link=3      hardware: repair link 3 at the 9th Cycle
+//	cycle:%200:fail-box=2      hardware: fail box 2 every 200th Cycle
+//	cycle:p=0.001:fail-res=0   hardware: fail resource 0, p=0.001 per Cycle
 //	cycle:3,cycle:9,endtransmission:%50
+//
+// Probability triggers draw from a deterministically seeded generator
+// (override with Seed), so "random" soak runs replay exactly. Point names
+// are validated against the system's fault points, and hardware actions
+// are only accepted at "cycle" — the one point where the system consults
+// HardwareHook — so a misspelled script is an error at Parse time, never
+// a scenario that silently fails to fire.
 package faultinject
 
 import (
 	"errors"
 	"fmt"
+	"math/rand"
 	"strconv"
 	"strings"
 	"sync"
+
+	"rsin/internal/system"
 )
 
 // ErrInjected is the error every injected fault wraps; match it with
 // errors.Is to tell scripted failures from organic ones.
 var ErrInjected = errors.New("faultinject: injected fault")
 
+// points a script may name, and whether each consults HardwareHook.
+var knownPoints = map[string]bool{
+	system.FaultCycle:           true,
+	system.FaultEndTransmission: false,
+}
+
 type rule struct {
 	at    map[int]bool // 1-based call numbers that fail
 	every int          // additionally fail every Nth call; 0 = off
+	prob  float64      // additionally fail with this probability; 0 = off
 }
 
-// Injector scripts which calls at which fault points fail.
+// hwEvent is one scripted hardware fault: the trigger (exactly one of
+// nth/every/prob is set) and the operation to apply when it fires.
+type hwEvent struct {
+	nth   int
+	every int
+	prob  float64
+	op    system.FaultOp
+}
+
+// Injector scripts which calls at which fault points fail, and which
+// hardware fault operations fire at which cycles.
 type Injector struct {
-	mu    sync.Mutex
-	rules map[string]*rule
-	calls map[string]int
-	fired int
+	mu      sync.Mutex
+	rules   map[string]*rule
+	calls   map[string]int
+	fired   int
+	hw      map[string][]*hwEvent
+	hwCalls map[string]int // counted separately so Hook+HardwareHook at one point agree
+	hwFired int
+	rng     *rand.Rand
 }
 
-// New returns an empty Injector; without FailAt/FailEvery rules its Hook
-// never fires.
+// New returns an empty Injector; without scripted rules its hooks never
+// fire. Probability triggers use a fixed default seed — call Seed to vary.
 func New() *Injector {
-	return &Injector{rules: map[string]*rule{}, calls: map[string]int{}}
+	return &Injector{
+		rules:   map[string]*rule{},
+		calls:   map[string]int{},
+		hw:      map[string][]*hwEvent{},
+		hwCalls: map[string]int{},
+		rng:     rand.New(rand.NewSource(1)),
+	}
+}
+
+// Seed reseeds the generator behind probability triggers, so distinct
+// soak runs see distinct (but individually replayable) fault schedules.
+// It returns the Injector for chaining.
+func (in *Injector) Seed(seed int64) *Injector {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.rng = rand.New(rand.NewSource(seed))
+	return in
 }
 
 // FailAt scripts the nth (1-based) call at point to fail. It returns the
@@ -66,6 +124,42 @@ func (in *Injector) FailEvery(point string, nth int) *Injector {
 	return in
 }
 
+// FailProb scripts each call at point to fail independently with
+// probability p (0 < p <= 1). It returns the Injector for chaining.
+func (in *Injector) FailProb(point string, p float64) *Injector {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.rule(point).prob = p
+	return in
+}
+
+// HardwareAt scripts op to fire on the nth (1-based) HardwareHook call at
+// point. It returns the Injector for chaining.
+func (in *Injector) HardwareAt(point string, nth int, op system.FaultOp) *Injector {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.hw[point] = append(in.hw[point], &hwEvent{nth: nth, op: op})
+	return in
+}
+
+// HardwareEvery scripts op to fire on every nth HardwareHook call at
+// point. It returns the Injector for chaining.
+func (in *Injector) HardwareEvery(point string, nth int, op system.FaultOp) *Injector {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.hw[point] = append(in.hw[point], &hwEvent{every: nth, op: op})
+	return in
+}
+
+// HardwareProb scripts op to fire on each HardwareHook call at point
+// independently with probability p. It returns the Injector for chaining.
+func (in *Injector) HardwareProb(point string, p float64, op system.FaultOp) *Injector {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.hw[point] = append(in.hw[point], &hwEvent{prob: p, op: op})
+	return in
+}
+
 // rule returns the rule for a point, creating it. Callers hold in.mu.
 func (in *Injector) rule(point string) *rule {
 	r := in.rules[point]
@@ -77,7 +171,8 @@ func (in *Injector) rule(point string) *rule {
 }
 
 // Parse builds an Injector from a script (see the package comment for the
-// grammar). An empty script yields an Injector that never fires.
+// grammar). An empty script yields an Injector that never fires; a
+// malformed field — unknown point, bad trigger, bad action — is an error.
 func Parse(spec string) (*Injector, error) {
 	in := New()
 	for _, field := range strings.Split(spec, ",") {
@@ -85,22 +180,105 @@ func Parse(spec string) (*Injector, error) {
 		if field == "" {
 			continue
 		}
-		point, trigger, ok := strings.Cut(field, ":")
-		if !ok || point == "" || trigger == "" {
-			return nil, fmt.Errorf("faultinject: %q is not point:trigger", field)
+		point, rest, ok := strings.Cut(field, ":")
+		if !ok || point == "" || rest == "" {
+			return nil, fmt.Errorf("faultinject: %q is not point:trigger[:action]", field)
 		}
-		every := strings.HasPrefix(trigger, "%")
-		n, err := strconv.Atoi(strings.TrimPrefix(trigger, "%"))
-		if err != nil || n <= 0 {
-			return nil, fmt.Errorf("faultinject: %q: trigger must be a positive call number", field)
+		if _, known := knownPoints[point]; !known {
+			return nil, fmt.Errorf("faultinject: %q: unknown fault point %q (want %q or %q)",
+				field, point, system.FaultCycle, system.FaultEndTransmission)
 		}
-		if every {
-			in.FailEvery(point, n)
-		} else {
-			in.FailAt(point, n)
+		trigger, action, hasAction := strings.Cut(rest, ":")
+
+		var nth, every int
+		var prob float64
+		switch {
+		case strings.HasPrefix(trigger, "%"):
+			n, err := strconv.Atoi(strings.TrimPrefix(trigger, "%"))
+			if err != nil || n <= 0 {
+				return nil, fmt.Errorf("faultinject: %q: %%N trigger needs a positive period", field)
+			}
+			every = n
+		case strings.HasPrefix(trigger, "p="):
+			p, err := strconv.ParseFloat(strings.TrimPrefix(trigger, "p="), 64)
+			if err != nil || p <= 0 || p > 1 {
+				return nil, fmt.Errorf("faultinject: %q: p= trigger needs a probability in (0, 1]", field)
+			}
+			prob = p
+		default:
+			n, err := strconv.Atoi(trigger)
+			if err != nil || n <= 0 {
+				return nil, fmt.Errorf("faultinject: %q: trigger must be N, %%N or p=P", field)
+			}
+			nth = n
+		}
+
+		if !hasAction {
+			switch {
+			case every > 0:
+				in.FailEvery(point, every)
+			case prob > 0:
+				in.FailProb(point, prob)
+			default:
+				in.FailAt(point, nth)
+			}
+			continue
+		}
+
+		op, err := parseAction(action)
+		if err != nil {
+			return nil, fmt.Errorf("faultinject: %q: %w", field, err)
+		}
+		if !knownPoints[point] {
+			return nil, fmt.Errorf("faultinject: %q: hardware actions fire only at %q", field, system.FaultCycle)
+		}
+		switch {
+		case every > 0:
+			in.HardwareEvery(point, every, op)
+		case prob > 0:
+			in.HardwareProb(point, prob, op)
+		default:
+			in.HardwareAt(point, nth, op)
 		}
 	}
 	return in, nil
+}
+
+// parseAction decodes a hardware action of the form
+// (fail|repair)-(link|box|res)=INDEX into a FaultOp.
+func parseAction(action string) (system.FaultOp, error) {
+	var op system.FaultOp
+	verbTarget, idx, ok := strings.Cut(action, "=")
+	if !ok {
+		return op, fmt.Errorf("action %q is not verb-target=index", action)
+	}
+	verb, target, ok := strings.Cut(verbTarget, "-")
+	if !ok {
+		return op, fmt.Errorf("action %q is not verb-target=index", action)
+	}
+	switch verb {
+	case "fail":
+	case "repair":
+		op.Repair = true
+	default:
+		return op, fmt.Errorf("action verb %q: want fail or repair", verb)
+	}
+	switch target {
+	case "link":
+		op.Target = system.FaultTargetLink
+	case "box":
+		op.Target = system.FaultTargetBox
+	case "res", "resource":
+		op.Target = system.FaultTargetResource
+	default:
+		return op, fmt.Errorf("action target %q: want link, box or res", target)
+	}
+	n, err := strconv.Atoi(idx)
+	if err != nil || n < 0 {
+		return op, fmt.Errorf("action index %q: want a non-negative component index", idx)
+	}
+	op.Index = n
+	return op, nil
 }
 
 // Hook is the system.Config.FaultHook implementation: it counts the call
@@ -114,23 +292,53 @@ func (in *Injector) Hook(point string) error {
 		return nil
 	}
 	n := in.calls[point]
-	if r.at[n] || (r.every > 0 && n%r.every == 0) {
+	if r.at[n] || (r.every > 0 && n%r.every == 0) || (r.prob > 0 && in.rng.Float64() < r.prob) {
 		in.fired++
 		return fmt.Errorf("%w: %s call %d", ErrInjected, point, n)
 	}
 	return nil
 }
 
-// Calls reports how many times point has been consulted.
+// HardwareHook is the system.Config.HardwareHook implementation: it
+// counts the call (on a counter separate from Hook's, so an Injector
+// serving both hooks keeps its cycle numbering consistent) and returns
+// the hardware fault operations scripted for it, in script order.
+func (in *Injector) HardwareHook(point string) []system.FaultOp {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.hwCalls[point]++
+	n := in.hwCalls[point]
+	var ops []system.FaultOp
+	for _, ev := range in.hw[point] {
+		switch {
+		case ev.nth > 0 && ev.nth == n,
+			ev.every > 0 && n%ev.every == 0,
+			ev.prob > 0 && in.rng.Float64() < ev.prob:
+			ops = append(ops, ev.op)
+			in.hwFired++
+		}
+	}
+	return ops
+}
+
+// Calls reports how many times point has been consulted via Hook.
 func (in *Injector) Calls(point string) int {
 	in.mu.Lock()
 	defer in.mu.Unlock()
 	return in.calls[point]
 }
 
-// Fired reports how many faults have been injected across all points.
+// Fired reports how many faults Hook has injected across all points.
 func (in *Injector) Fired() int {
 	in.mu.Lock()
 	defer in.mu.Unlock()
 	return in.fired
+}
+
+// HardwareFired reports how many hardware fault operations HardwareHook
+// has emitted across all points.
+func (in *Injector) HardwareFired() int {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.hwFired
 }

@@ -2,8 +2,11 @@ package faultinject
 
 import (
 	"errors"
+	"reflect"
 	"sync"
 	"testing"
+
+	"rsin/internal/system"
 )
 
 func TestFailAt(t *testing.T) {
@@ -67,10 +70,94 @@ func TestParse(t *testing.T) {
 	if in, err := Parse(""); err != nil || in.Fired() != 0 {
 		t.Fatalf("empty spec: %v", err)
 	}
-	for _, bad := range []string{"cycle", "cycle:", ":3", "cycle:zero", "cycle:0", "cycle:%0", "cycle:-1"} {
+}
+
+func TestParseRejectsMalformed(t *testing.T) {
+	for _, bad := range []string{
+		"cycle", "cycle:", ":3", "cycle:zero", "cycle:0", "cycle:%0", "cycle:-1",
+		"bogus:3",                             // unknown fault point
+		"cycle:p=0", "cycle:p=2", "cycle:p=x", // probability out of range / not a number
+		"endtransmission:3:fail-link=1", // hardware action at a point without HardwareHook
+		"cycle:3:fail-link",             // action missing =index
+		"cycle:3:faillink=1",            // action missing verb-target dash
+		"cycle:3:explode-link=1",        // unknown verb
+		"cycle:3:fail-widget=1",         // unknown target
+		"cycle:3:fail-link=-1",          // negative index
+	} {
 		if _, err := Parse(bad); err == nil {
 			t.Fatalf("spec %q accepted", bad)
 		}
+	}
+}
+
+func TestFailProb(t *testing.T) {
+	in := New().Seed(7).FailProb("cycle", 0.25)
+	fired := 0
+	for i := 0; i < 4000; i++ {
+		if err := in.Hook("cycle"); err != nil {
+			if !errors.Is(err, ErrInjected) {
+				t.Fatalf("injected error %v does not wrap ErrInjected", err)
+			}
+			fired++
+		}
+	}
+	if fired < 800 || fired > 1200 {
+		t.Fatalf("p=0.25 fired %d of 4000 calls", fired)
+	}
+	if fired != in.Fired() {
+		t.Fatalf("fired=%d but Fired()=%d", fired, in.Fired())
+	}
+	// Same seed, same schedule: probability faults must replay exactly.
+	again := New().Seed(7).FailProb("cycle", 0.25)
+	for i := 0; i < 4000; i++ {
+		again.Hook("cycle")
+	}
+	if again.Fired() != fired {
+		t.Fatalf("replay with seed 7 fired %d, first run fired %d", again.Fired(), fired)
+	}
+}
+
+func TestHardwareScript(t *testing.T) {
+	in, err := Parse("cycle:2:fail-link=3, cycle:4:repair-link=3, cycle:%3:fail-box=1, cycle:5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[int][]system.FaultOp{
+		2: {{Target: system.FaultTargetLink, Index: 3}},
+		3: {{Target: system.FaultTargetBox, Index: 1}},
+		4: {{Repair: true, Target: system.FaultTargetLink, Index: 3}},
+		6: {{Target: system.FaultTargetBox, Index: 1}},
+	}
+	for n := 1; n <= 6; n++ {
+		got := in.HardwareHook("cycle")
+		if !reflect.DeepEqual(got, want[n]) {
+			t.Fatalf("call %d: ops %v, want %v", n, got, want[n])
+		}
+	}
+	if in.HardwareFired() != 4 {
+		t.Fatalf("HardwareFired=%d, want 4", in.HardwareFired())
+	}
+	// The software rule rides the same spec on an independent counter.
+	for n := 1; n <= 5; n++ {
+		err := in.Hook("cycle")
+		if (err != nil) != (n == 5) {
+			t.Fatalf("Hook call %d: err=%v", n, err)
+		}
+	}
+}
+
+func TestHardwareProb(t *testing.T) {
+	in, err := Parse("cycle:p=0.5:fail-res=0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	in.Seed(42)
+	fired := 0
+	for i := 0; i < 1000; i++ {
+		fired += len(in.HardwareHook("cycle"))
+	}
+	if fired < 400 || fired > 600 {
+		t.Fatalf("p=0.5 emitted %d ops in 1000 calls", fired)
 	}
 }
 

@@ -38,6 +38,20 @@
 // with a deadline use SubmitCtx: an expired context withdraws the task
 // from its shard (releasing the queue slot and anything it holds) and
 // fails the handle with ErrTaskCanceled.
+//
+// # Hardware faults
+//
+// Hardware failures are a separate axis: FailLink/FailBox/FailResource
+// (and their Repair duals) mark physical components of a shard's fabric
+// failed. The shard keeps scheduling on the surviving subgraph — the
+// solve is still optimal for whatever capacity remains. Units in flight
+// across a failed component are severed and re-queued automatically,
+// bounded by Config.SeverRetries before the handle fails with an error
+// matching system.ErrCircuitSevered; tasks whose demand no longer fits
+// the degraded capacity fail with system.ErrUnsatisfiable (at Submit and
+// retroactively for queued tasks). Stats.LinkFaults, Stats.Severed,
+// Stats.Repairs count the events; Stats.Usable gauges surviving
+// capacity.
 package sched
 
 import (
@@ -81,6 +95,13 @@ type Config struct {
 	// Workers caps how many shards may run their solver concurrently
 	// (the solver worker pool). Default: one worker per shard.
 	Workers int
+	// SeverRetries bounds how many times a task's units may be severed
+	// by hardware faults before its handle is failed with an error
+	// matching system.ErrCircuitSevered (the client may resubmit once
+	// capacity heals). Each retry rides the ordinary epoch cadence — the
+	// re-queued unit is solved for on the next cycle, a natural backoff
+	// of one batch period. Default 3.
+	SeverRetries int
 }
 
 // Stats is a snapshot of service counters, summed over shards.
@@ -93,7 +114,14 @@ type Stats struct {
 	Deferred  int64 // requests withheld by deadlock avoidance
 	Canceled  int64 // tasks withdrawn by SubmitCtx context cancellation
 	Restarts  int64 // shard recoveries from internal System failures
-	Free      int   // free resources after each shard's latest epoch
+
+	// Hardware fault counters.
+	LinkFaults int64 // component failures applied (links, boxes, resources)
+	Severed    int64 // in-flight units lost to faults and re-queued
+	Repairs    int64 // component repairs applied
+
+	Free   int // free resources after each shard's latest epoch
+	Usable int // degraded-capacity gauge: schedulable resources surviving faults
 	// Ops accumulates the solver's primitive-operation counters across
 	// every cycle — the §IV monitor cost model, summed service-wide.
 	Ops maxflow.Counters
@@ -103,12 +131,15 @@ type Stats struct {
 // read Resources(); pass the handle to EndService when the task finishes
 // computing.
 type Handle struct {
-	shard int
-	id    system.TaskID
-	gen   int // shard restart generation the task was admitted under
-	done  chan struct{}
-	res   []int // resources held; written by the shard goroutine before done closes
-	err   error // terminal submission error; written before done closes
+	shard  int
+	id     system.TaskID
+	gen    int // shard restart generation the task was admitted under
+	need   int // declared resource demand (for degraded-capacity rechecks)
+	typ    int // declared resource type
+	severs int // units lost to hardware faults; bounded by Config.SeverRetries
+	done   chan struct{}
+	res    []int // resources held; written by the shard goroutine before done closes
+	err    error // terminal submission error; written before done closes
 }
 
 // Done is closed once the task is fully provisioned (or has failed —
@@ -131,14 +162,16 @@ const (
 	opSubmit opKind = iota
 	opEnd
 	opCancel
+	opFault
 )
 
 type op struct {
 	kind  opKind
 	task  system.Task
 	h     *Handle
-	reply chan error // opEnd: the outcome of System.EndService
-	cause error      // opCancel: the context's Err at cancellation
+	reply chan error     // opEnd/opFault: the outcome of the System call
+	cause error          // opCancel: the context's Err at cancellation
+	fault system.FaultOp // opFault: the hardware event to apply
 }
 
 // shard owns one System. Only the shard's goroutine touches sys, tracked
@@ -152,9 +185,16 @@ type shard struct {
 	ops       chan op
 	tracked   map[system.TaskID]*Handle // provisioning not yet complete
 	gen       int                       // bumped by every supervisor restart
+	capEpoch  uint64                    // fault epoch the usable census was computed at
+	capOK     bool                      // false forces a recompute (restart, first flush)
 
 	mu    sync.Mutex
 	stats Stats
+
+	// Degraded-capacity census, recomputed by the shard goroutine on
+	// each fault epoch and read by Submit's admission check (under mu).
+	usableByType map[int]int
+	usableTotal  int
 
 	// dead is the last resort: it is set only when a supervisor restart
 	// itself fails (the shard config no longer builds a System); the
@@ -189,6 +229,9 @@ func New(cfg Config) (*Scheduler, error) {
 	if cfg.Workers <= 0 || cfg.Workers > len(cfg.Shards) {
 		cfg.Workers = len(cfg.Shards)
 	}
+	if cfg.SeverRetries <= 0 {
+		cfg.SeverRetries = 3
+	}
 	s := &Scheduler{
 		cfg: cfg,
 		sem: make(chan struct{}, cfg.Workers),
@@ -213,6 +256,13 @@ func New(cfg Config) (*Scheduler, error) {
 			}
 		}
 		sh.stats.Free = sc.Net.Ress
+		sh.usableByType = sh.sys.UsableResources()
+		for _, c := range sh.usableByType {
+			sh.usableTotal += c
+		}
+		sh.stats.Usable = sh.usableTotal
+		sh.capEpoch = sh.sys.FaultEpoch()
+		sh.capOK = true
 		s.shards = append(s.shards, sh)
 	}
 	for _, sh := range s.shards {
@@ -248,7 +298,20 @@ func (s *Scheduler) Submit(shard int, t system.Task) (*Handle, error) {
 		return nil, fmt.Errorf("sched: shard %d: task needs %d resources of type %d, shard has %d: %w",
 			shard, need, t.Type, sh.typeCount[t.Type], system.ErrUnsatisfiable)
 	}
-	h := &Handle{shard: shard, done: make(chan struct{})}
+	// Degraded admission: the demand must also fit the shard's surviving
+	// capacity (resources lost to hardware faults, or stranded behind
+	// failed switchboxes, cannot complete an acquisition until repaired).
+	sh.mu.Lock()
+	limit := sh.usableTotal
+	if sh.typeCount != nil {
+		limit = sh.usableByType[t.Type]
+	}
+	sh.mu.Unlock()
+	if need > limit {
+		return nil, fmt.Errorf("sched: shard %d: task needs %d resources, surviving fabric has %d usable: %w",
+			shard, need, limit, system.ErrUnsatisfiable)
+	}
+	h := &Handle{shard: shard, need: need, typ: t.Type, done: make(chan struct{})}
 	if err := s.send(sh, op{kind: opSubmit, task: t, h: h}); err != nil {
 		return nil, err
 	}
@@ -304,6 +367,55 @@ func (s *Scheduler) EndService(h *Handle) error {
 	return <-reply
 }
 
+// FailLink fails one physical link of a shard's fabric. The call blocks
+// until the shard has applied the failure: in-flight circuits crossing
+// the link are severed, their units revoked and re-queued, and the
+// shard's degraded capacity recomputed, all before FailLink returns.
+func (s *Scheduler) FailLink(shard, link int) error {
+	return s.fault(shard, system.FaultOp{Target: system.FaultTargetLink, Index: link})
+}
+
+// RepairLink repairs a failed link; queued tasks reacquire on the healed
+// fabric in the following epochs.
+func (s *Scheduler) RepairLink(shard, link int) error {
+	return s.fault(shard, system.FaultOp{Repair: true, Target: system.FaultTargetLink, Index: link})
+}
+
+// FailBox fails a switchbox (all links on its ports become unusable).
+func (s *Scheduler) FailBox(shard, box int) error {
+	return s.fault(shard, system.FaultOp{Target: system.FaultTargetBox, Index: box})
+}
+
+// RepairBox repairs a failed switchbox.
+func (s *Scheduler) RepairBox(shard, box int) error {
+	return s.fault(shard, system.FaultOp{Repair: true, Target: system.FaultTargetBox, Index: box})
+}
+
+// FailResource fails a resource: it leaves the schedulable pool, and a
+// unit of it held by a still-acquiring task is revoked and re-queued.
+func (s *Scheduler) FailResource(shard, res int) error {
+	return s.fault(shard, system.FaultOp{Target: system.FaultTargetResource, Index: res})
+}
+
+// RepairResource repairs a failed resource.
+func (s *Scheduler) RepairResource(shard, res int) error {
+	return s.fault(shard, system.FaultOp{Repair: true, Target: system.FaultTargetResource, Index: res})
+}
+
+// fault routes one hardware event through a shard's op stream — fault
+// application is serialized with scheduling exactly like every other
+// state change — and waits for the applying epoch.
+func (s *Scheduler) fault(shard int, fop system.FaultOp) error {
+	if shard < 0 || shard >= len(s.shards) {
+		return fmt.Errorf("sched: shard %d out of range [0,%d)", shard, len(s.shards))
+	}
+	reply := make(chan error, 1)
+	if err := s.send(s.shards[shard], op{kind: opFault, fault: fop, reply: reply}); err != nil {
+		return err
+	}
+	return <-reply
+}
+
 // send delivers an op to a shard unless the scheduler is closed. The read
 // lock spans the channel send so Close cannot close the channel between
 // the check and the send.
@@ -332,7 +444,11 @@ func (s *Scheduler) Stats() Stats {
 		tot.Deferred += st.Deferred
 		tot.Canceled += st.Canceled
 		tot.Restarts += st.Restarts
+		tot.LinkFaults += st.LinkFaults
+		tot.Severed += st.Severed
+		tot.Repairs += st.Repairs
 		tot.Free += st.Free
+		tot.Usable += st.Usable
 		tot.Ops.Add(st.Ops)
 	}
 	return tot
@@ -482,6 +598,38 @@ func (s *Scheduler) flush(sh *shard, buf []op) []op {
 			h.err = fmt.Errorf("sched: shard %d: %w: %w", sh.idx, ErrTaskCanceled, o.cause)
 			close(h.done)
 			epoch.Canceled++
+		case opFault:
+			if sh.dead != nil {
+				o.reply <- sh.dead
+				continue
+			}
+			severed, err := sh.sys.ApplyFault(o.fault)
+			if err == nil {
+				if o.fault.Repair {
+					epoch.Repairs++
+				} else {
+					epoch.LinkFaults++
+				}
+				epoch.Severed += int64(len(severed))
+				for _, id := range severed {
+					h := sh.tracked[id]
+					if h == nil {
+						continue // a multi-unit holder published in an earlier epoch
+					}
+					h.severs++
+					if h.severs > s.cfg.SeverRetries {
+						// Retry budget exhausted: withdraw the task instead
+						// of letting it churn against a flapping component.
+						_ = sh.sys.Cancel(id)
+						delete(sh.tracked, id)
+						h.err = fmt.Errorf("sched: shard %d: units severed %d times: %w",
+							sh.idx, h.severs, system.ErrCircuitSevered)
+						close(h.done)
+					}
+				}
+				s.refreshCapacity(sh)
+			}
+			o.reply <- err
 		}
 	}
 
@@ -509,6 +657,12 @@ func (s *Scheduler) flush(sh *shard, buf []op) []op {
 		faulted := false
 		for _, a := range r.Mapping.Assigned {
 			if err := sh.sys.EndTransmission(a.Req.Proc); err != nil {
+				if errors.Is(err, system.ErrCircuitSevered) {
+					// Retryable: the System already revoked and re-queued
+					// the unit; a follow-up cycle reacquires it.
+					epoch.Severed++
+					continue
+				}
 				s.failShard(sh, err, &epoch)
 				faulted = true
 				break
@@ -517,6 +671,11 @@ func (s *Scheduler) flush(sh *shard, buf []op) []op {
 		if faulted {
 			break
 		}
+	}
+	// A HardwareHook may have failed or repaired components mid-epoch;
+	// republish the degraded-capacity census if the fault epoch moved.
+	if sh.dead == nil {
+		s.refreshCapacity(sh)
 	}
 
 	// Publish tasks that finished acquiring.
@@ -535,12 +694,51 @@ func (s *Scheduler) flush(sh *shard, buf []op) []op {
 	sh.stats.Deferred += epoch.Deferred
 	sh.stats.Canceled += epoch.Canceled
 	sh.stats.Restarts += epoch.Restarts
+	sh.stats.LinkFaults += epoch.LinkFaults
+	sh.stats.Severed += epoch.Severed
+	sh.stats.Repairs += epoch.Repairs
 	sh.stats.Cycles += epoch.Cycles
 	sh.stats.Epochs++
 	sh.stats.Free = sh.sys.FreeResources()
 	sh.stats.Ops.Add(epoch.Ops)
 	sh.mu.Unlock()
 	return buf[:0]
+}
+
+// refreshCapacity republishes the shard's degraded-capacity census when
+// the fabric's fault epoch has moved, and withdraws tracked tasks whose
+// demand no longer fits the surviving capacity: they would otherwise
+// wait forever on resources the fabric has lost. Runs on the shard
+// goroutine.
+func (s *Scheduler) refreshCapacity(sh *shard) {
+	ep := sh.sys.FaultEpoch()
+	if sh.capOK && ep == sh.capEpoch {
+		return
+	}
+	usable := sh.sys.UsableResources()
+	total := 0
+	for _, c := range usable {
+		total += c
+	}
+	sh.mu.Lock()
+	sh.usableByType = usable
+	sh.usableTotal = total
+	sh.stats.Usable = total
+	sh.mu.Unlock()
+	sh.capEpoch, sh.capOK = ep, true
+	for id, h := range sh.tracked {
+		limit := total
+		if sh.typeCount != nil {
+			limit = usable[h.typ]
+		}
+		if h.need > limit {
+			_ = sh.sys.Cancel(id)
+			delete(sh.tracked, id)
+			h.err = fmt.Errorf("sched: shard %d: task needs %d resources, surviving fabric has %d usable: %w",
+				sh.idx, h.need, limit, system.ErrUnsatisfiable)
+			close(h.done)
+		}
+	}
 }
 
 // failShard is the shard supervisor. The System reported an internal
@@ -566,4 +764,8 @@ func (s *Scheduler) failShard(sh *shard, cause error, epoch *Stats) {
 	sh.sys = sys
 	sh.gen++
 	epoch.Restarts++
+	// The rebuilt System starts from the pristine template: force the
+	// degraded-capacity census to recompute (its fault epoch restarted).
+	sh.capOK = false
+	s.refreshCapacity(sh)
 }

@@ -1,0 +1,201 @@
+package system
+
+import (
+	"fmt"
+	"sort"
+
+	"rsin/internal/topology"
+)
+
+// Hardware fault operations. The paper's architecture assumes a perfect
+// fabric; these methods make component failure a first-class scheduling
+// input instead. Failing a component masks it from every scheduler (the
+// flow transformations, the token architecture, the heuristics all solve
+// on the surviving subgraph), severs any in-flight circuit that
+// traverses it — the lost unit is revoked from its task and re-queued —
+// and advances the network's fault epoch so layered services
+// (internal/sched) can recompute degraded capacity. Repair restores the
+// component; queued work then reacquires on the healed fabric in the
+// ordinary scheduling cycles.
+
+// FailLink marks a link failed and severs the circuits crossing it. It
+// returns the IDs of tasks whose in-flight units were lost (each such
+// task is back at its queue head requesting the unit again).
+func (s *System) FailLink(id int) ([]TaskID, error) {
+	if err := s.net.FailLink(id); err != nil {
+		return nil, err
+	}
+	return s.severBroken(), nil
+}
+
+// RepairLink clears a link fault.
+func (s *System) RepairLink(id int) error { return s.net.RepairLink(id) }
+
+// FailBox marks a switchbox failed — every link on its ports becomes
+// unusable — and severs the circuits crossing it.
+func (s *System) FailBox(id int) ([]TaskID, error) {
+	if err := s.net.FailBox(id); err != nil {
+		return nil, err
+	}
+	return s.severBroken(), nil
+}
+
+// RepairBox clears a switchbox fault.
+func (s *System) RepairBox(id int) error { return s.net.RepairBox(id) }
+
+// FailResource marks a resource failed. A circuit transmitting to it is
+// severed; a unit of it held by a task still acquiring is revoked and
+// re-queued (the resource is gone, the task must obtain a surviving
+// one). A fully provisioned task keeps the unit — its acquisition
+// contract is already complete — and the fault takes effect when
+// EndService returns the resource, which then never re-enters the free
+// pool until repaired.
+func (s *System) FailResource(r int) ([]TaskID, error) {
+	if err := s.net.FailResource(r); err != nil {
+		return nil, err
+	}
+	affected := s.severBroken()
+	if id := s.resHolder[r]; id != -1 {
+		if t := s.tasks[id]; t != nil && t.remaining() > 0 {
+			s.revokeUnit(t, r)
+			affected = append(affected, id)
+		}
+	}
+	return affected, nil
+}
+
+// RepairResource clears a resource fault, returning the resource to the
+// free pool if no task holds it.
+func (s *System) RepairResource(r int) error { return s.net.RepairResource(r) }
+
+// ApplyFault dispatches one FaultOp to the matching Fail/Repair method
+// and returns the tasks whose units it severed or revoked (nil for
+// repairs).
+func (s *System) ApplyFault(op FaultOp) ([]TaskID, error) {
+	switch op.Target {
+	case FaultTargetLink:
+		if op.Repair {
+			return nil, s.RepairLink(op.Index)
+		}
+		return s.FailLink(op.Index)
+	case FaultTargetBox:
+		if op.Repair {
+			return nil, s.RepairBox(op.Index)
+		}
+		return s.FailBox(op.Index)
+	case FaultTargetResource:
+		if op.Repair {
+			return nil, s.RepairResource(op.Index)
+		}
+		return s.FailResource(op.Index)
+	}
+	return nil, fmt.Errorf("system: unknown fault target %v", op.Target)
+}
+
+// FaultEpoch reports the fabric's fault generation counter; it advances
+// on every effective Fail/Repair.
+func (s *System) FaultEpoch() uint64 { return s.net.FaultEpoch() }
+
+// Broken reports the circuits severed by faults since the last Cycle
+// (the next CycleResult.Broken).
+func (s *System) Broken() int { return s.broken }
+
+// UsableResources reports the degraded-capacity census: per resource
+// type (type 0 throughout when Config.Types is nil), how many resources
+// are neither failed nor stranded behind failed components — i.e.
+// structurally reachable from at least one processor on the surviving
+// fabric. With no active faults it equals the configured census.
+func (s *System) UsableResources() map[int]int {
+	src := s.usableResources()
+	out := make(map[int]int, len(src))
+	for k, v := range src {
+		out[k] = v
+	}
+	return out
+}
+
+// usableResources computes the census, cached per fault epoch (the
+// reachability sweep runs once per fault/repair, not once per Submit).
+func (s *System) usableResources() map[int]int {
+	ep := s.net.FaultEpoch()
+	if s.usableCacheOK && s.usableCacheEpoch == ep {
+		return s.usableCache
+	}
+	m := map[int]int{}
+	if !s.net.HasFaults() {
+		for r := 0; r < s.net.Ress; r++ {
+			m[s.resType(r)]++
+		}
+	} else {
+		reach := s.net.ReachableResources()
+		for r := 0; r < s.net.Ress; r++ {
+			if reach[r] {
+				m[s.resType(r)]++
+			}
+		}
+	}
+	s.usableCache, s.usableCacheEpoch, s.usableCacheOK = m, ep, true
+	return m
+}
+
+// circuitUsable reports whether every link of an established circuit is
+// still usable (no component on its path has failed).
+func (s *System) circuitUsable(c topology.Circuit) bool {
+	for _, lid := range c.Links {
+		if !s.net.LinkUsable(lid) {
+			return false
+		}
+	}
+	return true
+}
+
+// severBroken tears down every in-flight circuit that now traverses a
+// failed component: the circuit's links are force-released (they are
+// link-disjoint, so only this circuit owns them), the unit it was
+// delivering is revoked from its task, and the processor's transmission
+// is marked severed so a pending EndTransmission reports
+// ErrCircuitSevered. The task stays at its queue head with its remaining
+// count restored — the next cycle re-requests the lost unit on whatever
+// capacity survives. Returns the affected task IDs in ascending order.
+func (s *System) severBroken() []TaskID {
+	var affected []TaskID
+	for id, t := range s.tasks {
+		circs := s.circuits[id]
+		if len(circs) == 0 {
+			continue
+		}
+		kept := circs[:0]
+		for _, c := range circs {
+			if s.circuitUsable(c) {
+				kept = append(kept, c)
+				continue
+			}
+			s.net.ForceRelease(c)
+			s.revokeUnit(t, c.Res)
+			if s.transmitting[c.Proc] == id {
+				s.transmitting[c.Proc] = -1
+				s.severedProc[c.Proc] = true
+			}
+			s.broken++
+			affected = append(affected, id)
+		}
+		s.circuits[id] = kept
+	}
+	sort.Slice(affected, func(i, j int) bool { return affected[i] < affected[j] })
+	return affected
+}
+
+// revokeUnit removes one held unit of resource r from a task and frees
+// the holder slot. The resource returns to the schedulable pool only if
+// it is itself healthy (Cycle skips failed resources).
+func (s *System) revokeUnit(t *taskState, r int) {
+	for i, held := range t.held {
+		if held == r {
+			t.held = append(t.held[:i], t.held[i+1:]...)
+			break
+		}
+	}
+	if s.resHolder[r] == t.id {
+		s.resHolder[r] = -1
+	}
+}

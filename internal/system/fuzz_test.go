@@ -7,9 +7,10 @@ import (
 )
 
 // FuzzSubmitCycle fuzzes interleavings of the §II life-cycle operations —
-// Submit, Cycle, EndTransmission, EndService — with arbitrary payloads and
-// asserts the system's invariants hold after every step instead of merely
-// not crashing:
+// Submit, Cycle, EndTransmission, EndService — and the hardware fault
+// surface — Fail/Repair of links, switchboxes and resources — with
+// arbitrary payloads and asserts the system's invariants hold after
+// every step instead of merely not crashing:
 //
 //   - held ⊆ granted: every resource a task reports holding is a real
 //     resource, held by exactly one live task, and the holder census
@@ -17,13 +18,15 @@ import (
 //   - Pending() is never negative and counts exactly the live tasks;
 //   - a task never holds more than its declared Need.
 //
-// Operation errors (bad processor, premature EndService, ...) are legal
-// outcomes; invariant violations are not.
+// Operation errors (bad processor, premature EndService, a severed
+// transmission, ...) are legal outcomes; invariant violations are not.
 func FuzzSubmitCycle(f *testing.F) {
 	f.Add([]byte{0x00, 0x01, 0x02, 0x03})
 	f.Add([]byte{0x10, 0x50, 0x01, 0x01, 0x02, 0x03, 0x03, 0x03})
 	f.Add([]byte{0xff, 0x00, 0x40, 0x01, 0x81, 0x01, 0xc2, 0x03})
 	f.Add([]byte{0x20, 0x60, 0xa0, 0xe0, 0x01, 0x01, 0x01, 0x02, 0x02, 0x03, 0x03})
+	// Fault-heavy seed: submit, cycle, fail link/res, cycle, repair, cycle.
+	f.Add([]byte{0x00, 0x20, 0x01, 0x04, 0x16, 0x01, 0x0c, 0x1e, 0x01, 0x02, 0x03})
 	f.Fuzz(func(t *testing.T, ops []byte) {
 		if len(ops) > 1<<12 {
 			return
@@ -39,9 +42,9 @@ func FuzzSubmitCycle(f *testing.F) {
 		}
 		var ids []TaskID
 		for _, b := range ops {
-			switch b & 0x03 {
+			switch b & 0x07 {
 			case 0: // Submit(proc, need) from the upper bits
-				task := Task{Proc: int(b>>2) & 0x07, Need: int(b>>5) & 0x03}
+				task := Task{Proc: int(b>>3) & 0x03, Need: int(b>>5) & 0x03}
 				if id, err := s.Submit(task); err == nil {
 					ids = append(ids, id)
 				}
@@ -49,11 +52,36 @@ func FuzzSubmitCycle(f *testing.F) {
 				if _, err := s.Cycle(); err != nil {
 					t.Fatalf("cycle: %v", err)
 				}
-			case 2: // EndTransmission(proc); "not transmitting" is fine
-				_ = s.EndTransmission(int(b>>2) & 0x07)
+			case 2: // EndTransmission(proc); not-transmitting / severed are fine
+				_ = s.EndTransmission(int(b>>3) & 0x03)
 			case 3: // EndService on a fuzzer-chosen submitted task
 				if len(ids) > 0 {
-					_ = s.EndService(ids[int(b>>2)%len(ids)])
+					_ = s.EndService(ids[int(b>>3)%len(ids)])
+				}
+			case 4: // fail or repair a link
+				lid := int(b>>4) % len(net.Links)
+				if b&0x08 != 0 {
+					_ = s.RepairLink(lid)
+				} else if _, err := s.FailLink(lid); err != nil {
+					t.Fatalf("fail link %d: %v", lid, err)
+				}
+			case 5: // fail or repair a switchbox
+				box := int(b>>4) % len(net.Boxes)
+				if b&0x08 != 0 {
+					_ = s.RepairBox(box)
+				} else if _, err := s.FailBox(box); err != nil {
+					t.Fatalf("fail box %d: %v", box, err)
+				}
+			case 6: // fail or repair a resource
+				r := int(b>>4) % net.Ress
+				if b&0x08 != 0 {
+					_ = s.RepairResource(r)
+				} else if _, err := s.FailResource(r); err != nil {
+					t.Fatalf("fail resource %d: %v", r, err)
+				}
+			case 7: // Cancel a fuzzer-chosen task
+				if len(ids) > 0 {
+					_ = s.Cancel(ids[int(b>>3)%len(ids)])
 				}
 			}
 			checkInvariants(t, s, net, ids)

@@ -33,6 +33,14 @@ import (
 // never complete with (the §II hold-and-wait deadlock, made permanent).
 var ErrUnsatisfiable = errors.New("system: task demand can never be satisfied")
 
+// ErrCircuitSevered is wrapped by EndTransmission when the transmission
+// it acknowledges was torn down by a hardware fault: a link, switchbox or
+// resource on the circuit's path failed mid-flight. The lost unit has
+// already been re-queued — the task is back at its queue head requesting
+// the unit again on the surviving fabric — so the condition is retryable,
+// not fatal.
+var ErrCircuitSevered = errors.New("system: circuit severed by hardware fault")
+
 // Fault points at which Config.FaultHook is consulted.
 const (
 	// FaultCycle fires at the top of every Cycle, before the solver runs.
@@ -84,6 +92,43 @@ type Config struct {
 	// load drivers (see internal/faultinject); production configs leave
 	// it nil.
 	FaultHook func(point string) error
+	// HardwareHook, when non-nil, is consulted at the top of every Cycle
+	// (after FaultHook) with the fault point name; each returned FaultOp
+	// is applied to the fabric — a scripted link/switchbox/resource
+	// failure or repair — before the solve, so the cycle schedules on
+	// the surviving subgraph. internal/faultinject's hardware scripting
+	// mode produces such hooks for deterministic degraded-mode tests.
+	HardwareHook func(point string) []FaultOp
+}
+
+// FaultTarget names the hardware component class of a FaultOp.
+type FaultTarget int
+
+const (
+	FaultTargetLink FaultTarget = iota
+	FaultTargetBox
+	FaultTargetResource
+)
+
+func (t FaultTarget) String() string {
+	switch t {
+	case FaultTargetLink:
+		return "link"
+	case FaultTargetBox:
+		return "box"
+	case FaultTargetResource:
+		return "res"
+	}
+	return fmt.Sprintf("FaultTarget(%d)", int(t))
+}
+
+// FaultOp is one scripted hardware event: the failure or repair of one
+// component. Apply it with System.ApplyFault or return it from
+// Config.HardwareHook.
+type FaultOp struct {
+	Repair bool
+	Target FaultTarget
+	Index  int
 }
 
 // TaskID identifies a submitted task.
@@ -109,6 +154,7 @@ type CycleResult struct {
 	Mapping  *core.Mapping
 	Granted  int // resources granted this cycle
 	Deferred int // requests withheld by the avoidance policy
+	Broken   int // circuits severed by hardware faults since the previous cycle
 	Clocks   int // token-architecture clock periods (TokenArch only)
 }
 
@@ -125,6 +171,17 @@ type System struct {
 	transmitting []TaskID // per processor: task currently holding a circuit, or -1
 	circuits     map[TaskID][]topology.Circuit
 	typeCount    map[int]int // resources per configured type; nil when Types is nil
+
+	// Hardware fault bookkeeping: severedProc[p] marks a transmission
+	// torn down by a fault and not yet acknowledged via EndTransmission;
+	// broken accumulates severed circuits for the next CycleResult.
+	severedProc []bool
+	broken      int
+
+	// Degraded-capacity census cached per fault epoch.
+	usableCache      map[int]int
+	usableCacheEpoch uint64
+	usableCacheOK    bool
 
 	planner core.Planner // recycled solver buffers for the MaxFlow discipline
 }
@@ -148,6 +205,7 @@ func New(cfg Config) (*System, error) {
 		resHolder:    make([]TaskID, cfg.Net.Ress),
 		transmitting: make([]TaskID, cfg.Net.Procs),
 		circuits:     make(map[TaskID][]topology.Circuit),
+		severedProc:  make([]bool, cfg.Net.Procs),
 	}
 	for i := range s.resHolder {
 		s.resHolder[i] = -1
@@ -178,6 +236,26 @@ func (s *System) Submit(t Task) (TaskID, error) {
 	if s.typeCount != nil && t.Need > s.typeCount[t.Type] {
 		return 0, fmt.Errorf("system: task needs %d resources of type %d, system has %d: %w",
 			t.Need, t.Type, s.typeCount[t.Type], ErrUnsatisfiable)
+	}
+	if s.net.HasFaults() {
+		// Degraded admission: demand must also fit the surviving fabric.
+		// A resource lost to a fault (or stranded behind a failed
+		// switchbox) cannot complete anyone's acquisition until repaired,
+		// and admitting a task it can never finish wedges the queue.
+		usable := s.usableResources()
+		if s.typeCount == nil {
+			tot := 0
+			for _, c := range usable {
+				tot += c
+			}
+			if t.Need > tot {
+				return 0, fmt.Errorf("system: task needs %d resources, surviving fabric has %d usable: %w",
+					t.Need, tot, ErrUnsatisfiable)
+			}
+		} else if t.Need > usable[t.Type] {
+			return 0, fmt.Errorf("system: task needs %d resources of type %d, surviving fabric has %d usable: %w",
+				t.Need, t.Type, usable[t.Type], ErrUnsatisfiable)
+		}
 	}
 	s.nextID++
 	id := s.nextID
@@ -234,7 +312,9 @@ type hypoTask struct {
 func (s *System) hypothetical() *hypoState {
 	h := &hypoState{freeByType: map[int]int{}, committed: map[TaskID]*hypoTask{}}
 	for r := 0; r < s.net.Ress; r++ {
-		if s.resHolder[r] == -1 {
+		// A failed resource is not free capacity: counting it would let
+		// the banker admit holders that cannot complete until repair.
+		if s.resHolder[r] == -1 && !s.net.ResourceFaulted(r) {
 			h.freeByType[s.resType(r)]++
 		}
 	}
@@ -305,7 +385,15 @@ func (s *System) Cycle() (*CycleResult, error) {
 			return nil, fmt.Errorf("system: cycle: %w", err)
 		}
 	}
-	res := &CycleResult{}
+	if s.cfg.HardwareHook != nil {
+		for _, op := range s.cfg.HardwareHook(FaultCycle) {
+			if _, err := s.ApplyFault(op); err != nil {
+				return nil, fmt.Errorf("system: cycle: scripted hardware fault: %w", err)
+			}
+		}
+	}
+	res := &CycleResult{Broken: s.broken}
+	s.broken = 0
 	var reqs []core.Request
 	taskOf := map[int]*taskState{}
 	var hypo *hypoState
@@ -326,7 +414,7 @@ func (s *System) Cycle() (*CycleResult, error) {
 	}
 	var avail []core.Avail
 	for r := 0; r < s.net.Ress; r++ {
-		if s.resHolder[r] != -1 {
+		if s.resHolder[r] != -1 || s.net.ResourceFaulted(r) {
 			continue
 		}
 		pref := int64(0)
@@ -385,6 +473,7 @@ func (s *System) Cycle() (*CycleResult, error) {
 		t.held = append(t.held, a.Res)
 		s.resHolder[a.Res] = t.id
 		s.transmitting[a.Req.Proc] = t.id
+		s.severedProc[a.Req.Proc] = false // a fresh grant supersedes an unacknowledged sever
 		s.circuits[t.id] = append(s.circuits[t.id], a.Circuit)
 		res.Granted++
 	}
@@ -402,6 +491,10 @@ func (s *System) EndTransmission(p int) error {
 	}
 	id := s.transmitting[p]
 	if id == -1 {
+		if s.severedProc[p] {
+			s.severedProc[p] = false
+			return fmt.Errorf("system: processor %d: %w", p, ErrCircuitSevered)
+		}
 		return fmt.Errorf("system: processor %d is not transmitting", p)
 	}
 	if s.cfg.FaultHook != nil {
@@ -442,6 +535,7 @@ func (s *System) Cancel(id TaskID) error {
 	if s.transmitting[p] == id {
 		s.transmitting[p] = -1
 	}
+	s.severedProc[p] = false // withdrawing the task retires any unacknowledged sever
 	for _, r := range t.held {
 		s.resHolder[r] = -1
 	}
@@ -534,7 +628,7 @@ func (s *System) Deadlocked() bool {
 	}
 	freeByType := map[int]int{}
 	for r := 0; r < s.net.Ress; r++ {
-		if s.resHolder[r] == -1 {
+		if s.resHolder[r] == -1 && !s.net.ResourceFaulted(r) {
 			freeByType[s.resType(r)]++
 		}
 	}

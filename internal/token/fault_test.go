@@ -1,0 +1,66 @@
+package token
+
+import (
+	"math/rand"
+	"testing"
+
+	"rsin/internal/core"
+	"rsin/internal/topology"
+)
+
+// TestTokenFaultDifferential: the distributed token architecture must
+// agree with the centralized max-flow scheduler on a faulted fabric.
+// Request tokens are gated through usable links only, so the waves
+// explore exactly the surviving subgraph the flow transformations solve
+// on — the allocation counts must match for every fault pattern.
+func TestTokenFaultDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(1989))
+	builders := []func() *topology.Network{
+		func() *topology.Network { return topology.Omega(8) },
+		func() *topology.Network { return topology.Benes(8) },
+	}
+	trials := 60
+	if testing.Short() {
+		trials = 15
+	}
+	for trial := 0; trial < trials; trial++ {
+		net := builders[trial%len(builders)]()
+		for k := 1 + rng.Intn(5); k > 0; k-- {
+			if err := net.FailLink(rng.Intn(len(net.Links))); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if rng.Float64() < 0.3 {
+			if err := net.FailBox(rng.Intn(len(net.Boxes))); err != nil {
+				t.Fatal(err)
+			}
+		}
+		res, err := Schedule(net, allFlags(net.Procs), allFlags(net.Ress), nil)
+		if err != nil {
+			t.Fatalf("trial %d (%s): token: %v", trial, net.Name, err)
+		}
+		for _, a := range res.Mapping.Assigned {
+			for _, lid := range a.Circuit.Links {
+				if !net.LinkUsable(lid) {
+					t.Fatalf("trial %d: token circuit crosses dead link %d", trial, lid)
+				}
+			}
+		}
+		var reqs []core.Request
+		for p := 0; p < net.Procs; p++ {
+			reqs = append(reqs, core.Request{Proc: p})
+		}
+		var avail []core.Avail
+		for r := 0; r < net.Ress; r++ {
+			avail = append(avail, core.Avail{Res: r})
+		}
+		m, err := core.ScheduleMaxFlow(net, reqs, avail)
+		if err != nil {
+			t.Fatalf("trial %d (%s): maxflow: %v", trial, net.Name, err)
+		}
+		if res.Mapping.Allocated() != m.Allocated() {
+			t.Fatalf("trial %d (%s): token allocated %d, centralized optimum %d",
+				trial, net.Name, res.Mapping.Allocated(), m.Allocated())
+		}
+	}
+}

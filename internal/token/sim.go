@@ -86,9 +86,12 @@ type sim struct {
 // Schedule runs one complete scheduling cycle of the distributed MRSIN on
 // the given network state: requesting[p] marks processors with pending
 // requests, freeRes[r] marks ready resources. Links already occupied by
-// established circuits never carry tokens. The returned mapping is optimal
-// (equal to the maximum flow of Transformation 1); Apply it to the network
-// to establish the circuits.
+// established circuits never carry tokens, and neither do failed links or
+// the ports of failed switchboxes — the distributed Dinic simulation then
+// solves the same masked subgraph as the centralized schedulers. The
+// returned mapping is optimal (equal to the maximum flow of
+// Transformation 1 on the surviving network); Apply it to the network to
+// establish the circuits.
 func Schedule(net *topology.Network, requesting, freeRes []bool, opts *Options) (*Result, error) {
 	if len(requesting) != net.Procs || len(freeRes) != net.Ress {
 		return nil, fmt.Errorf("token: requesting/freeRes lengths (%d, %d) do not match network (%d, %d)",
@@ -216,8 +219,8 @@ func (s *sim) requestPhase() (levels []int, rsHits []int, recv map[elem][]*entry
 		}
 		lid := s.net.ProcLink[p]
 		l := s.net.Links[lid]
-		if l.State != topology.LinkFree || s.registered[lid] {
-			continue // processor link unavailable (occupied or carrying flow)
+		if l.State != topology.LinkFree || s.registered[lid] || !s.net.LinkUsable(lid) {
+			continue // processor link unavailable (occupied, carrying flow, or failed)
 		}
 		visited[elem{elemRQ, p}] = true
 		inflight = append(inflight, traversal{
@@ -264,8 +267,8 @@ func (s *sim) requestPhase() (levels []int, rsHits []int, recv map[elem][]*entry
 				levels[d.idx] = level
 				b := s.net.Boxes[d.idx]
 				for _, out := range b.Out {
-					if out == -1 {
-						continue
+					if out == -1 || !s.net.LinkUsable(out) {
+						continue // failed links and failed boxes carry no tokens
 					}
 					l := s.net.Links[out]
 					if l.State == topology.LinkFree && !s.registered[out] {
@@ -276,7 +279,7 @@ func (s *sim) requestPhase() (levels []int, rsHits []int, recv map[elem][]*entry
 					}
 				}
 				for _, in := range b.In {
-					if in == -1 {
+					if in == -1 || !s.net.LinkUsable(in) {
 						continue
 					}
 					l := s.net.Links[in]

@@ -1,0 +1,206 @@
+package topology
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFaultOpsRangeAndIdempotence(t *testing.T) {
+	n := Omega(8)
+	if n.HasFaults() || n.FaultEpoch() != 0 {
+		t.Fatalf("fresh network: faults=%v epoch=%d", n.HasFaults(), n.FaultEpoch())
+	}
+	for _, bad := range []int{-1, len(n.Links)} {
+		if err := n.FailLink(bad); err == nil {
+			t.Fatalf("FailLink(%d) accepted", bad)
+		}
+	}
+	if err := n.FailBox(len(n.Boxes)); err == nil {
+		t.Fatal("out-of-range FailBox accepted")
+	}
+	if err := n.FailResource(-1); err == nil {
+		t.Fatal("out-of-range FailResource accepted")
+	}
+
+	if err := n.FailLink(3); err != nil {
+		t.Fatal(err)
+	}
+	if !n.LinkFaulted(3) || !n.HasFaults() || n.FaultEpoch() != 1 {
+		t.Fatalf("after fail: faulted=%v epoch=%d", n.LinkFaulted(3), n.FaultEpoch())
+	}
+	// Idempotent re-fail and no-op repair must not burn epochs.
+	if err := n.FailLink(3); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.RepairLink(5); err != nil {
+		t.Fatal(err)
+	}
+	if n.FaultEpoch() != 1 {
+		t.Fatalf("no-op ops advanced epoch to %d", n.FaultEpoch())
+	}
+	if got := n.FaultedLinks(); len(got) != 1 || got[0] != 3 {
+		t.Fatalf("FaultedLinks = %v, want [3]", got)
+	}
+	if err := n.RepairLink(3); err != nil {
+		t.Fatal(err)
+	}
+	if n.HasFaults() || n.FaultEpoch() != 2 {
+		t.Fatalf("after repair: faults=%v epoch=%d", n.HasFaults(), n.FaultEpoch())
+	}
+}
+
+func TestLinkUsableComposition(t *testing.T) {
+	n := Omega(8)
+	// A box fault poisons every link on its ports.
+	b := 0
+	if err := n.FailBox(b); err != nil {
+		t.Fatal(err)
+	}
+	for _, lid := range append(append([]int{}, n.Boxes[b].In...), n.Boxes[b].Out...) {
+		if lid != -1 && n.LinkUsable(lid) {
+			t.Fatalf("link %d on failed box %d still usable", lid, b)
+		}
+	}
+	if err := n.RepairBox(b); err != nil {
+		t.Fatal(err)
+	}
+	// A resource fault poisons its delivery link.
+	if err := n.FailResource(2); err != nil {
+		t.Fatal(err)
+	}
+	for _, l := range n.Links {
+		if l.To.Kind == KindResource && l.To.Index == 2 && n.LinkUsable(l.ID) {
+			t.Fatalf("delivery link %d of failed resource still usable", l.ID)
+		}
+	}
+}
+
+func TestFindPathAndEstablishMaskFaults(t *testing.T) {
+	n := Omega(8)
+	c := n.FindPath(4, func(int) bool { return true })
+	if c == nil {
+		t.Fatal("no path on healthy fabric")
+	}
+	lid := c.Links[len(c.Links)-1]
+	if err := n.FailLink(lid); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Establish(*c); err == nil {
+		t.Fatal("Establish accepted a circuit over a failed link")
+	}
+	if c2 := n.FindPath(4, func(int) bool { return true }); c2 != nil {
+		for _, l := range c2.Links {
+			if !n.LinkUsable(l) {
+				t.Fatalf("FindPath routed through dead link %d", l)
+			}
+		}
+	}
+}
+
+func TestForceReleaseFreesSeveredCircuit(t *testing.T) {
+	n := Omega(8)
+	c := n.FindPath(1, func(int) bool { return true })
+	if err := n.Establish(*c); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.FailLink(c.Links[0]); err != nil {
+		t.Fatal(err)
+	}
+	// Validating Release would refuse a broken circuit; ForceRelease is the
+	// teardown primitive for severed ones.
+	n.ForceRelease(*c)
+	for _, lid := range c.Links {
+		if n.Links[lid].State != LinkFree {
+			t.Fatalf("link %d still held after ForceRelease", lid)
+		}
+	}
+}
+
+func TestReachableResources(t *testing.T) {
+	n := Omega(8)
+	all := n.ReachableResources()
+	for r, ok := range all {
+		if !ok {
+			t.Fatalf("resource %d unreachable on healthy Omega(8)", r)
+		}
+	}
+	// Cutting a resource's delivery link strands exactly that resource.
+	var rlink int
+	for _, l := range n.Links {
+		if l.To.Kind == KindResource && l.To.Index == 5 {
+			rlink = l.ID
+		}
+	}
+	if err := n.FailLink(rlink); err != nil {
+		t.Fatal(err)
+	}
+	reach := n.ReachableResources()
+	for r, ok := range reach {
+		if want := r != 5; ok != want {
+			t.Fatalf("resource %d reachable=%v after cutting link to 5", r, ok)
+		}
+	}
+	if err := n.RepairLink(rlink); err != nil {
+		t.Fatal(err)
+	}
+	// A faulted resource is never reachable even with a live path to it.
+	if err := n.FailResource(6); err != nil {
+		t.Fatal(err)
+	}
+	if n.ReachableResources()[6] {
+		t.Fatal("faulted resource reported reachable")
+	}
+}
+
+func TestCloneCopiesFaultState(t *testing.T) {
+	n := Omega(8)
+	if err := n.FailLink(2); err != nil {
+		t.Fatal(err)
+	}
+	c := n.Clone()
+	if !c.LinkFaulted(2) || c.FaultEpoch() != n.FaultEpoch() {
+		t.Fatal("clone dropped fault state")
+	}
+	if err := n.RepairLink(2); err != nil {
+		t.Fatal(err)
+	}
+	if !c.LinkFaulted(2) {
+		t.Fatal("repairing the original healed the clone")
+	}
+}
+
+func TestBuilderValidatesWiring(t *testing.T) {
+	b := NewBuilder("bad", 2, 2)
+	if got := b.AddBox(-2, 2, 2); got != -1 {
+		t.Fatalf("AddBox(stage=-2) = %d, want -1", got)
+	}
+	if got := b.AddBox(0, 0, 2); got != -1 {
+		t.Fatalf("AddBox(nIn=0) = %d, want -1", got)
+	}
+	box := b.AddBox(0, 2, 2)
+	if got := b.LinkProcToBox(5, box, 0); got != -1 {
+		t.Fatal("out-of-range processor accepted")
+	}
+	if got := b.LinkProcToBox(0, box+7, 0); got != -1 {
+		t.Fatal("out-of-range box accepted")
+	}
+	if got := b.LinkProcToBox(0, box, 9); got != -1 {
+		t.Fatal("out-of-range port accepted")
+	}
+	if got := b.LinkBoxToRes(box, 0, 4); got != -1 {
+		t.Fatal("out-of-range resource accepted")
+	}
+	b.LinkProcToBox(0, box, 0)
+	b.LinkProcToBox(1, box, 0) // duplicate input port
+	b.LinkBoxToRes(box, 1, 0)
+	b.LinkBoxToRes(box, 1, 1) // duplicate output port
+	_, err := b.Build()
+	if err == nil {
+		t.Fatal("Build accepted invalid wiring")
+	}
+	for _, want := range []string{"topology \"bad\"", "input port 0 already wired", "output port 1 already wired", "stage -2", "processor 5"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Fatalf("Build error %q missing %q", err, want)
+		}
+	}
+}

@@ -17,6 +17,7 @@
 package topology
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"strings"
@@ -102,12 +103,31 @@ type Network struct {
 
 	ProcLink []int // ProcLink[p]: link leaving processor p, or -1
 	ResLink  []int // ResLink[r]: link entering resource r, or -1
+
+	// Hardware fault state (see fault.go). Nil slices mean no component
+	// of that class has ever failed; the slices are allocated lazily by
+	// the first Fail call so fault-free networks pay nothing.
+	linkFault  []bool
+	boxFault   []bool
+	resFault   []bool
+	faultEpoch uint64
 }
 
-// Builder assembles a Network. All wiring errors panic: they are programming
-// errors in a topology constructor, not runtime conditions.
+// Builder assembles a Network. Wiring errors — duplicate links on the same
+// port or endpoint, out-of-range processor/resource/box/port/stage indices —
+// are recorded and reported by Build with a descriptive message; the
+// offending call returns -1. (They used to panic or, for out-of-range
+// indices, produce silently broken networks.)
 type Builder struct {
-	n *Network
+	n    *Network
+	errs []error
+}
+
+// errf records a wiring error for Build to report and returns -1, the
+// sentinel link/box index.
+func (b *Builder) errf(format string, args ...any) int {
+	b.errs = append(b.errs, fmt.Errorf("topology %q: "+format, append([]any{b.n.Name}, args...)...))
+	return -1
 }
 
 // NewBuilder starts a network with the given processor and resource counts.
@@ -132,10 +152,14 @@ func NewBuilder(name string, procs, ress int) *Builder {
 }
 
 // AddBox appends an nIn x nOut switchbox at the given stage and returns its
-// index.
+// index. Stage -1 marks an irregular (unstaged) fabric; any smaller stage
+// is out of range.
 func (b *Builder) AddBox(stage, nIn, nOut int) int {
 	if nIn <= 0 || nOut <= 0 {
-		panic(fmt.Sprintf("topology.AddBox: %dx%d box", nIn, nOut))
+		return b.errf("AddBox: %dx%d box", nIn, nOut)
+	}
+	if stage < -1 {
+		return b.errf("AddBox: stage %d out of range (minimum -1)", stage)
 	}
 	id := len(b.n.Boxes)
 	in := make([]int, nIn)
@@ -156,13 +180,34 @@ func (b *Builder) addLink(from, to Endpoint) int {
 	return id
 }
 
+// checkBoxPort validates a box index and one of its port indices; dir is
+// "input" or "output" and n the port count on that side.
+func (b *Builder) checkBoxPort(call string, box, port int, dir string, ok bool) bool {
+	if box < 0 || box >= len(b.n.Boxes) {
+		b.errf("%s: box %d out of range [0,%d)", call, box, len(b.n.Boxes))
+		return false
+	}
+	if !ok {
+		b.errf("%s: box %d has no %s port %d", call, box, dir, port)
+		return false
+	}
+	return true
+}
+
 // LinkProcToBox wires processor p to input port of a box.
 func (b *Builder) LinkProcToBox(p, box, port int) int {
+	if p < 0 || p >= b.n.Procs {
+		return b.errf("LinkProcToBox: processor %d out of range [0,%d)", p, b.n.Procs)
+	}
+	if !b.checkBoxPort("LinkProcToBox", box, port, "input",
+		box >= 0 && box < len(b.n.Boxes) && port >= 0 && port < len(b.n.Boxes[box].In)) {
+		return -1
+	}
 	if b.n.ProcLink[p] != -1 {
-		panic(fmt.Sprintf("processor %d already wired", p))
+		return b.errf("LinkProcToBox: processor %d already wired", p)
 	}
 	if b.n.Boxes[box].In[port] != -1 {
-		panic(fmt.Sprintf("box %d input port %d already wired", box, port))
+		return b.errf("LinkProcToBox: box %d input port %d already wired", box, port)
 	}
 	id := b.addLink(Endpoint{KindProcessor, p, 0}, Endpoint{KindBox, box, port})
 	b.n.ProcLink[p] = id
@@ -172,11 +217,19 @@ func (b *Builder) LinkProcToBox(p, box, port int) int {
 
 // LinkBoxToBox wires an output port of one box to an input port of another.
 func (b *Builder) LinkBoxToBox(from, fromPort, to, toPort int) int {
+	if !b.checkBoxPort("LinkBoxToBox", from, fromPort, "output",
+		from >= 0 && from < len(b.n.Boxes) && fromPort >= 0 && fromPort < len(b.n.Boxes[from].Out)) {
+		return -1
+	}
+	if !b.checkBoxPort("LinkBoxToBox", to, toPort, "input",
+		to >= 0 && to < len(b.n.Boxes) && toPort >= 0 && toPort < len(b.n.Boxes[to].In)) {
+		return -1
+	}
 	if b.n.Boxes[from].Out[fromPort] != -1 {
-		panic(fmt.Sprintf("box %d output port %d already wired", from, fromPort))
+		return b.errf("LinkBoxToBox: box %d output port %d already wired", from, fromPort)
 	}
 	if b.n.Boxes[to].In[toPort] != -1 {
-		panic(fmt.Sprintf("box %d input port %d already wired", to, toPort))
+		return b.errf("LinkBoxToBox: box %d input port %d already wired", to, toPort)
 	}
 	id := b.addLink(Endpoint{KindBox, from, fromPort}, Endpoint{KindBox, to, toPort})
 	b.n.Boxes[from].Out[fromPort] = id
@@ -186,11 +239,18 @@ func (b *Builder) LinkBoxToBox(from, fromPort, to, toPort int) int {
 
 // LinkBoxToRes wires an output port of a box to resource r.
 func (b *Builder) LinkBoxToRes(box, port, r int) int {
+	if !b.checkBoxPort("LinkBoxToRes", box, port, "output",
+		box >= 0 && box < len(b.n.Boxes) && port >= 0 && port < len(b.n.Boxes[box].Out)) {
+		return -1
+	}
+	if r < 0 || r >= b.n.Ress {
+		return b.errf("LinkBoxToRes: resource %d out of range [0,%d)", r, b.n.Ress)
+	}
 	if b.n.Boxes[box].Out[port] != -1 {
-		panic(fmt.Sprintf("box %d output port %d already wired", box, port))
+		return b.errf("LinkBoxToRes: box %d output port %d already wired", box, port)
 	}
 	if b.n.ResLink[r] != -1 {
-		panic(fmt.Sprintf("resource %d already wired", r))
+		return b.errf("LinkBoxToRes: resource %d already wired", r)
 	}
 	id := b.addLink(Endpoint{KindBox, box, port}, Endpoint{KindResource, r, 0})
 	b.n.Boxes[box].Out[port] = id
@@ -201,8 +261,17 @@ func (b *Builder) LinkBoxToRes(box, port, r int) int {
 // LinkProcToRes wires a processor directly to a resource (degenerate
 // networks and test fixtures).
 func (b *Builder) LinkProcToRes(p, r int) int {
-	if b.n.ProcLink[p] != -1 || b.n.ResLink[r] != -1 {
-		panic("endpoint already wired")
+	if p < 0 || p >= b.n.Procs {
+		return b.errf("LinkProcToRes: processor %d out of range [0,%d)", p, b.n.Procs)
+	}
+	if r < 0 || r >= b.n.Ress {
+		return b.errf("LinkProcToRes: resource %d out of range [0,%d)", r, b.n.Ress)
+	}
+	if b.n.ProcLink[p] != -1 {
+		return b.errf("LinkProcToRes: processor %d already wired", p)
+	}
+	if b.n.ResLink[r] != -1 {
+		return b.errf("LinkProcToRes: resource %d already wired", r)
 	}
 	id := b.addLink(Endpoint{KindProcessor, p, 0}, Endpoint{KindResource, r, 0})
 	b.n.ProcLink[p] = id
@@ -210,12 +279,17 @@ func (b *Builder) LinkProcToRes(p, r int) int {
 	return id
 }
 
-// Build validates the wiring and returns the network. It checks that the
-// box graph is loop-free (a hard requirement of the paper's method) and
-// that every processor and resource is wired.
+// Build validates the wiring and returns the network. It reports any
+// wiring errors recorded by the link methods (duplicate ports,
+// out-of-range indices), then checks that the box graph is loop-free (a
+// hard requirement of the paper's method) and that every processor and
+// resource is wired.
 func (b *Builder) Build() (*Network, error) {
 	n := b.n
 	b.n = nil
+	if len(b.errs) > 0 {
+		return nil, fmt.Errorf("topology %q: invalid wiring: %w", n.Name, errors.Join(b.errs...))
+	}
 	for p, l := range n.ProcLink {
 		if l == -1 {
 			return nil, fmt.Errorf("topology %q: processor %d not wired", n.Name, p)
@@ -299,6 +373,16 @@ func (n *Network) Clone() *Network {
 			Out:   append([]int(nil), bx.Out...),
 		}
 	}
+	if n.linkFault != nil {
+		c.linkFault = append([]bool(nil), n.linkFault...)
+	}
+	if n.boxFault != nil {
+		c.boxFault = append([]bool(nil), n.boxFault...)
+	}
+	if n.resFault != nil {
+		c.resFault = append([]bool(nil), n.resFault...)
+	}
+	c.faultEpoch = n.faultEpoch
 	return c
 }
 
@@ -362,10 +446,17 @@ func (n *Network) validateCircuit(c Circuit, wantState LinkState) error {
 }
 
 // Establish marks the circuit's links occupied. It fails, changing nothing,
-// if the path is not contiguous or any link is already occupied.
+// if the path is not contiguous, any link is already occupied, or any link
+// traverses a failed component (schedulers mask faults, so an attempt to
+// establish across one indicates a scheduler bug or a racing failure).
 func (n *Network) Establish(c Circuit) error {
 	if err := n.validateCircuit(c, LinkFree); err != nil {
 		return err
+	}
+	for _, lid := range c.Links {
+		if !n.LinkUsable(lid) {
+			return fmt.Errorf("circuit p%d->r%d: link %d traverses a failed component", c.Proc, c.Res, lid)
+		}
 	}
 	for _, lid := range c.Links {
 		n.Links[lid].State = LinkOccupied
@@ -386,12 +477,12 @@ func (n *Network) Release(c Circuit) error {
 }
 
 // FindPath depth-first searches for a path of free links from processor p
-// to the resource for which goal returns true, honoring link occupancy.
-// Returns nil when no path exists. The heuristic schedulers use it; the
-// optimal scheduler never needs it.
+// to the resource for which goal returns true, honoring link occupancy and
+// hardware faults. Returns nil when no path exists. The heuristic
+// schedulers use it; the optimal scheduler never needs it.
 func (n *Network) FindPath(p int, goal func(res int) bool) *Circuit {
 	start := n.ProcLink[p]
-	if start == -1 || n.Links[start].State != LinkFree {
+	if start == -1 || n.Links[start].State != LinkFree || !n.LinkUsable(start) {
 		return nil
 	}
 	visitedBox := make([]bool, len(n.Boxes))
@@ -399,7 +490,7 @@ func (n *Network) FindPath(p int, goal func(res int) bool) *Circuit {
 	var dfs func(lid int) *Circuit
 	dfs = func(lid int) *Circuit {
 		l := n.Links[lid]
-		if l.State != LinkFree {
+		if l.State != LinkFree || !n.LinkUsable(lid) {
 			return nil
 		}
 		path = append(path, lid)

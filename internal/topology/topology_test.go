@@ -345,16 +345,16 @@ func TestBuilderDetectsCycle(t *testing.T) {
 	}
 }
 
-func TestBuilderPanicsOnDoubleWire(t *testing.T) {
+func TestBuilderRejectsDoubleWire(t *testing.T) {
 	b := NewBuilder("dup", 2, 2)
 	box := b.AddBox(0, 2, 2)
 	b.LinkProcToBox(0, box, 0)
-	defer func() {
-		if recover() == nil {
-			t.Fatal("double wiring accepted")
-		}
-	}()
-	b.LinkProcToBox(1, box, 0) // same input port
+	if id := b.LinkProcToBox(1, box, 0); id != -1 { // same input port
+		t.Fatalf("double wiring returned link %d, want -1", id)
+	}
+	if _, err := b.Build(); err == nil || !strings.Contains(err.Error(), "input port 0 already wired") {
+		t.Fatalf("double wiring not reported descriptively: %v", err)
+	}
 }
 
 func TestLinkProcToRes(t *testing.T) {

@@ -115,8 +115,15 @@ var (
 	// context cancellation before provisioning completed.
 	ErrTaskCanceled = sched.ErrTaskCanceled
 	// ErrUnsatisfiable is wrapped by Submit when a task's Need exceeds
-	// what its fabric (or its resource type) can ever supply.
+	// what its fabric (or its resource type) can ever supply — including a
+	// fabric degraded by hardware faults.
 	ErrUnsatisfiable = system.ErrUnsatisfiable
+	// ErrCircuitSevered marks in-flight units lost to hardware faults: a
+	// failed link, switchbox or resource severed the circuit delivering
+	// them. A System reports it from EndTransmission (retryable — the task
+	// re-requests automatically); a Scheduler fails a handle with it only
+	// after the task exceeded its sever-retry budget.
+	ErrCircuitSevered = system.ErrCircuitSevered
 )
 
 // Topology constructors (see internal/topology for the full set).
