@@ -2,7 +2,7 @@
 # packages. `make` (or `make all`) is what CI runs.
 GO ?= go
 
-.PHONY: all vet build test race bench fuzz lint vuln
+.PHONY: all vet build test race allocguard schedbench bench fuzz lint vuln
 
 all: vet build test race
 
@@ -20,7 +20,17 @@ test:
 # concurrency (or concurrent callers); their stress tests must stay
 # race-clean.
 race:
-	$(GO) test -race -shuffle=on ./internal/sched ./internal/system
+	$(GO) test -race -shuffle=on ./internal/sched ./internal/system ./internal/obs
+
+# The instrumentation hot path must not allocate (disabled or enabled);
+# CI runs the same guard.
+allocguard:
+	$(GO) test -run 'TestDisabledObsAllocFree|TestNilInstruments|TestLiveInstrumentsAllocFree' ./internal/sched ./internal/obs
+
+# Machine-readable scheduling-service benchmark (see EXPERIMENTS.md for
+# the BENCH_sched.json format).
+schedbench:
+	$(GO) run ./cmd/rsinbench -sched -json BENCH_sched.json
 
 # lint/vuln need staticcheck / govulncheck on PATH (CI installs them);
 # they are not part of `all` so an offline checkout still builds.

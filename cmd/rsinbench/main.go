@@ -18,12 +18,23 @@ import (
 
 func main() {
 	var (
-		exp    = flag.String("exp", "", "experiment ID to run (E1, E4-E7, E10-E16); empty = all")
-		seed   = flag.Int64("seed", 1, "RNG seed")
-		trials = flag.Int("trials", 2000, "trials per ensemble point")
-		format = flag.String("format", "table", "output format: table | csv")
+		exp      = flag.String("exp", "", "experiment ID to run (E1, E4-E7, E10-E16); empty = all")
+		seed     = flag.Int64("seed", 1, "RNG seed")
+		trials   = flag.Int("trials", 2000, "trials per ensemble point")
+		format   = flag.String("format", "table", "output format: table | csv")
+		schedRun = flag.Bool("sched", false, "run the scheduling-service benchmark instead of the paper tables")
+		smoke    = flag.Bool("smoke", false, "with -sched: shrink the run for CI smoke testing")
+		jsonOut  = flag.String("json", "", "with -sched: write the machine-readable report (BENCH_sched.json) here")
 	)
 	flag.Parse()
+
+	if *schedRun {
+		if err := runSchedBench(*seed, *smoke, *jsonOut); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
 	render := func(t *experiments.Table) string {
 		if *format == "csv" {
 			return t.CSV()

@@ -1,0 +1,151 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"sync"
+	"time"
+
+	"rsin/internal/obs"
+	"rsin/internal/sched"
+	"rsin/internal/stats"
+	"rsin/internal/system"
+	"rsin/internal/topology"
+)
+
+// schedBenchSchema identifies the BENCH_sched.json layout; bump it on any
+// incompatible change so downstream tooling can reject files it cannot
+// parse (EXPERIMENTS.md documents the format).
+const schedBenchSchema = "rsin-bench-sched/v1"
+
+// schedBenchConfig records the load shape a run used, so a BENCH file is
+// self-describing.
+type schedBenchConfig struct {
+	Topology string `json:"topology"`
+	N        int    `json:"n"`
+	Shards   int    `json:"shards"`
+	Clients  int    `json:"clients"`
+	Tasks    int    `json:"tasks_per_client"`
+	Need     int    `json:"need"`
+	Faults   int    `json:"fault_heal_pairs"`
+	Seed     int64  `json:"seed"`
+	Smoke    bool   `json:"smoke"`
+}
+
+// schedBenchReport is the machine-readable result written to -json: wall
+// time, throughput, end-to-end latency percentiles, the scheduler's own
+// counters and the full observability snapshot (metrics registry dump).
+type schedBenchReport struct {
+	Schema     string             `json:"schema"`
+	GoVersion  string             `json:"go_version"`
+	GOOS       string             `json:"goos"`
+	GOARCH     string             `json:"goarch"`
+	Config     schedBenchConfig   `json:"config"`
+	WallSecs   float64            `json:"wall_seconds"`
+	Completed  int                `json:"tasks_completed"`
+	Throughput float64            `json:"tasks_per_second"`
+	LatencyMS  map[string]float64 `json:"latency_ms"`
+	Sched      sched.Stats        `json:"sched_stats"`
+	Obs        obs.Snapshot       `json:"obs"`
+}
+
+// runSchedBench drives the batched scheduling service at load — including
+// a deterministic fail→heal hardware chaos pass — and writes the
+// machine-readable report to jsonPath ("" = stdout only prints the
+// summary line). smoke shrinks the run for CI.
+func runSchedBench(seed int64, smoke bool, jsonPath string) error {
+	cfg := schedBenchConfig{
+		Topology: "omega", N: 64, Shards: 2,
+		Clients: 64, Tasks: 200, Need: 1, Faults: 16,
+		Seed: seed, Smoke: smoke,
+	}
+	if smoke {
+		cfg.N, cfg.Shards, cfg.Clients, cfg.Tasks, cfg.Faults = 16, 1, 8, 40, 4
+	}
+
+	reg := obs.NewRegistry()
+	scfg := sched.Config{Obs: reg}
+	for i := 0; i < cfg.Shards; i++ {
+		scfg.Shards = append(scfg.Shards, system.Config{Net: topology.Omega(cfg.N)})
+	}
+	s, err := sched.New(scfg)
+	if err != nil {
+		return err
+	}
+	defer s.Close()
+
+	latencies := make([][]float64, cfg.Clients)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for c := 0; c < cfg.Clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			shard := c % cfg.Shards
+			task := system.Task{Proc: (c / cfg.Shards) % cfg.N, Need: cfg.Need}
+			lat := make([]float64, 0, cfg.Tasks)
+			for i := 0; i < cfg.Tasks; i++ {
+				t0 := time.Now()
+				h, err := s.Submit(shard, task)
+				if err != nil {
+					continue // degraded-capacity rejection during a fault window
+				}
+				<-h.Done()
+				if h.Err() != nil {
+					continue // severed past budget or withdrawn by a capacity drop
+				}
+				lat = append(lat, time.Since(t0).Seconds()*1e3)
+				_ = s.EndService(h)
+			}
+			latencies[c] = lat
+		}(c)
+	}
+	// Deterministic chaos alongside the load: fail a random link, let the
+	// fabric schedule degraded briefly, heal it.
+	rng := rand.New(rand.NewSource(seed))
+	nLinks := len(scfg.Shards[0].Net.Links)
+	for f := 0; f < cfg.Faults; f++ {
+		shard, link := rng.Intn(cfg.Shards), rng.Intn(nLinks)
+		if err := s.FailLink(shard, link); err != nil {
+			continue
+		}
+		time.Sleep(time.Millisecond)
+		_ = s.RepairLink(shard, link)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+
+	var all []float64
+	for _, lat := range latencies {
+		all = append(all, lat...)
+	}
+	qs := stats.Percentiles(all, 0.50, 0.90, 0.99, 1)
+	rep := schedBenchReport{
+		Schema:     schedBenchSchema,
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		Config:     cfg,
+		WallSecs:   wall.Seconds(),
+		Completed:  len(all),
+		Throughput: float64(len(all)) / wall.Seconds(),
+		LatencyMS:  map[string]float64{"p50": qs[0], "p90": qs[1], "p99": qs[2], "max": qs[3]},
+		Sched:      s.Stats(),
+		Obs:        reg.Snapshot(),
+	}
+
+	fmt.Printf("sched bench   %d shard(s) x omega(%d): %d tasks in %v (%.0f tasks/s, p99=%.3fms, faults=%d severed=%d)\n",
+		cfg.Shards, cfg.N, rep.Completed, wall.Round(time.Millisecond), rep.Throughput,
+		rep.LatencyMS["p99"], rep.Sched.LinkFaults, rep.Sched.Severed)
+	if jsonPath == "" {
+		return nil
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(jsonPath, append(data, '\n'), 0o644)
+}

@@ -32,6 +32,8 @@ import (
 	"flag"
 	"fmt"
 	"math/rand"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"sync"
@@ -40,11 +42,27 @@ import (
 	"time"
 
 	"rsin/internal/faultinject"
+	"rsin/internal/obs"
 	"rsin/internal/sched"
 	"rsin/internal/stats"
 	"rsin/internal/system"
 	"rsin/internal/topology"
 )
+
+// chooseSeed picks the chaos/injection RNG seed: the -seed flag value
+// when set, otherwise one derived from the clock so independent runs see
+// independent fault schedules. The chosen seed is always logged; re-run
+// with -seed <value> to reproduce a schedule exactly.
+func chooseSeed(flagVal int64, now func() int64) int64 {
+	if flagVal != 0 {
+		return flagVal
+	}
+	s := now()
+	if s == 0 {
+		s = 1 // keep the sentinel meaning "derive one"
+	}
+	return s
+}
 
 // sleepCtx sleeps for d, returning false early if ctx is done.
 func sleepCtx(ctx context.Context, d time.Duration) bool {
@@ -73,9 +91,16 @@ func main() {
 		inject    = flag.String("inject", "", "fault-injection script, e.g. cycle:%500,cycle:9:fail-link=3 (see internal/faultinject)")
 		deadline  = flag.Duration("deadline", 0, "per-task context deadline (0 = none); expired tasks are canceled")
 		linkfault = flag.Duration("linkfault", 0, "hardware chaos: fail then heal one random link per period (0 = off)")
+		seed      = flag.Int64("seed", 0, "chaos/injection RNG seed (0 = derive from the clock; logged for reproducibility)")
+		httpAddr  = flag.String("http", "", "serve /metrics, /metrics.json, /trace and /debug/pprof on this address (e.g. :9090)")
 		drain     = flag.Duration("drain", 10*time.Second, "in-flight drain deadline after SIGINT/SIGTERM")
 	)
 	flag.Parse()
+
+	chaosSeed := chooseSeed(*seed, func() int64 { return time.Now().UnixNano() })
+	if *inject != "" || *linkfault > 0 {
+		fmt.Fprintf(os.Stderr, "rsinserve: seed %d (re-run with -seed %d to reproduce)\n", chaosSeed, chaosSeed)
+	}
 
 	// Graceful shutdown: the first SIGINT/SIGTERM stops admission; clients
 	// finish their in-flight task, the run drains and the stats print. A
@@ -90,6 +115,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(2)
 		}
+		injector.Seed(chaosSeed) // probabilistic rules follow the logged seed
 	}
 
 	build := map[string]func(int) *topology.Network{
@@ -110,7 +136,23 @@ func main() {
 	if *need > 1 && !*naive {
 		avoidance = system.AvoidanceBankers
 	}
-	cfg := sched.Config{BatchSize: *batch, FlushEvery: *flush, Workers: *workers}
+	// Observability is opt-in: without -http the scheduling hot path stays
+	// allocation-free (internal/obs nil-safe instruments).
+	var reg *obs.Registry
+	if *httpAddr != "" {
+		reg = obs.NewRegistry()
+		ln, err := net.Listen("tcp", *httpAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		fmt.Fprintf(os.Stderr, "rsinserve: metrics on http://%s/ (/metrics, /metrics.json, /trace, /debug/pprof)\n", ln.Addr())
+		srv := &http.Server{Handler: obs.Handler(reg)}
+		go srv.Serve(ln)
+		defer srv.Close()
+	}
+
+	cfg := sched.Config{BatchSize: *batch, FlushEvery: *flush, Workers: *workers, Obs: reg}
 	for i := 0; i < *shards; i++ {
 		sc := system.Config{Net: build(*n), Avoidance: avoidance}
 		if injector != nil {
@@ -136,7 +178,7 @@ func main() {
 		chaosWg.Add(1)
 		go func() {
 			defer chaosWg.Done()
-			rng := rand.New(rand.NewSource(1)) // deterministic chaos schedule
+			rng := rand.New(rand.NewSource(chaosSeed)) // reproducible via the logged -seed
 			half := *linkfault / 2
 			for {
 				shard, link := rng.Intn(*shards), rng.Intn(nLinks)

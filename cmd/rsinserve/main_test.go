@@ -1,0 +1,29 @@
+package main
+
+import "testing"
+
+// TestChooseSeed is the regression test for the hardcoded chaos seed: the
+// server used rand.NewSource(1) unconditionally, so every -linkfault run
+// replayed the identical fault schedule. The seed must now follow -seed
+// when given and the clock otherwise.
+func TestChooseSeed(t *testing.T) {
+	now := func() int64 { return 424242 }
+	if got := chooseSeed(77, now); got != 77 {
+		t.Errorf("explicit -seed ignored: got %d, want 77", got)
+	}
+	if got := chooseSeed(-5, now); got != -5 {
+		t.Errorf("negative -seed ignored: got %d, want -5", got)
+	}
+	if got := chooseSeed(0, now); got != 424242 {
+		t.Errorf("default seed not clock-derived: got %d, want 424242", got)
+	}
+	// Two runs at different instants must not share a schedule.
+	later := func() int64 { return 424243 }
+	if chooseSeed(0, now) == chooseSeed(0, later) {
+		t.Error("default seed constant across time — the old hardcoded-seed bug")
+	}
+	// A zero clock must not collapse into the "unset" sentinel.
+	if got := chooseSeed(0, func() int64 { return 0 }); got == 0 {
+		t.Error("zero clock produced the sentinel seed 0")
+	}
+}

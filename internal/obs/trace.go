@@ -1,0 +1,91 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// Event is one scheduling decision recorded in the trace ring. All fields
+// are plain values, so recording an event performs no allocation: the
+// string fields are meant to carry package-level constants ("grant",
+// "sever", ...), never formatted text.
+type Event struct {
+	Seq      uint64 `json:"seq"`       // monotone sequence number, assigned by Record
+	UnixNano int64  `json:"unix_nano"` // wall-clock timestamp, assigned by Record
+	Kind     string `json:"kind"`      // event class: grant, sever, restart, fault, ...
+	Shard    int    `json:"shard"`     // shard index (0 for unsharded systems)
+	Cycle    int64  `json:"cycle"`     // scheduling cycle count at the event
+	Task     int64  `json:"task"`      // task ID, or 0 when not task-scoped
+	Epoch    uint64 `json:"fault_epoch"`
+	Val      int64  `json:"val"`              // kind-specific magnitude (units granted, component index, ...)
+	Result   string `json:"result,omitempty"` // terminal outcome class, when the event ends a task
+}
+
+// Trace is a fixed-capacity ring buffer of Events. Record overwrites the
+// oldest entry once full; Events returns the surviving suffix in order.
+// All methods are safe for concurrent use and nil-safe.
+type Trace struct {
+	mu  sync.Mutex
+	buf []Event
+	seq uint64 // total events ever recorded
+}
+
+// NewTrace returns a trace ring holding the last capacity events.
+func NewTrace(capacity int) *Trace {
+	if capacity <= 0 {
+		capacity = defaultTraceCap
+	}
+	return &Trace{buf: make([]Event, capacity)}
+}
+
+// Record appends an event, assigning its sequence number and timestamp.
+func (t *Trace) Record(e Event) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	e.Seq = t.seq
+	e.UnixNano = time.Now().UnixNano()
+	t.buf[t.seq%uint64(len(t.buf))] = e
+	t.seq++
+	t.mu.Unlock()
+}
+
+// Total reports how many events have ever been recorded (including those
+// already overwritten).
+func (t *Trace) Total() uint64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.seq
+}
+
+// Events returns the buffered events, oldest first. The result is a copy.
+func (t *Trace) Events() []Event {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n := t.seq
+	capN := uint64(len(t.buf))
+	if n > capN {
+		out := make([]Event, 0, capN)
+		for i := n - capN; i < n; i++ {
+			out = append(out, t.buf[i%capN])
+		}
+		return out
+	}
+	return append([]Event(nil), t.buf[:n]...)
+}
+
+// Last returns up to n of the most recent events, oldest first.
+func (t *Trace) Last(n int) []Event {
+	evs := t.Events()
+	if n >= 0 && len(evs) > n {
+		evs = evs[len(evs)-n:]
+	}
+	return evs
+}

@@ -1,0 +1,124 @@
+package sched
+
+import (
+	"time"
+
+	"rsin/internal/obs"
+)
+
+// Trace event kinds and terminal-result labels recorded by the service
+// layer. Constants, so recording stays allocation-free.
+const (
+	evSubmit  = "submit"  // task accepted into a shard system
+	evGrant   = "grant"   // task fully provisioned; Val = units held
+	evService = "service" // EndService released the task's resources
+	evCancel  = "cancel"  // SubmitCtx withdrew the task
+	evFailed  = "failed"  // task terminated with an error; Result labels why
+	evRestart = "restart" // shard supervisor rebuilt a failed System
+	evFault   = "fault"   // hardware fault applied via the sched API; Val = index
+	evRepair  = "repair"  // hardware repair applied via the sched API; Val = index
+	evReject  = "reject"  // Submit rejected the task before admission
+
+	resShardDown   = "shard-down"   // in-flight at a supervisor restart
+	resSeverBudget = "sever-budget" // units severed more than SeverRetries times
+	resUnsat       = "unsat"        // demand no longer fits surviving capacity
+	resClosed      = "closed"       // unprovisioned at scheduler shutdown
+	resRestartLost = "restart-lost" // grants discarded by a restart, seen at EndService
+	resDead        = "dead"         // shard permanently down (rebuild failed)
+)
+
+// schedObs holds the service's resolved instruments, shared by every
+// shard. The zero value (all fields nil, enabled false) is the disabled
+// state: every call site is a method on a nil pointer, a no-op with zero
+// allocations — TestDisabledObsAllocFree pins this.
+type schedObs struct {
+	enabled bool
+
+	submitted *obs.Counter
+	granted   *obs.Counter
+	serviced  *obs.Counter
+	canceled  *obs.Counter
+	failed    *obs.Counter
+	rejected  *obs.Counter
+	epochs    *obs.Counter
+	cycles    *obs.Counter
+	deferred  *obs.Counter
+	restarts  *obs.Counter
+	faultOps  *obs.Counter
+	repairOps *obs.Counter
+	severed   *obs.Counter
+
+	augmentations *obs.Counter
+	phases        *obs.Counter
+	arcScans      *obs.Counter
+	nodeVisits    *obs.Counter
+
+	free   *obs.Gauge
+	usable *obs.Gauge
+
+	submitGrantMS  *obs.Histogram // Submit accepted -> handle provisioned
+	grantReleaseMS *obs.Histogram // provisioned -> EndService released
+	epochSolveMS   *obs.Histogram // wall time of one epoch's cycle loop
+
+	trace *obs.Trace
+}
+
+// latencyBuckets spans 10µs to ~1.3s in milliseconds — the grant-latency
+// range from single-epoch fast paths to multi-second degraded churn.
+func latencyBuckets() []float64 { return obs.ExpBuckets(0.01, 2, 18) }
+
+// newSchedObs resolves the service-level instruments from a registry (the
+// zero schedObs when reg is nil).
+func newSchedObs(reg *obs.Registry) schedObs {
+	if reg == nil {
+		return schedObs{}
+	}
+	return schedObs{
+		enabled:        true,
+		submitted:      reg.Counter("rsin_sched_submitted_total"),
+		granted:        reg.Counter("rsin_sched_granted_total"),
+		serviced:       reg.Counter("rsin_sched_serviced_total"),
+		canceled:       reg.Counter("rsin_sched_canceled_total"),
+		failed:         reg.Counter("rsin_sched_failed_total"),
+		rejected:       reg.Counter("rsin_sched_rejected_total"),
+		epochs:         reg.Counter("rsin_sched_epochs_total"),
+		cycles:         reg.Counter("rsin_sched_cycles_total"),
+		deferred:       reg.Counter("rsin_sched_deferred_total"),
+		restarts:       reg.Counter("rsin_sched_restarts_total"),
+		faultOps:       reg.Counter("rsin_sched_fault_ops_total"),
+		repairOps:      reg.Counter("rsin_sched_repair_ops_total"),
+		severed:        reg.Counter("rsin_sched_severed_total"),
+		augmentations:  reg.Counter("rsin_solver_augmentations_total"),
+		phases:         reg.Counter("rsin_solver_phases_total"),
+		arcScans:       reg.Counter("rsin_solver_arc_scans_total"),
+		nodeVisits:     reg.Counter("rsin_solver_node_visits_total"),
+		free:           reg.Gauge("rsin_sched_free_resources"),
+		usable:         reg.Gauge("rsin_sched_usable_resources"),
+		submitGrantMS:  reg.Histogram("rsin_sched_submit_to_grant_ms", latencyBuckets()),
+		grantReleaseMS: reg.Histogram("rsin_sched_grant_to_release_ms", latencyBuckets()),
+		epochSolveMS:   reg.Histogram("rsin_sched_epoch_solve_ms", latencyBuckets()),
+		trace:          reg.Trace(),
+	}
+}
+
+// event records a trace event stamped with the shard's coordinates. Runs
+// on the shard goroutine (it reads sh.sys). No-op when tracing is
+// disabled.
+func (s *Scheduler) event(sh *shard, kind string, task int64, val int64, result string) {
+	if s.o.trace == nil {
+		return
+	}
+	s.o.trace.Record(obs.Event{
+		Kind:   kind,
+		Shard:  sh.idx,
+		Cycle:  sh.cycleCount,
+		Task:   task,
+		Epoch:  sh.sys.FaultEpoch(),
+		Val:    val,
+		Result: result,
+	})
+}
+
+// nowNano timestamps latency samples; callers gate on o.enabled so the
+// disabled path never reads the clock.
+func nowNano() int64 { return time.Now().UnixNano() }

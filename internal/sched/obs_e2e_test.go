@@ -1,0 +1,180 @@
+package sched
+
+import (
+	"encoding/json"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"rsin/internal/obs"
+	"rsin/internal/system"
+	"rsin/internal/topology"
+)
+
+// scrape fetches one endpoint of the ops server.
+func scrape(t *testing.T, base, path string) (string, string) {
+	t.Helper()
+	resp, err := http.Get(base + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: %s\n%s", path, resp.Status, body)
+	}
+	return string(body), resp.Header.Get("Content-Type")
+}
+
+// promValue extracts a plain counter/gauge sample from Prometheus text.
+func promValue(t *testing.T, text, name string) int64 {
+	t.Helper()
+	for _, line := range strings.Split(text, "\n") {
+		if rest, ok := strings.CutPrefix(line, name+" "); ok {
+			v, err := strconv.ParseInt(rest, 10, 64)
+			if err != nil {
+				t.Fatalf("parsing %q: %v", line, err)
+			}
+			return v
+		}
+	}
+	t.Fatalf("metric %s not in exposition:\n%s", name, text)
+	return 0
+}
+
+// TestObsEndToEnd runs the instrumented scheduler under load with
+// fail->heal hardware chaos while scraping the HTTP ops endpoints, then
+// validates at quiescence that every exported counter agrees exactly with
+// Scheduler.Stats().
+func TestObsEndToEnd(t *testing.T) {
+	const (
+		clients = 16
+		tasks   = 30
+		shards  = 2
+	)
+	reg := obs.NewRegistry()
+	cfg := Config{Obs: reg}
+	for i := 0; i < shards; i++ {
+		cfg.Shards = append(cfg.Shards, system.Config{Net: topology.Omega(8)})
+	}
+	s := newScheduler(t, cfg)
+	srv := httptest.NewServer(obs.Handler(reg))
+	defer srv.Close()
+
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			task := system.Task{Proc: (c / shards) % 8, Need: 1}
+			for i := 0; i < tasks; i++ {
+				h, err := s.Submit(c%shards, task)
+				if err != nil {
+					continue
+				}
+				<-h.Done()
+				if h.Err() != nil {
+					continue
+				}
+				s.EndService(h)
+			}
+		}(c)
+	}
+	// Chaos and mid-run scrapes: the endpoints must serve consistently
+	// while counters move (run with -race to pin the locking).
+	rng := rand.New(rand.NewSource(11))
+	nLinks := len(cfg.Shards[0].Net.Links)
+	for f := 0; f < 10; f++ {
+		shard, link := rng.Intn(shards), rng.Intn(nLinks)
+		if err := s.FailLink(shard, link); err == nil {
+			time.Sleep(500 * time.Microsecond)
+			s.RepairLink(shard, link)
+		}
+		scrape(t, srv.URL, "/metrics")
+		scrape(t, srv.URL, "/metrics.json")
+	}
+	wg.Wait()
+
+	st := s.Stats()
+	text, ctype := scrape(t, srv.URL, "/metrics")
+	if !strings.HasPrefix(ctype, "text/plain") {
+		t.Errorf("/metrics content type %q", ctype)
+	}
+	for name, want := range map[string]int64{
+		"rsin_sched_submitted_total":      st.Submitted,
+		"rsin_sched_granted_total":        st.Granted,
+		"rsin_sched_serviced_total":       st.Serviced,
+		"rsin_sched_canceled_total":       st.Canceled,
+		"rsin_sched_failed_total":         st.Failed,
+		"rsin_sched_epochs_total":         st.Epochs,
+		"rsin_sched_cycles_total":         st.Cycles,
+		"rsin_sched_fault_ops_total":      st.LinkFaults,
+		"rsin_sched_repair_ops_total":     st.Repairs,
+		"rsin_sched_severed_total":        st.Severed,
+		"rsin_sched_restarts_total":       st.Restarts,
+		"rsin_sched_free_resources":       int64(st.Free),
+		"rsin_sched_usable_resources":     int64(st.Usable),
+		"rsin_solver_augmentations_total": int64(st.Ops.Augmentations),
+		"rsin_solver_arc_scans_total":     int64(st.Ops.ArcScans),
+	} {
+		if got := promValue(t, text, name); got != want {
+			t.Errorf("/metrics %s = %d, Stats says %d", name, got, want)
+		}
+	}
+	// The latency histogram must have one submit-to-grant sample per grant
+	// of a single-unit task (every admitted task here needs one unit).
+	if got := promValue(t, text, "rsin_sched_submit_to_grant_ms_count"); got != st.Submitted-st.Failed-st.Canceled {
+		t.Errorf("submit_to_grant count = %d, want %d", got, st.Submitted-st.Failed-st.Canceled)
+	}
+
+	jsonBody, ctype := scrape(t, srv.URL, "/metrics.json")
+	if !strings.HasPrefix(ctype, "application/json") {
+		t.Errorf("/metrics.json content type %q", ctype)
+	}
+	var snap obs.Snapshot
+	if err := json.Unmarshal([]byte(jsonBody), &snap); err != nil {
+		t.Fatalf("/metrics.json: %v", err)
+	}
+	if snap.Counters["rsin_sched_serviced_total"] != st.Serviced {
+		t.Errorf("json serviced = %d, want %d", snap.Counters["rsin_sched_serviced_total"], st.Serviced)
+	}
+	if n := snap.Histograms["rsin_sched_epoch_solve_ms"].N; int64(n) != 0 && int64(n) > st.Epochs {
+		t.Errorf("solve histogram N = %d > epochs %d", n, st.Epochs)
+	}
+
+	traceBody, _ := scrape(t, srv.URL, "/trace?n=5")
+	var tr struct {
+		Total  uint64      `json:"total"`
+		Events []obs.Event `json:"events"`
+	}
+	if err := json.Unmarshal([]byte(traceBody), &tr); err != nil {
+		t.Fatalf("/trace: %v", err)
+	}
+	if tr.Total == 0 || len(tr.Events) == 0 || len(tr.Events) > 5 {
+		t.Errorf("trace total=%d events=%d, want active trace capped at 5", tr.Total, len(tr.Events))
+	}
+	for _, e := range tr.Events {
+		if e.Kind == "" {
+			t.Errorf("trace event without kind: %+v", e)
+		}
+	}
+
+	if body, _ := scrape(t, srv.URL, "/debug/pprof/cmdline"); len(body) == 0 {
+		t.Error("/debug/pprof/cmdline empty")
+	}
+	index, _ := scrape(t, srv.URL, "/")
+	for _, link := range []string{"/metrics", "/metrics.json", "/trace", "/debug/pprof/"} {
+		if !strings.Contains(index, link) {
+			t.Errorf("index missing %s", link)
+		}
+	}
+}

@@ -62,6 +62,7 @@ import (
 	"time"
 
 	"rsin/internal/maxflow"
+	"rsin/internal/obs"
 	"rsin/internal/system"
 )
 
@@ -102,9 +103,32 @@ type Config struct {
 	// re-queued unit is solved for on the next cycle, a natural backoff
 	// of one batch period. Default 3.
 	SeverRetries int
+	// Obs, when non-nil, receives service metrics (the Stats counters as
+	// Prometheus-style instruments), latency histograms (submit-to-grant,
+	// grant-to-release, epoch solve wall time) and a ring-buffer trace of
+	// scheduling decisions. It is also threaded into each shard's
+	// system.Config (unless that config carries its own registry), so one
+	// registry observes the whole stack. Nil — the default — disables
+	// observability with zero additional allocations on the hot path.
+	Obs *obs.Registry
 }
 
 // Stats is a snapshot of service counters, summed over shards.
+//
+// # Terminal accounting
+//
+// Every task accepted by Submit (counted in Submitted) is counted
+// terminal exactly once: Serviced when EndService releases it, Canceled
+// when SubmitCtx withdraws it, or Failed when the service terminates it
+// with any other error (shard restart, sever-retry exhaustion, a capacity
+// drop making its demand unsatisfiable, shutdown). Tasks provisioned but
+// not yet handed to EndService are the only gap, so at quiescence
+//
+//	Submitted == Serviced + Canceled + Failed + <provisioned, un-ended>
+//
+// and after Close with every handle resolved and every successful task
+// EndServiced, Submitted == Serviced + Canceled + Failed exactly. The
+// stress suite and the lifecycle fuzzer assert this identity.
 type Stats struct {
 	Submitted int64 // tasks accepted into a shard system
 	Granted   int64 // resources granted across all cycles
@@ -113,6 +137,7 @@ type Stats struct {
 	Cycles    int64 // scheduling cycles run (>= Epochs when work pending)
 	Deferred  int64 // requests withheld by deadlock avoidance
 	Canceled  int64 // tasks withdrawn by SubmitCtx context cancellation
+	Failed    int64 // tasks terminated by the service with a non-cancel error
 	Restarts  int64 // shard recoveries from internal System failures
 
 	// Hardware fault counters.
@@ -140,6 +165,15 @@ type Handle struct {
 	done   chan struct{}
 	res    []int // resources held; written by the shard goroutine before done closes
 	err    error // terminal submission error; written before done closes
+
+	// Observability bookkeeping, touched only when Config.Obs is set.
+	submitNano int64 // Submit wall-clock, for the submit-to-grant histogram
+	grantNano  int64 // provisioning wall-clock, for grant-to-release
+	// finished marks the handle's terminal counter as recorded, so
+	// repeated EndService calls against lost grants (shard restart, dead
+	// shard) cannot double-count Failed. Written only by the shard
+	// goroutine.
+	finished bool
 }
 
 // Done is closed once the task is fully provisioned (or has failed —
@@ -179,6 +213,7 @@ type op struct {
 type shard struct {
 	idx       int
 	sys       *system.System
+	sysCfg    system.Config // prepared config (obs threaded); supervisor rebuilds from it
 	procs     int
 	ress      int
 	typeCount map[int]int // resources per configured type; nil without Types
@@ -187,6 +222,11 @@ type shard struct {
 	gen       int                       // bumped by every supervisor restart
 	capEpoch  uint64                    // fault epoch the usable census was computed at
 	capOK     bool                      // false forces a recompute (restart, first flush)
+
+	// Observability bookkeeping, shard-goroutine only.
+	cycleCount int64 // cumulative cycles, stamps trace events
+	lastFree   int   // last Free published to the shared obs gauge
+	lastUsable int   // last Usable published to the shared obs gauge
 
 	mu    sync.Mutex
 	stats Stats
@@ -208,6 +248,7 @@ type Scheduler struct {
 	cfg    Config
 	shards []*shard
 	sem    chan struct{} // solver worker pool
+	o      schedObs      // resolved instruments; zero value when Obs is nil
 
 	mu     sync.RWMutex // guards closed vs. in-flight channel sends
 	closed bool
@@ -235,8 +276,15 @@ func New(cfg Config) (*Scheduler, error) {
 	s := &Scheduler{
 		cfg: cfg,
 		sem: make(chan struct{}, cfg.Workers),
+		o:   newSchedObs(cfg.Obs),
 	}
 	for i, sc := range cfg.Shards {
+		// Thread the service registry through the shard's system (unless
+		// the caller gave that shard its own) and label its trace events.
+		if sc.Obs == nil {
+			sc.Obs = cfg.Obs
+		}
+		sc.ObsShard = i
 		sys, err := system.New(sc)
 		if err != nil {
 			return nil, fmt.Errorf("sched: shard %d: %w", i, err)
@@ -244,6 +292,7 @@ func New(cfg Config) (*Scheduler, error) {
 		sh := &shard{
 			idx:     i,
 			sys:     sys,
+			sysCfg:  sc,
 			procs:   sc.Net.Procs,
 			ress:    sc.Net.Ress,
 			ops:     make(chan op, 2*cfg.BatchSize),
@@ -263,6 +312,10 @@ func New(cfg Config) (*Scheduler, error) {
 		sh.stats.Usable = sh.usableTotal
 		sh.capEpoch = sh.sys.FaultEpoch()
 		sh.capOK = true
+		sh.lastFree = sh.stats.Free
+		sh.lastUsable = sh.usableTotal
+		s.o.free.Add(int64(sh.lastFree))
+		s.o.usable.Add(int64(sh.lastUsable))
 		s.shards = append(s.shards, sh)
 	}
 	for _, sh := range s.shards {
@@ -291,10 +344,12 @@ func (s *Scheduler) Submit(shard int, t system.Task) (*Handle, error) {
 		need = 1
 	}
 	if need > sh.ress {
+		s.o.rejected.Inc()
 		return nil, fmt.Errorf("sched: shard %d: task needs %d resources, shard has %d: %w",
 			shard, need, sh.ress, system.ErrUnsatisfiable)
 	}
 	if sh.typeCount != nil && need > sh.typeCount[t.Type] {
+		s.o.rejected.Inc()
 		return nil, fmt.Errorf("sched: shard %d: task needs %d resources of type %d, shard has %d: %w",
 			shard, need, t.Type, sh.typeCount[t.Type], system.ErrUnsatisfiable)
 	}
@@ -308,10 +363,17 @@ func (s *Scheduler) Submit(shard int, t system.Task) (*Handle, error) {
 	}
 	sh.mu.Unlock()
 	if need > limit {
+		s.o.rejected.Inc()
+		if s.o.trace != nil {
+			s.o.trace.Record(obs.Event{Kind: evReject, Shard: shard, Val: int64(need), Result: resUnsat})
+		}
 		return nil, fmt.Errorf("sched: shard %d: task needs %d resources, surviving fabric has %d usable: %w",
 			shard, need, limit, system.ErrUnsatisfiable)
 	}
 	h := &Handle{shard: shard, need: need, typ: t.Type, done: make(chan struct{})}
+	if s.o.enabled {
+		h.submitNano = nowNano()
+	}
 	if err := s.send(sh, op{kind: opSubmit, task: t, h: h}); err != nil {
 		return nil, err
 	}
@@ -430,6 +492,21 @@ func (s *Scheduler) send(sh *shard, o op) error {
 }
 
 // Stats sums the per-shard counters.
+//
+// # Snapshot semantics
+//
+// Each shard's contribution is a consistent snapshot: the shard publishes
+// every counter of an event batch atomically (under its stats lock)
+// before any client observes the operations' completion, so within one
+// shard the invariants hold in every read — Granted never exceeds what
+// Submitted can explain, Repairs never exceeds LinkFaults, and an
+// operation whose call has returned (EndService, FailLink, ...) is
+// already counted. Across shards the sum is not one global instant —
+// shard snapshots are taken sequentially — but because every counter is
+// monotone and each per-shard snapshot is internally consistent, summed
+// totals are monotone across successive Stats calls and cross-shard sums
+// preserve the per-shard invariants. TestStatsMonotonicUnderLoad pins
+// this under 64-client -race load.
 func (s *Scheduler) Stats() Stats {
 	var tot Stats
 	for _, sh := range s.shards {
@@ -443,6 +520,7 @@ func (s *Scheduler) Stats() Stats {
 		tot.Cycles += st.Cycles
 		tot.Deferred += st.Deferred
 		tot.Canceled += st.Canceled
+		tot.Failed += st.Failed
 		tot.Restarts += st.Restarts
 		tot.LinkFaults += st.LinkFaults
 		tot.Severed += st.Severed
@@ -521,16 +599,73 @@ func (s *Scheduler) run(sh *shard) {
 }
 
 // shutdown runs the final epoch for whatever is buffered, then fails any
-// handle the service could not provision.
+// handle the service could not provision. Abandoned tasks are terminal:
+// each counts once in Stats.Failed.
 func (s *Scheduler) shutdown(sh *shard, buf []op) {
 	if len(buf) > 0 || len(sh.tracked) > 0 {
 		s.flush(sh, buf)
 	}
+	var closed Stats
 	for id, h := range sh.tracked {
 		h.err = ErrClosed
+		h.finished = true
 		close(h.done)
 		delete(sh.tracked, id)
+		closed.Failed++
+		s.event(sh, evFailed, int64(id), 0, resClosed)
 	}
+	if closed.Failed > 0 {
+		s.publish(sh, &closed)
+	}
+}
+
+// publish folds the epoch-local counter deltas into the shard's published
+// stats as one locked batch and mirrors them into the obs instruments,
+// then zeroes the deltas. flush calls it before every client-visible
+// completion — a reply-channel send, a handle close, the end of the epoch
+// — which is what makes Stats read-your-writes coherent: by the time
+// EndService or FailLink has returned, or Handle.Done has fired, the
+// corresponding counters are visible to Stats readers. Runs on the shard
+// goroutine.
+func (s *Scheduler) publish(sh *shard, epoch *Stats) {
+	free := sh.sys.FreeResources()
+	sh.mu.Lock()
+	sh.stats.Submitted += epoch.Submitted
+	sh.stats.Granted += epoch.Granted
+	sh.stats.Serviced += epoch.Serviced
+	sh.stats.Epochs += epoch.Epochs
+	sh.stats.Cycles += epoch.Cycles
+	sh.stats.Deferred += epoch.Deferred
+	sh.stats.Canceled += epoch.Canceled
+	sh.stats.Failed += epoch.Failed
+	sh.stats.Restarts += epoch.Restarts
+	sh.stats.LinkFaults += epoch.LinkFaults
+	sh.stats.Severed += epoch.Severed
+	sh.stats.Repairs += epoch.Repairs
+	sh.stats.Free = free
+	sh.stats.Ops.Add(epoch.Ops)
+	sh.mu.Unlock()
+	if s.o.enabled {
+		s.o.submitted.Add(epoch.Submitted)
+		s.o.granted.Add(epoch.Granted)
+		s.o.serviced.Add(epoch.Serviced)
+		s.o.epochs.Add(epoch.Epochs)
+		s.o.cycles.Add(epoch.Cycles)
+		s.o.deferred.Add(epoch.Deferred)
+		s.o.canceled.Add(epoch.Canceled)
+		s.o.failed.Add(epoch.Failed)
+		s.o.restarts.Add(epoch.Restarts)
+		s.o.faultOps.Add(epoch.LinkFaults)
+		s.o.repairOps.Add(epoch.Repairs)
+		s.o.severed.Add(epoch.Severed)
+		s.o.augmentations.Add(int64(epoch.Ops.Augmentations))
+		s.o.phases.Add(int64(epoch.Ops.Phases))
+		s.o.arcScans.Add(int64(epoch.Ops.ArcScans))
+		s.o.nodeVisits.Add(int64(epoch.Ops.NodeVisits))
+		s.o.free.Add(int64(free - sh.lastFree))
+		sh.lastFree = free
+	}
+	*epoch = Stats{}
 }
 
 // flush is one scheduling epoch: apply releases and submissions, cycle the
@@ -541,10 +676,12 @@ func (s *Scheduler) flush(sh *shard, buf []op) []op {
 	s.sem <- struct{}{}
 	defer func() { <-s.sem }()
 
-	var epoch Stats
+	epoch := Stats{Epochs: 1}
 	// Releases and withdrawals first: resources freed by finished or
 	// canceled tasks are available to this very epoch's solve. Buffer
-	// order guarantees a task's submit precedes its cancel.
+	// order guarantees a task's submit precedes its cancel. Every reply
+	// send and handle close below is preceded by a publish, so the caller
+	// observes its own completion in Stats the moment the call returns.
 	for _, o := range buf {
 		switch o.kind {
 		case opEnd:
@@ -552,17 +689,34 @@ func (s *Scheduler) flush(sh *shard, buf []op) []op {
 			switch {
 			case sh.dead != nil:
 				err = sh.dead
+				if !o.h.finished {
+					// The grants died with the shard; terminal for the task.
+					o.h.finished = true
+					epoch.Failed++
+					s.event(sh, evFailed, int64(o.h.id), 0, resDead)
+				}
 			case o.h.gen != sh.gen:
 				// The grants were made by a System discarded in a restart;
 				// applying the release to the rebuilt one would free
 				// resources it never granted.
 				err = fmt.Errorf("sched: shard %d: grants lost to restart: %w", sh.idx, ErrShardDown)
+				if !o.h.finished {
+					o.h.finished = true
+					epoch.Failed++
+					s.event(sh, evFailed, int64(o.h.id), 0, resRestartLost)
+				}
 			default:
 				err = sh.sys.EndService(o.h.id)
+				if err == nil {
+					o.h.finished = true
+					epoch.Serviced++
+					if s.o.enabled && o.h.grantNano != 0 {
+						s.o.grantReleaseMS.Observe(float64(nowNano()-o.h.grantNano) / 1e6)
+					}
+					s.event(sh, evService, int64(o.h.id), int64(o.h.need), "")
+				}
 			}
-			if err == nil {
-				epoch.Serviced++
-			}
+			s.publish(sh, &epoch)
 			o.reply <- err
 		case opSubmit:
 			if sh.dead != nil {
@@ -572,6 +726,9 @@ func (s *Scheduler) flush(sh *shard, buf []op) []op {
 			}
 			id, err := sh.sys.Submit(o.task)
 			if err != nil {
+				// Admission raced a capacity drop; the task never entered
+				// the system, so it counts as rejected, not failed.
+				s.o.rejected.Inc()
 				o.h.err = err
 				close(o.h.done)
 				continue
@@ -580,6 +737,7 @@ func (s *Scheduler) flush(sh *shard, buf []op) []op {
 			o.h.gen = sh.gen
 			sh.tracked[id] = o.h
 			epoch.Submitted++
+			s.event(sh, evSubmit, int64(id), int64(o.h.need), "")
 		case opCancel:
 			h := o.h
 			if h.gen != sh.gen {
@@ -596,8 +754,11 @@ func (s *Scheduler) flush(sh *shard, buf []op) []op {
 			}
 			delete(sh.tracked, h.id)
 			h.err = fmt.Errorf("sched: shard %d: %w: %w", sh.idx, ErrTaskCanceled, o.cause)
-			close(h.done)
+			h.finished = true
 			epoch.Canceled++
+			s.event(sh, evCancel, int64(h.id), 0, "")
+			s.publish(sh, &epoch)
+			close(h.done)
 		case opFault:
 			if sh.dead != nil {
 				o.reply <- sh.dead
@@ -607,8 +768,10 @@ func (s *Scheduler) flush(sh *shard, buf []op) []op {
 			if err == nil {
 				if o.fault.Repair {
 					epoch.Repairs++
+					s.event(sh, evRepair, 0, int64(o.fault.Index), "")
 				} else {
 					epoch.LinkFaults++
+					s.event(sh, evFault, 0, int64(o.fault.Index), "")
 				}
 				epoch.Severed += int64(len(severed))
 				for _, id := range severed {
@@ -620,15 +783,26 @@ func (s *Scheduler) flush(sh *shard, buf []op) []op {
 					if h.severs > s.cfg.SeverRetries {
 						// Retry budget exhausted: withdraw the task instead
 						// of letting it churn against a flapping component.
-						_ = sh.sys.Cancel(id)
+						if cerr := sh.sys.Cancel(id); cerr != nil {
+							// Same containment as opCancel: a tracked task the
+							// System cannot withdraw means the state is suspect.
+							s.failShard(sh, fmt.Errorf("withdrawing sever-exhausted task %d: %w", id, cerr), &epoch)
+							break
+						}
 						delete(sh.tracked, id)
 						h.err = fmt.Errorf("sched: shard %d: units severed %d times: %w",
 							sh.idx, h.severs, system.ErrCircuitSevered)
+						h.finished = true
+						epoch.Failed++
+						s.event(sh, evFailed, int64(id), int64(h.severs), resSeverBudget)
 						close(h.done)
 					}
 				}
-				s.refreshCapacity(sh)
+				if sh.dead == nil {
+					s.refreshCapacity(sh, &epoch)
+				}
 			}
+			s.publish(sh, &epoch)
 			o.reply <- err
 		}
 	}
@@ -636,12 +810,19 @@ func (s *Scheduler) flush(sh *shard, buf []op) []op {
 	// Scheduling: one Cycle solves the whole batch; repeat only while
 	// grants keep landing (multi-resource tasks and freshly unblocked
 	// queue heads acquire on the follow-up cycles).
+	var solveStart int64
+	if s.o.enabled {
+		solveStart = nowNano()
+	}
+	cycles := 0
 	for sh.dead == nil && len(sh.tracked) > 0 {
 		r, err := sh.sys.Cycle()
 		if err != nil {
 			s.failShard(sh, err, &epoch)
 			break
 		}
+		cycles++
+		sh.cycleCount++
 		epoch.Cycles++
 		epoch.Granted += int64(r.Granted)
 		epoch.Deferred += int64(r.Deferred)
@@ -672,36 +853,33 @@ func (s *Scheduler) flush(sh *shard, buf []op) []op {
 			break
 		}
 	}
+	if s.o.enabled && cycles > 0 {
+		s.o.epochSolveMS.Observe(float64(nowNano()-solveStart) / 1e6)
+	}
 	// A HardwareHook may have failed or repaired components mid-epoch;
 	// republish the degraded-capacity census if the fault epoch moved.
 	if sh.dead == nil {
-		s.refreshCapacity(sh)
+		s.refreshCapacity(sh, &epoch)
 	}
+	// Make the epoch's grants and cycle counters visible before any
+	// handle's Done fires below.
+	s.publish(sh, &epoch)
 
 	// Publish tasks that finished acquiring.
 	for id, h := range sh.tracked {
 		if sh.sys.Remaining(id) == 0 {
 			h.res = sh.sys.Holding(id)
+			if s.o.enabled {
+				h.grantNano = nowNano()
+				if h.submitNano != 0 {
+					s.o.submitGrantMS.Observe(float64(h.grantNano-h.submitNano) / 1e6)
+				}
+			}
+			s.event(sh, evGrant, int64(id), int64(len(h.res)), "")
 			close(h.done)
 			delete(sh.tracked, id)
 		}
 	}
-
-	sh.mu.Lock()
-	sh.stats.Submitted += epoch.Submitted
-	sh.stats.Serviced += epoch.Serviced
-	sh.stats.Granted += epoch.Granted
-	sh.stats.Deferred += epoch.Deferred
-	sh.stats.Canceled += epoch.Canceled
-	sh.stats.Restarts += epoch.Restarts
-	sh.stats.LinkFaults += epoch.LinkFaults
-	sh.stats.Severed += epoch.Severed
-	sh.stats.Repairs += epoch.Repairs
-	sh.stats.Cycles += epoch.Cycles
-	sh.stats.Epochs++
-	sh.stats.Free = sh.sys.FreeResources()
-	sh.stats.Ops.Add(epoch.Ops)
-	sh.mu.Unlock()
 	return buf[:0]
 }
 
@@ -710,7 +888,7 @@ func (s *Scheduler) flush(sh *shard, buf []op) []op {
 // demand no longer fits the surviving capacity: they would otherwise
 // wait forever on resources the fabric has lost. Runs on the shard
 // goroutine.
-func (s *Scheduler) refreshCapacity(sh *shard) {
+func (s *Scheduler) refreshCapacity(sh *shard, epoch *Stats) {
 	ep := sh.sys.FaultEpoch()
 	if sh.capOK && ep == sh.capEpoch {
 		return
@@ -725,6 +903,10 @@ func (s *Scheduler) refreshCapacity(sh *shard) {
 	sh.usableTotal = total
 	sh.stats.Usable = total
 	sh.mu.Unlock()
+	if s.o.enabled {
+		s.o.usable.Add(int64(total - sh.lastUsable))
+		sh.lastUsable = total
+	}
 	sh.capEpoch, sh.capOK = ep, true
 	for id, h := range sh.tracked {
 		limit := total
@@ -736,6 +918,9 @@ func (s *Scheduler) refreshCapacity(sh *shard) {
 			delete(sh.tracked, id)
 			h.err = fmt.Errorf("sched: shard %d: task needs %d resources, surviving fabric has %d usable: %w",
 				sh.idx, h.need, limit, system.ErrUnsatisfiable)
+			h.finished = true
+			epoch.Failed++
+			s.event(sh, evFailed, int64(id), int64(h.need), resUnsat)
 			close(h.done)
 		}
 	}
@@ -751,10 +936,13 @@ func (s *Scheduler) failShard(sh *shard, cause error, epoch *Stats) {
 	down := fmt.Errorf("sched: shard %d: %w: %w", sh.idx, ErrShardDown, cause)
 	for id, h := range sh.tracked {
 		h.err = down
+		h.finished = true
+		epoch.Failed++
+		s.event(sh, evFailed, int64(id), 0, resShardDown)
 		close(h.done)
 		delete(sh.tracked, id)
 	}
-	sys, err := system.New(s.cfg.Shards[sh.idx])
+	sys, err := system.New(sh.sysCfg)
 	if err != nil {
 		// The config built a System at New; if it no longer does,
 		// recovery is impossible and the shard stays down for good.
@@ -764,8 +952,9 @@ func (s *Scheduler) failShard(sh *shard, cause error, epoch *Stats) {
 	sh.sys = sys
 	sh.gen++
 	epoch.Restarts++
+	s.event(sh, evRestart, 0, int64(sh.gen), "")
 	// The rebuilt System starts from the pristine template: force the
 	// degraded-capacity census to recompute (its fault epoch restarted).
 	sh.capOK = false
-	s.refreshCapacity(sh)
+	s.refreshCapacity(sh, epoch)
 }

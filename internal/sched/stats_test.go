@@ -1,0 +1,427 @@
+package sched
+
+import (
+	"errors"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"rsin/internal/system"
+	"rsin/internal/topology"
+)
+
+// TestStatsCoherentAfterBlockingReply is the regression test for the
+// torn-snapshot bug: flush used to publish an epoch's counters only at
+// the very end, after replying to the client — so EndService could return
+// while Stats still showed the release as not having happened. The test
+// holds the shard goroutine hostage inside the post-release cycle loop
+// (via a gated FaultHook) and asserts that the completed EndService is
+// already visible; before the publish-before-reply fix this read 0
+// deterministically.
+func TestStatsCoherentAfterBlockingReply(t *testing.T) {
+	var gate atomic.Bool
+	release := make(chan struct{})
+	hook := func(point string) error {
+		if point == system.FaultCycle && gate.Load() {
+			<-release
+		}
+		return nil
+	}
+	// BatchSize 1 flushes per op and the huge FlushEvery keeps the timer
+	// from racing a flush in ahead of the gated EndService.
+	s := newScheduler(t, Config{
+		BatchSize:  1,
+		FlushEvery: time.Hour,
+		Shards: []system.Config{{
+			Net:       topology.Crossbar(2, 2),
+			Avoidance: system.AvoidanceNone,
+			FaultHook: hook,
+		}},
+	})
+	var releaseOnce sync.Once
+	unpark := func() { releaseOnce.Do(func() { close(release) }) }
+	// Registered after newScheduler, so it runs before the Close cleanup —
+	// a parked shard goroutine would deadlock Close otherwise.
+	t.Cleanup(unpark)
+
+	a, err := s.Submit(0, system.Task{Proc: 0, Need: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-a.Done()
+	if a.Err() != nil {
+		t.Fatal(a.Err())
+	}
+	// b acquires the one remaining resource and blocks needing a second:
+	// the shard stays tracked, so every flush runs at least one Cycle and
+	// consults the hook.
+	b, err := s.Submit(0, system.Task{Proc: 1, Need: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// b's admission becomes visible only after its flush's cycle loop has
+	// run; arming the gate earlier would park that flush instead of the
+	// EndService one.
+	waitStats(t, s, func(st Stats) bool { return st.Submitted == 2 })
+
+	gate.Store(true)
+	if err := s.EndService(a); err != nil {
+		t.Fatal(err)
+	}
+	// The shard goroutine is now parked in the gated hook, mid-flush. The
+	// release we just completed must nevertheless be visible.
+	if st := s.Stats(); st.Serviced != 1 {
+		t.Fatalf("Serviced = %d after EndService returned, want 1 (stats published only at flush end?)", st.Serviced)
+	}
+	gate.Store(false)
+	unpark()
+	<-b.Done()
+	if b.Err() != nil {
+		t.Fatal(b.Err())
+	}
+	if err := s.EndService(b); err != nil {
+		t.Fatal(err)
+	}
+	st := s.Stats()
+	if st.Serviced != 2 || st.Submitted != 2 {
+		t.Fatalf("final stats %+v", st)
+	}
+}
+
+// TestStatsMonotonicUnderLoad samples Stats continuously while 64 clients
+// and a link fail/heal chaos loop hammer the service, asserting that
+// every cumulative counter is monotone and the cross-counter invariants
+// hold in every sample. Run with -race this also exercises the snapshot
+// locking. Link-only chaos keeps Granted <= Submitted exact: link faults
+// via the sched API cannot sever in-flight circuits (they exist only
+// inside the same flush), so no unit is ever re-granted.
+func TestStatsMonotonicUnderLoad(t *testing.T) {
+	const (
+		clients = 64
+		tasks   = 40
+		shards  = 2
+	)
+	cfg := Config{}
+	for i := 0; i < shards; i++ {
+		cfg.Shards = append(cfg.Shards, system.Config{Net: topology.Omega(16)})
+	}
+	s := newScheduler(t, cfg)
+
+	stop := make(chan struct{})
+	var samplerWg sync.WaitGroup
+	samplerWg.Add(1)
+	go func() {
+		defer samplerWg.Done()
+		var prev Stats
+		for {
+			st := s.Stats()
+			for _, c := range []struct {
+				name      string
+				cur, last int64
+			}{
+				{"Submitted", st.Submitted, prev.Submitted},
+				{"Granted", st.Granted, prev.Granted},
+				{"Serviced", st.Serviced, prev.Serviced},
+				{"Epochs", st.Epochs, prev.Epochs},
+				{"Cycles", st.Cycles, prev.Cycles},
+				{"Deferred", st.Deferred, prev.Deferred},
+				{"Canceled", st.Canceled, prev.Canceled},
+				{"Failed", st.Failed, prev.Failed},
+				{"Restarts", st.Restarts, prev.Restarts},
+				{"LinkFaults", st.LinkFaults, prev.LinkFaults},
+				{"Severed", st.Severed, prev.Severed},
+				{"Repairs", st.Repairs, prev.Repairs},
+			} {
+				if c.cur < c.last {
+					t.Errorf("%s went backwards: %d -> %d", c.name, c.last, c.cur)
+				}
+			}
+			if st.Granted > st.Submitted {
+				t.Errorf("Granted %d > Submitted %d", st.Granted, st.Submitted)
+			}
+			if st.Repairs > st.LinkFaults {
+				t.Errorf("Repairs %d > LinkFaults %d", st.Repairs, st.LinkFaults)
+			}
+			if st.Serviced+st.Canceled+st.Failed > st.Submitted {
+				t.Errorf("terminal count %d exceeds Submitted %d",
+					st.Serviced+st.Canceled+st.Failed, st.Submitted)
+			}
+			prev = st
+			select {
+			case <-stop:
+				return
+			default:
+			}
+		}
+	}()
+
+	chaosStop := make(chan struct{})
+	var chaosWg sync.WaitGroup
+	chaosWg.Add(1)
+	go func() {
+		defer chaosWg.Done()
+		rng := rand.New(rand.NewSource(7))
+		nLinks := len(cfg.Shards[0].Net.Links)
+		for {
+			select {
+			case <-chaosStop:
+				return
+			default:
+			}
+			shard, link := rng.Intn(shards), rng.Intn(nLinks)
+			if err := s.FailLink(shard, link); err != nil {
+				continue
+			}
+			time.Sleep(200 * time.Microsecond)
+			s.RepairLink(shard, link)
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			task := system.Task{Proc: (c / shards) % 16, Need: 1}
+			for i := 0; i < tasks; i++ {
+				h, err := s.Submit(c%shards, task)
+				if err != nil {
+					continue
+				}
+				<-h.Done()
+				if h.Err() != nil {
+					continue
+				}
+				s.EndService(h)
+			}
+		}(c)
+	}
+	wg.Wait()
+	close(chaosStop)
+	chaosWg.Wait()
+	close(stop)
+	samplerWg.Wait()
+
+	st := s.Stats()
+	if st.Submitted == 0 || st.Serviced == 0 {
+		t.Fatalf("no work completed: %+v", st)
+	}
+	// Quiescent identity: every admitted task ended terminal (clients end
+	// every grant they receive).
+	if st.Serviced+st.Canceled+st.Failed != st.Submitted {
+		t.Fatalf("terminal identity broken at quiescence: Serviced %d + Canceled %d + Failed %d != Submitted %d",
+			st.Serviced, st.Canceled, st.Failed, st.Submitted)
+	}
+}
+
+// blockedPair returns a scheduler where filler tasks hold all but one
+// resource of an Omega(4) shard and task b holds the last one, blocked
+// waiting for a second unit. fillers[i].Resources() identifies held
+// resources deterministically.
+func blockedPair(t *testing.T, cfg Config) (*Scheduler, []*Handle, *Handle) {
+	t.Helper()
+	s := newScheduler(t, cfg)
+	var fillers []*Handle
+	for p := 0; p < 3; p++ {
+		h, err := s.Submit(0, system.Task{Proc: p, Need: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		<-h.Done()
+		if h.Err() != nil {
+			t.Fatal(h.Err())
+		}
+		fillers = append(fillers, h)
+	}
+	b, err := s.Submit(0, system.Task{Proc: 3, Need: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, fillers, b
+}
+
+func omega4Cfg(severRetries int) Config {
+	return Config{
+		SeverRetries: severRetries,
+		Shards: []system.Config{{
+			Net:       topology.Omega(4),
+			Avoidance: system.AvoidanceNone,
+		}},
+	}
+}
+
+// waitStats polls until cond holds (the shard goroutine publishes
+// asynchronously to handle closes in a few paths) or the deadline hits.
+func waitStats(t *testing.T, s *Scheduler, cond func(Stats) bool) Stats {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		st := s.Stats()
+		if cond(st) || time.Now().After(deadline) {
+			return st
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestTerminalAccountingSeverBudget: a task whose units are severed past
+// the retry budget fails terminal exactly once.
+func TestTerminalAccountingSeverBudget(t *testing.T) {
+	s, _, b := blockedPair(t, omega4Cfg(1))
+	// b holds exactly one resource; each FailResource of that resource
+	// revokes it (b is still acquiring). Sweeping all four resources
+	// twice guarantees two severs — the second one exceeds the budget.
+	// Fillers are fully provisioned, so their resources survive failure
+	// unsevered, and capacity never drops below b's need of 2.
+	for pass := 0; pass < 2; pass++ {
+		for r := 0; r < 4; r++ {
+			if err := s.FailResource(0, r); err != nil {
+				t.Fatal(err)
+			}
+			if err := s.RepairResource(0, r); err != nil {
+				t.Fatal(err)
+			}
+		}
+		// Give the re-grant cycle a beat between passes.
+		time.Sleep(10 * time.Millisecond)
+	}
+	select {
+	case <-b.Done():
+	case <-time.After(5 * time.Second):
+		t.Fatal("sever-exhausted task never failed")
+	}
+	if !errors.Is(b.Err(), system.ErrCircuitSevered) {
+		t.Fatalf("err = %v, want ErrCircuitSevered", b.Err())
+	}
+	st := waitStats(t, s, func(st Stats) bool { return st.Failed == 1 })
+	if st.Failed != 1 {
+		t.Fatalf("Failed = %d, want exactly 1 (stats %+v)", st.Failed, st)
+	}
+	if st.Severed < 2 {
+		t.Fatalf("Severed = %d, want >= 2", st.Severed)
+	}
+}
+
+// TestTerminalAccountingCapacityDrop: a task withdrawn because surviving
+// capacity no longer covers its demand fails terminal exactly once.
+func TestTerminalAccountingCapacityDrop(t *testing.T) {
+	cfg := Config{Shards: []system.Config{{
+		Net:       topology.Omega(4),
+		Avoidance: system.AvoidanceNone,
+	}}}
+	s := newScheduler(t, cfg)
+	a, err := s.Submit(0, system.Task{Proc: 0, Need: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-a.Done()
+	if a.Err() != nil {
+		t.Fatal(a.Err())
+	}
+	// c wants the whole fabric: it acquires the three free resources and
+	// blocks on the one a holds.
+	c, err := s.Submit(0, system.Task{Proc: 1, Need: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Failing a's resource cannot sever (a is fully provisioned and keeps
+	// its unit) but drops usable capacity to 3 < 4: c must be withdrawn.
+	if err := s.FailResource(0, a.Resources()[0]); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-c.Done():
+	case <-time.After(5 * time.Second):
+		t.Fatal("unsatisfiable task never withdrawn")
+	}
+	if !errors.Is(c.Err(), system.ErrUnsatisfiable) {
+		t.Fatalf("err = %v, want ErrUnsatisfiable", c.Err())
+	}
+	st := waitStats(t, s, func(st Stats) bool { return st.Failed == 1 })
+	if st.Failed != 1 || st.Severed != 0 {
+		t.Fatalf("Failed = %d, Severed = %d, want 1, 0 (stats %+v)", st.Failed, st.Severed, st)
+	}
+}
+
+// TestTerminalAccountingRestart: a supervisor restart fails every tracked
+// task once, and a pre-restart grant surfacing later through EndService is
+// counted terminal exactly once no matter how many times the release is
+// retried.
+func TestTerminalAccountingRestart(t *testing.T) {
+	var trip atomic.Bool
+	cfg := Config{Shards: []system.Config{{
+		Net: topology.Omega(4),
+		FaultHook: func(point string) error {
+			if point == system.FaultCycle && trip.Load() {
+				trip.Store(false)
+				return errors.New("injected solver fault")
+			}
+			return nil
+		},
+	}}}
+	s := newScheduler(t, cfg)
+	a, err := s.Submit(0, system.Task{Proc: 0, Need: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-a.Done()
+	if a.Err() != nil {
+		t.Fatal(a.Err())
+	}
+	trip.Store(true)
+	d, err := s.Submit(0, system.Task{Proc: 1, Need: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-d.Done()
+	if !errors.Is(d.Err(), ErrShardDown) {
+		t.Fatalf("err = %v, want ErrShardDown", d.Err())
+	}
+	st := waitStats(t, s, func(st Stats) bool { return st.Restarts == 1 && st.Failed == 1 })
+	if st.Restarts != 1 || st.Failed != 1 {
+		t.Fatalf("Restarts = %d, Failed = %d, want 1, 1", st.Restarts, st.Failed)
+	}
+	// a's grants died with the old generation; the first release counts it
+	// terminal, the retry must not count it again.
+	if err := s.EndService(a); !errors.Is(err, ErrShardDown) {
+		t.Fatalf("stale EndService err = %v, want ErrShardDown", err)
+	}
+	if err := s.EndService(a); !errors.Is(err, ErrShardDown) {
+		t.Fatalf("retried stale EndService err = %v, want ErrShardDown", err)
+	}
+	st = s.Stats()
+	if st.Failed != 2 {
+		t.Fatalf("Failed = %d after two releases of one lost grant, want exactly 2", st.Failed)
+	}
+	if st.Serviced+st.Canceled+st.Failed != st.Submitted {
+		t.Fatalf("terminal identity broken: %+v", st)
+	}
+}
+
+// TestTerminalAccountingShutdown: tasks still unprovisioned when the
+// scheduler closes fail terminal with ErrClosed, counted once.
+func TestTerminalAccountingShutdown(t *testing.T) {
+	s, fillers, b := blockedPair(t, omega4Cfg(0))
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-b.Done():
+	case <-time.After(5 * time.Second):
+		t.Fatal("abandoned task never failed")
+	}
+	if !errors.Is(b.Err(), ErrClosed) {
+		t.Fatalf("err = %v, want ErrClosed", b.Err())
+	}
+	st := s.Stats()
+	if st.Failed != 1 {
+		t.Fatalf("Failed = %d, want 1", st.Failed)
+	}
+	// The fillers hold grants that were never released: they are the only
+	// admitted tasks not accounted terminal.
+	if got := st.Submitted - (st.Serviced + st.Canceled + st.Failed); got != int64(len(fillers)) {
+		t.Fatalf("%d tasks unaccounted, want %d (stats %+v)", got, len(fillers), st)
+	}
+}

@@ -59,6 +59,10 @@ func (s *System) FailResource(r int) ([]TaskID, error) {
 		if t := s.tasks[id]; t != nil && t.remaining() > 0 {
 			s.revokeUnit(t, r)
 			affected = append(affected, id)
+			if s.o.enabled {
+				s.o.severed.Inc()
+				s.event(evSever, id, int64(r), "")
+			}
 		}
 	}
 	return affected, nil
@@ -72,6 +76,20 @@ func (s *System) RepairResource(r int) error { return s.net.RepairResource(r) }
 // and returns the tasks whose units it severed or revoked (nil for
 // repairs).
 func (s *System) ApplyFault(op FaultOp) ([]TaskID, error) {
+	affected, err := s.applyFault(op)
+	if err == nil && s.o.enabled {
+		if op.Repair {
+			s.o.repairOps.Inc()
+			s.event(evHwRepair, 0, int64(op.Index), op.Target.String())
+		} else {
+			s.o.faultOps.Inc()
+			s.event(evHwFault, 0, int64(op.Index), op.Target.String())
+		}
+	}
+	return affected, err
+}
+
+func (s *System) applyFault(op FaultOp) ([]TaskID, error) {
 	switch op.Target {
 	case FaultTargetLink:
 		if op.Repair {
@@ -178,6 +196,10 @@ func (s *System) severBroken() []TaskID {
 			}
 			s.broken++
 			affected = append(affected, id)
+			if s.o.enabled {
+				s.o.severed.Inc()
+				s.event(evSever, id, int64(c.Res), "")
+			}
 		}
 		s.circuits[id] = kept
 	}

@@ -1,8 +1,10 @@
 package system
 
 import (
+	"io"
 	"testing"
 
+	"rsin/internal/obs"
 	"rsin/internal/topology"
 )
 
@@ -36,7 +38,10 @@ func FuzzSubmitCycle(f *testing.F) {
 			avoid = AvoidanceBankers
 		}
 		net := topology.Omega(4)
-		s, err := New(Config{Net: net, Avoidance: avoid})
+		// Every fuzzed run drives the instrumentation hooks too: counters,
+		// histograms and the trace ring record under arbitrary op orders.
+		reg := obs.NewRegistry()
+		s, err := New(Config{Net: net, Avoidance: avoid, Obs: reg})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -85,6 +90,13 @@ func FuzzSubmitCycle(f *testing.F) {
 				}
 			}
 			checkInvariants(t, s, net, ids)
+		}
+		// Export must hold together for whatever the ops recorded.
+		if err := reg.WritePrometheus(io.Discard); err != nil {
+			t.Fatalf("exposition: %v", err)
+		}
+		if cycles := reg.Snapshot().Counters["rsin_system_cycles_total"]; cycles > int64(len(ops)) {
+			t.Fatalf("cycle counter %d exceeds op count %d", cycles, len(ops))
 		}
 	})
 }

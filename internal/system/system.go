@@ -19,8 +19,10 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"time"
 
 	"rsin/internal/core"
+	"rsin/internal/obs"
 	"rsin/internal/token"
 	"rsin/internal/topology"
 )
@@ -99,6 +101,16 @@ type Config struct {
 	// the surviving subgraph. internal/faultinject's hardware scripting
 	// mode produces such hooks for deterministic degraded-mode tests.
 	HardwareHook func(point string) []FaultOp
+	// Obs, when non-nil, receives system-level metrics (cycle count and
+	// solve wall time, grants, deferrals, admission rejections, severed
+	// circuits, hardware fault operations) and trace events. Nil — the
+	// default — keeps every operation free of instrumentation
+	// allocations; see internal/obs.
+	Obs *obs.Registry
+	// ObsShard labels this system's trace events with a shard index when
+	// a sharded service (internal/sched) owns several systems against one
+	// shared registry. Ignored when Obs is nil.
+	ObsShard int
 }
 
 // FaultTarget names the hardware component class of a FaultOp.
@@ -156,6 +168,11 @@ type CycleResult struct {
 	Deferred int // requests withheld by the avoidance policy
 	Broken   int // circuits severed by hardware faults since the previous cycle
 	Clocks   int // token-architecture clock periods (TokenArch only)
+
+	// Elapsed is the wall-clock time of the cycle — hooks, discipline
+	// solve and circuit establishment — the per-cycle monitor cost in
+	// real units alongside the Mapping's primitive-operation counters.
+	Elapsed time.Duration
 }
 
 // System is the running resource-sharing machine. Not safe for concurrent
@@ -184,6 +201,11 @@ type System struct {
 	usableCacheOK    bool
 
 	planner core.Planner // recycled solver buffers for the MaxFlow discipline
+
+	// Observability (zero value = disabled, allocation-free).
+	o          sysObs
+	cycleCount int64          // completed Cycle calls, stamps trace events
+	tokenOpts  *token.Options // threads Obs into TokenArch solves; nil when disabled
 }
 
 // New validates the configuration and returns an empty system.
@@ -219,6 +241,10 @@ func New(cfg Config) (*System, error) {
 			s.typeCount[ty]++
 		}
 	}
+	s.o = newSysObs(cfg.Obs, cfg.ObsShard)
+	if cfg.Obs != nil {
+		s.tokenOpts = &token.Options{Obs: cfg.Obs}
+	}
 	return s, nil
 }
 
@@ -231,9 +257,11 @@ func (s *System) Submit(t Task) (TaskID, error) {
 		t.Need = 1
 	}
 	if t.Need > s.net.Ress {
+		s.rejectUnsat(t)
 		return 0, fmt.Errorf("system: task needs %d resources, system has %d: %w", t.Need, s.net.Ress, ErrUnsatisfiable)
 	}
 	if s.typeCount != nil && t.Need > s.typeCount[t.Type] {
+		s.rejectUnsat(t)
 		return 0, fmt.Errorf("system: task needs %d resources of type %d, system has %d: %w",
 			t.Need, t.Type, s.typeCount[t.Type], ErrUnsatisfiable)
 	}
@@ -249,10 +277,12 @@ func (s *System) Submit(t Task) (TaskID, error) {
 				tot += c
 			}
 			if t.Need > tot {
+				s.rejectUnsat(t)
 				return 0, fmt.Errorf("system: task needs %d resources, surviving fabric has %d usable: %w",
 					t.Need, tot, ErrUnsatisfiable)
 			}
 		} else if t.Need > usable[t.Type] {
+			s.rejectUnsat(t)
 			return 0, fmt.Errorf("system: task needs %d resources of type %d, surviving fabric has %d usable: %w",
 				t.Need, t.Type, usable[t.Type], ErrUnsatisfiable)
 		}
@@ -262,6 +292,13 @@ func (s *System) Submit(t Task) (TaskID, error) {
 	s.tasks[id] = &taskState{id: id, task: t}
 	s.queues[t.Proc] = append(s.queues[t.Proc], id)
 	return id, nil
+}
+
+// rejectUnsat records an admission rejection (an ErrUnsatisfiable return
+// from Submit) in the observability layer.
+func (s *System) rejectUnsat(t Task) {
+	s.o.unsat.Inc()
+	s.event(evUnsat, 0, int64(t.Need), "")
 }
 
 // resType reports the configured type of a resource.
@@ -378,8 +415,29 @@ func (h *hypoState) admit(id TaskID, t Task) bool {
 
 // Cycle runs one scheduling cycle: pending head tasks request one resource
 // each, the configured discipline maps them, and granted circuits are
-// established (the processors begin transmitting).
+// established (the processors begin transmitting). The result carries the
+// cycle's wall time in Elapsed; with Config.Obs set, the cycle is also
+// recorded in the registry (count, solve-time histogram, trace event).
 func (s *System) Cycle() (*CycleResult, error) {
+	start := time.Now()
+	res, err := s.cycle()
+	if err != nil {
+		return nil, err
+	}
+	res.Elapsed = time.Since(start)
+	s.cycleCount++
+	if s.o.enabled {
+		s.o.cycles.Inc()
+		s.o.granted.Add(int64(res.Granted))
+		s.o.deferred.Add(int64(res.Deferred))
+		s.o.cycleMS.Observe(res.Elapsed.Seconds() * 1e3)
+		s.event(evCycle, 0, int64(res.Granted), "")
+	}
+	return res, nil
+}
+
+// cycle is the uninstrumented cycle body.
+func (s *System) cycle() (*CycleResult, error) {
 	if s.cfg.FaultHook != nil {
 		if err := s.cfg.FaultHook(FaultCycle); err != nil {
 			return nil, fmt.Errorf("system: cycle: %w", err)
@@ -447,7 +505,7 @@ func (s *System) Cycle() (*CycleResult, error) {
 			free[a.Res] = true
 		}
 		var tr *token.Result
-		tr, err = token.Schedule(s.net, requesting, free, nil)
+		tr, err = token.Schedule(s.net, requesting, free, s.tokenOpts)
 		if err == nil {
 			m = tr.Mapping
 			res.Clocks = tr.Clocks
@@ -493,6 +551,12 @@ func (s *System) EndTransmission(p int) error {
 	if id == -1 {
 		if s.severedProc[p] {
 			s.severedProc[p] = false
+			if s.o.enabled {
+				// The caller is learning its unit was lost; the retry (the
+				// re-queued request) rides the next cycle.
+				s.o.severAcks.Inc()
+				s.event(evSeverAck, 0, int64(p), "")
+			}
 			return fmt.Errorf("system: processor %d: %w", p, ErrCircuitSevered)
 		}
 		return fmt.Errorf("system: processor %d is not transmitting", p)
