@@ -632,3 +632,78 @@ func BenchmarkHarnessQuick(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkWarmVsColdEpochSolve measures one steady-state scheduling
+// epoch — one release, one arrival, one solve on an Omega(32) fabric at
+// half occupancy — under the incremental warm-start planner versus a
+// cold per-epoch rebuild (Transformation 1 from scratch). The warm path
+// syncs only the epoch's deltas against its persistent residual, which
+// is the point of the tentpole; cmd/rsinbench -sched -gatewarm holds the
+// operation-counter version of this comparison at break-even or better.
+func BenchmarkWarmVsColdEpochSolve(b *testing.B) {
+	const n = 32
+	run := func(b *testing.B, warmStart bool) {
+		net := topology.Omega(n)
+		var p core.Planner
+		solve := func(reqs []core.Request, avail []core.Avail) *core.Mapping {
+			var m *core.Mapping
+			var err error
+			if warmStart {
+				m, err = p.ScheduleIncremental(net, reqs, avail)
+			} else {
+				m, err = p.ScheduleMaxFlow(net, reqs, avail)
+			}
+			if err != nil {
+				b.Fatal(err)
+			}
+			return m
+		}
+		// Fill to half occupancy, tracking grants oldest-first.
+		var reqs []core.Request
+		var avail []core.Avail
+		for i := 0; i < n; i++ {
+			if i < n/2 {
+				reqs = append(reqs, core.Request{Proc: i})
+			}
+			avail = append(avail, core.Avail{Res: i})
+		}
+		m := solve(reqs, avail)
+		if err := m.Apply(net); err != nil {
+			b.Fatal(err)
+		}
+		held := append([]core.Assignment(nil), m.Assigned...)
+		heldRes := make(map[int]bool)
+		for _, a := range held {
+			heldRes[a.Res] = true
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			old := held[0]
+			held = held[1:]
+			if err := net.Release(old.Circuit); err != nil {
+				b.Fatal(err)
+			}
+			delete(heldRes, old.Res)
+			reqs = reqs[:0]
+			reqs = append(reqs, core.Request{Proc: old.Req.Proc})
+			avail = avail[:0]
+			for r := 0; r < n; r++ {
+				if !heldRes[r] {
+					avail = append(avail, core.Avail{Res: r})
+				}
+			}
+			em := solve(reqs, avail)
+			if len(em.Assigned) != 1 {
+				b.Fatalf("epoch granted %d", len(em.Assigned))
+			}
+			if err := em.Apply(net); err != nil {
+				b.Fatal(err)
+			}
+			held = append(held, em.Assigned...)
+			heldRes[em.Assigned[0].Res] = true
+		}
+	}
+	b.Run("cold", func(b *testing.B) { run(b, false) })
+	b.Run("warm", func(b *testing.B) { run(b, true) })
+}

@@ -25,11 +25,12 @@ func main() {
 		schedRun = flag.Bool("sched", false, "run the scheduling-service benchmark instead of the paper tables")
 		smoke    = flag.Bool("smoke", false, "with -sched: shrink the run for CI smoke testing")
 		jsonOut  = flag.String("json", "", "with -sched: write the machine-readable report (BENCH_sched.json) here")
+		gateWarm = flag.Bool("gatewarm", false, "with -sched: fail unless the warm-start solver does no more work than the cold solver")
 	)
 	flag.Parse()
 
 	if *schedRun {
-		if err := runSchedBench(*seed, *smoke, *jsonOut); err != nil {
+		if err := runSchedBench(*seed, *smoke, *gateWarm, *jsonOut); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}

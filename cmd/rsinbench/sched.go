@@ -18,8 +18,9 @@ import (
 
 // schedBenchSchema identifies the BENCH_sched.json layout; bump it on any
 // incompatible change so downstream tooling can reject files it cannot
-// parse (EXPERIMENTS.md documents the format).
-const schedBenchSchema = "rsin-bench-sched/v1"
+// parse (EXPERIMENTS.md documents the format). v2 added the warm_cold
+// section and the warm-start counters inside sched_stats.
+const schedBenchSchema = "rsin-bench-sched/v2"
 
 // schedBenchConfig records the load shape a run used, so a BENCH file is
 // self-describing.
@@ -49,14 +50,21 @@ type schedBenchReport struct {
 	Throughput float64            `json:"tasks_per_second"`
 	LatencyMS  map[string]float64 `json:"latency_ms"`
 	Sched      sched.Stats        `json:"sched_stats"`
-	Obs        obs.Snapshot       `json:"obs"`
+	// WarmCold is the deterministic cold-vs-warm solver comparison: the
+	// same steady-state trace solved by both paths, operation counters
+	// side by side (see cmd/rsinbench/warmcold.go).
+	WarmCold warmColdReport `json:"warm_cold"`
+	Obs      obs.Snapshot   `json:"obs"`
 }
 
 // runSchedBench drives the batched scheduling service at load — including
-// a deterministic fail→heal hardware chaos pass — and writes the
-// machine-readable report to jsonPath ("" = stdout only prints the
-// summary line). smoke shrinks the run for CI.
-func runSchedBench(seed int64, smoke bool, jsonPath string) error {
+// a deterministic fail→heal hardware chaos pass — runs the cold-vs-warm
+// solver trace, and writes the machine-readable report to jsonPath
+// ("" = stdout only prints the summary lines). smoke shrinks the run for
+// CI. gateWarm turns the comparison into a regression gate: the run
+// fails unless the warm path's solve work (arc scans + node visits) is
+// no worse than the cold path's on the steady-state trace.
+func runSchedBench(seed int64, smoke, gateWarm bool, jsonPath string) error {
 	cfg := schedBenchConfig{
 		Topology: "omega", N: 64, Shards: 2,
 		Clients: 64, Tasks: 200, Need: 1, Faults: 16,
@@ -118,6 +126,15 @@ func runSchedBench(seed int64, smoke bool, jsonPath string) error {
 	wg.Wait()
 	wall := time.Since(start)
 
+	wcN, wcSteps := 32, 4000
+	if smoke {
+		wcN, wcSteps = 16, 600
+	}
+	wc, err := runWarmColdTrace(seed, wcN, wcSteps)
+	if err != nil {
+		return fmt.Errorf("warm-cold trace: %w", err)
+	}
+
 	var all []float64
 	for _, lat := range latencies {
 		all = append(all, lat...)
@@ -134,18 +151,28 @@ func runSchedBench(seed int64, smoke bool, jsonPath string) error {
 		Throughput: float64(len(all)) / wall.Seconds(),
 		LatencyMS:  map[string]float64{"p50": qs[0], "p90": qs[1], "p99": qs[2], "max": qs[3]},
 		Sched:      s.Stats(),
+		WarmCold:   wc,
 		Obs:        reg.Snapshot(),
 	}
 
 	fmt.Printf("sched bench   %d shard(s) x omega(%d): %d tasks in %v (%.0f tasks/s, p99=%.3fms, faults=%d severed=%d)\n",
 		cfg.Shards, cfg.N, rep.Completed, wall.Round(time.Millisecond), rep.Throughput,
 		rep.LatencyMS["p99"], rep.Sched.LinkFaults, rep.Sched.Severed)
-	if jsonPath == "" {
-		return nil
+	fmt.Printf("warm vs cold  omega(%d) x %d steps: warm work %d, cold work %d (ratio %.3f, %d warm solves, %d cold rebuilds, %d retractions)\n",
+		wc.N, wc.SolvedSteps, wc.WarmWork, wc.ColdWork, wc.WorkRatio,
+		wc.WarmSolves, wc.ColdRebuilds, wc.Retractions)
+	if jsonPath != "" {
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(jsonPath, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
 	}
-	data, err := json.MarshalIndent(rep, "", "  ")
-	if err != nil {
-		return err
+	if gateWarm && wc.WarmWork > wc.ColdWork {
+		return fmt.Errorf("warm-start gate: warm solve work %d exceeds cold %d (ratio %.3f) on the steady-state trace",
+			wc.WarmWork, wc.ColdWork, wc.WorkRatio)
 	}
-	return os.WriteFile(jsonPath, append(data, '\n'), 0o644)
+	return nil
 }

@@ -10,8 +10,10 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"math/rand"
 	"os"
+	"time"
 
 	"rsin/internal/core"
 	"rsin/internal/heuristic"
@@ -21,7 +23,11 @@ import (
 	"rsin/internal/workload"
 )
 
-func buildTopology(name string, size, extra int) (*topology.Network, error) {
+// buildTopology constructs the named fabric. The "random" family is
+// derived from seed, so the whole run — topology shape included — is
+// reproducible from the one logged seed (every trial sees the same
+// random fabric, like every trial sees the same omega).
+func buildTopology(name string, size, extra int, seed int64) (*topology.Network, error) {
 	switch name {
 	case "omega":
 		return topology.OmegaExtra(size, extra), nil
@@ -40,7 +46,7 @@ func buildTopology(name string, size, extra int) (*topology.Network, error) {
 	case "flip":
 		return topology.Flip(size), nil
 	case "random":
-		return topology.RandomLoopFree(rand.New(rand.NewSource(int64(size))), size, size, 3, 4), nil
+		return topology.RandomLoopFree(rand.New(rand.NewSource(seed)), size, size, 3, 4), nil
 	default:
 		return nil, fmt.Errorf("unknown topology %q", name)
 	}
@@ -54,29 +60,54 @@ func intLog2(n int) int {
 	return k
 }
 
-func main() {
-	var (
-		topo      = flag.String("topology", "omega", "omega | cube | baseline | benes | gamma | crossbar | delta | flip | random")
-		size      = flag.Int("size", 8, "network size (power of two)")
-		extra     = flag.Int("extra", 0, "extra stages (omega only)")
-		sched     = flag.String("sched", "optimal", "optimal | token | greedy | random | address")
-		preq      = flag.Float64("preq", 0.75, "probability a processor requests")
-		pfree     = flag.Float64("pfree", 0.75, "probability a resource is free")
-		occupancy = flag.Float64("occupancy", 0, "fraction of links pre-occupied")
-		trials    = flag.Int("trials", 2000, "ensemble size")
-		seed      = flag.Int64("seed", 1, "RNG seed")
-	)
-	flag.Parse()
+// chooseSeed picks the ensemble RNG seed: the -seed flag value when set,
+// otherwise one derived from the clock so independent runs draw
+// independent ensembles. The chosen seed is always logged; re-run with
+// -seed <value> to reproduce a run exactly.
+func chooseSeed(flagVal int64, now func() int64) int64 {
+	if flagVal != 0 {
+		return flagVal
+	}
+	s := now()
+	if s == 0 {
+		s = 1 // keep the sentinel meaning "derive one"
+	}
+	return s
+}
 
-	rng := rand.New(rand.NewSource(*seed))
+// run is the testable body of the command: flags from args, results to
+// stdout, diagnostics to stderr, exit code returned. Two runs with the
+// same -seed produce byte-identical stdout.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("rsinsim", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		topo      = fs.String("topology", "omega", "omega | cube | baseline | benes | gamma | crossbar | delta | flip | random")
+		size      = fs.Int("size", 8, "network size (power of two)")
+		extra     = fs.Int("extra", 0, "extra stages (omega only)")
+		sched     = fs.String("sched", "optimal", "optimal | token | greedy | random | address")
+		preq      = fs.Float64("preq", 0.75, "probability a processor requests")
+		pfree     = fs.Float64("pfree", 0.75, "probability a resource is free")
+		occupancy = fs.Float64("occupancy", 0, "fraction of links pre-occupied")
+		trials    = fs.Int("trials", 2000, "ensemble size")
+		seed      = fs.Int64("seed", 0, "RNG seed (0 = derive from the clock; logged for reproducibility)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	seedVal := chooseSeed(*seed, func() int64 { return time.Now().UnixNano() })
+	fmt.Fprintf(stderr, "rsinsim: seed %d (re-run with -seed %d to reproduce)\n", seedVal, seedVal)
+
+	rng := rand.New(rand.NewSource(seedVal))
 	blocking := &stats.Accumulator{}
 	clocks := &stats.Accumulator{}
 
 	for i := 0; i < *trials; i++ {
-		net, err := buildTopology(*topo, *size, *extra)
+		net, err := buildTopology(*topo, *size, *extra, seedVal)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(2)
+			fmt.Fprintln(stderr, err)
+			return 2
 		}
 		if *occupancy > 0 {
 			workload.OccupyRandom(rng, net, *occupancy)
@@ -94,15 +125,15 @@ func main() {
 		case "optimal":
 			m, err := core.ScheduleMaxFlow(net, pat.Requests, pat.Avail)
 			if err != nil {
-				fmt.Fprintln(os.Stderr, err)
-				os.Exit(1)
+				fmt.Fprintln(stderr, err)
+				return 1
 			}
 			allocated = m.Allocated()
 		case "token":
 			res, err := token.Schedule(net, pat.Requesting, pat.Free, nil)
 			if err != nil {
-				fmt.Fprintln(os.Stderr, err)
-				os.Exit(1)
+				fmt.Fprintln(stderr, err)
+				return 1
 			}
 			allocated = res.Mapping.Allocated()
 			clocks.Add(float64(res.Clocks))
@@ -113,16 +144,21 @@ func main() {
 		case "address":
 			allocated = heuristic.AddressMapping(net, pat.Requests, pat.Avail, rng).Allocated()
 		default:
-			fmt.Fprintf(os.Stderr, "unknown scheduler %q\n", *sched)
-			os.Exit(2)
+			fmt.Fprintf(stderr, "unknown scheduler %q\n", *sched)
+			return 2
 		}
 		blocking.Add(1 - float64(allocated)/float64(possible))
 	}
 
-	fmt.Printf("topology=%s size=%d sched=%s preq=%.2f pfree=%.2f occupancy=%.2f trials=%d\n",
+	fmt.Fprintf(stdout, "topology=%s size=%d sched=%s preq=%.2f pfree=%.2f occupancy=%.2f trials=%d\n",
 		*topo, *size, *sched, *preq, *pfree, *occupancy, blocking.N())
-	fmt.Printf("blocking probability: %s\n", blocking)
+	fmt.Fprintf(stdout, "blocking probability: %s\n", blocking)
 	if clocks.N() > 0 {
-		fmt.Printf("token clock periods:  %s\n", clocks)
+		fmt.Fprintf(stdout, "token clock periods:  %s\n", clocks)
 	}
+	return 0
+}
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }

@@ -9,10 +9,12 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"math/rand"
 	"os"
 	"sort"
 	"strings"
+	"time"
 
 	"rsin/internal/core"
 	"rsin/internal/token"
@@ -20,17 +22,39 @@ import (
 	"rsin/internal/workload"
 )
 
-func main() {
+// chooseSeed picks the scenario RNG seed: the -seed flag value when set,
+// otherwise one derived from the clock so repeated invocations show
+// different scenarios. The chosen seed is logged whenever it matters
+// (-schedule/-trace); re-run with -seed <value> to reproduce a rendering.
+func chooseSeed(flagVal int64, now func() int64) int64 {
+	if flagVal != 0 {
+		return flagVal
+	}
+	s := now()
+	if s == 0 {
+		s = 1 // keep the sentinel meaning "derive one"
+	}
+	return s
+}
+
+// run is the testable body of the command: flags from args, rendering to
+// stdout, diagnostics to stderr, exit code returned. Two runs with the
+// same -seed produce byte-identical stdout.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("rsinviz", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		topo     = flag.String("topology", "omega", "omega | cube | baseline | benes | gamma | crossbar")
-		size     = flag.Int("size", 8, "network size")
-		schedule = flag.Bool("schedule", false, "run one optimal scheduling cycle and overlay the circuits")
-		trace    = flag.Bool("trace", false, "schedule with the token architecture and print the status-bus trace")
-		preq     = flag.Float64("preq", 0.75, "request probability (with -schedule/-trace)")
-		pfree    = flag.Float64("pfree", 0.75, "free-resource probability (with -schedule/-trace)")
-		seed     = flag.Int64("seed", 1, "RNG seed")
+		topo     = fs.String("topology", "omega", "omega | cube | baseline | benes | gamma | crossbar")
+		size     = fs.Int("size", 8, "network size")
+		schedule = fs.Bool("schedule", false, "run one optimal scheduling cycle and overlay the circuits")
+		trace    = fs.Bool("trace", false, "schedule with the token architecture and print the status-bus trace")
+		preq     = fs.Float64("preq", 0.75, "request probability (with -schedule/-trace)")
+		pfree    = fs.Float64("pfree", 0.75, "free-resource probability (with -schedule/-trace)")
+		seed     = fs.Int64("seed", 0, "RNG seed (0 = derive from the clock; logged for reproducibility)")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	var net *topology.Network
 	switch *topo {
@@ -47,63 +71,70 @@ func main() {
 	case "crossbar":
 		net = topology.Crossbar(*size, *size)
 	default:
-		fmt.Fprintf(os.Stderr, "unknown topology %q\n", *topo)
-		os.Exit(2)
+		fmt.Fprintf(stderr, "unknown topology %q\n", *topo)
+		return 2
 	}
 
 	var mapping *core.Mapping
-	if *trace {
-		rng := rand.New(rand.NewSource(*seed))
+	if *trace || *schedule {
+		seedVal := chooseSeed(*seed, func() int64 { return time.Now().UnixNano() })
+		fmt.Fprintf(stderr, "rsinviz: seed %d (re-run with -seed %d to reproduce)\n", seedVal, seedVal)
+		rng := rand.New(rand.NewSource(seedVal))
 		pat := workload.Generate(rng, net, workload.Config{PRequest: *preq, PFree: *pfree})
-		res, err := token.Schedule(net, pat.Requesting, pat.Free, &token.Options{RecordBus: true})
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+		if *trace {
+			res, err := token.Schedule(net, pat.Requesting, pat.Free, &token.Options{RecordBus: true})
+			if err != nil {
+				fmt.Fprintln(stderr, err)
+				return 1
+			}
+			fmt.Fprintf(stdout, "token architecture: %d allocated, %d clock periods, %d iterations\n\n",
+				res.Mapping.Allocated(), res.Clocks, res.Iterations)
+			fmt.Fprintln(stdout, "clock  E1E2E3E4E5E6E7")
+			for i, st := range res.BusTrace {
+				fmt.Fprintf(stdout, "%5d  %s\n", i+1, st.Vector())
+			}
+			fmt.Fprintln(stdout)
+			if err := res.Mapping.Apply(net); err != nil {
+				fmt.Fprintln(stderr, err)
+				return 1
+			}
+			mapping = res.Mapping
+		} else {
+			m, err := core.ScheduleMaxFlow(net, pat.Requests, pat.Avail)
+			if err != nil {
+				fmt.Fprintln(stderr, err)
+				return 1
+			}
+			if err := m.Apply(net); err != nil {
+				fmt.Fprintln(stderr, err)
+				return 1
+			}
+			mapping = m
 		}
-		fmt.Printf("token architecture: %d allocated, %d clock periods, %d iterations\n\n",
-			res.Mapping.Allocated(), res.Clocks, res.Iterations)
-		fmt.Println("clock  E1E2E3E4E5E6E7")
-		for i, st := range res.BusTrace {
-			fmt.Printf("%5d  %s\n", i+1, st.Vector())
-		}
-		fmt.Println()
-		if err := res.Mapping.Apply(net); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-		mapping = res.Mapping
-	} else if *schedule {
-		rng := rand.New(rand.NewSource(*seed))
-		pat := workload.Generate(rng, net, workload.Config{PRequest: *preq, PFree: *pfree})
-		m, err := core.ScheduleMaxFlow(net, pat.Requests, pat.Avail)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-		if err := m.Apply(net); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-		mapping = m
 	}
 
-	render(net)
+	render(stdout, net)
 
 	if mapping != nil {
-		fmt.Printf("\nscheduled %d circuits:\n", mapping.Allocated())
+		fmt.Fprintf(stdout, "\nscheduled %d circuits:\n", mapping.Allocated())
 		for _, a := range mapping.Assigned {
-			fmt.Printf("  p%d -> r%d: links %v\n", a.Req.Proc, a.Res, a.Circuit.Links)
+			fmt.Fprintf(stdout, "  p%d -> r%d: links %v\n", a.Req.Proc, a.Res, a.Circuit.Links)
 		}
 		for _, b := range mapping.Blocked {
-			fmt.Printf("  p%d blocked\n", b.Proc)
+			fmt.Fprintf(stdout, "  p%d blocked\n", b.Proc)
 		}
 	}
+	return 0
+}
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
 // render prints the network stage by stage: every box with its input and
 // output link IDs; occupied links are marked with '*'.
-func render(net *topology.Network) {
-	fmt.Printf("%s — %d processors, %d resources, %d stages\n\n",
+func render(w io.Writer, net *topology.Network) {
+	fmt.Fprintf(w, "%s — %d processors, %d resources, %d stages\n\n",
 		net.Name, net.Procs, net.Ress, net.NumStages())
 
 	linkTag := func(l int) string {
@@ -122,9 +153,9 @@ func render(net *topology.Network) {
 	for p := 0; p < net.Procs; p++ {
 		procs = append(procs, fmt.Sprintf("p%-2d --%s-->", p, linkTag(net.ProcLink[p])))
 	}
-	fmt.Println("processors:")
-	fmt.Println("  " + strings.Join(procs, "  "))
-	fmt.Println()
+	fmt.Fprintln(w, "processors:")
+	fmt.Fprintln(w, "  "+strings.Join(procs, "  "))
+	fmt.Fprintln(w)
 
 	// Boxes grouped by stage.
 	byStage := map[int][]topology.Box{}
@@ -137,7 +168,7 @@ func render(net *topology.Network) {
 	}
 	sort.Ints(stages)
 	for _, s := range stages {
-		fmt.Printf("stage %d:\n", s)
+		fmt.Fprintf(w, "stage %d:\n", s)
 		for _, b := range byStage[s] {
 			var in, out []string
 			for _, l := range b.In {
@@ -146,17 +177,17 @@ func render(net *topology.Network) {
 			for _, l := range b.Out {
 				out = append(out, linkTag(l))
 			}
-			fmt.Printf("  [box%-3d in: %-14s out: %-14s]\n",
+			fmt.Fprintf(w, "  [box%-3d in: %-14s out: %-14s]\n",
 				b.ID, strings.Join(in, ","), strings.Join(out, ","))
 		}
 	}
-	fmt.Println()
+	fmt.Fprintln(w)
 
 	var ress []string
 	for r := 0; r < net.Ress; r++ {
 		ress = append(ress, fmt.Sprintf("--%s--> r%-2d", linkTag(net.ResLink[r]), r))
 	}
-	fmt.Println("resources:")
-	fmt.Println("  " + strings.Join(ress, "  "))
-	fmt.Println("\n('*' marks an occupied link)")
+	fmt.Fprintln(w, "resources:")
+	fmt.Fprintln(w, "  "+strings.Join(ress, "  "))
+	fmt.Fprintln(w, "\n('*' marks an occupied link)")
 }

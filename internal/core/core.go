@@ -64,6 +64,11 @@ type Mapping struct {
 	// Ops aggregates primitive-operation counts of the underlying flow
 	// computation, for the monitor-architecture cost model.
 	Ops OpCounts
+
+	// Solve describes how the planner obtained this mapping (warm-start
+	// vs. cold build and the epoch's delta sizes); zero for the
+	// disciplines that do not use the flow planner.
+	Solve SolveStats
 }
 
 // OpCounts mirrors the flow packages' counters in one shape.
@@ -351,11 +356,14 @@ func ScheduleMaxFlow(net *topology.Network, reqs []Request, avail []Avail) (*Map
 
 // Planner is a reusable scheduling workspace for hot paths that solve one
 // flow problem per cycle for the lifetime of a system (internal/system,
-// internal/sched): it keeps the max-flow residual arena warm between
-// cycles. The zero value is ready to use. A Planner is not safe for
-// concurrent use; give each scheduling shard its own.
+// internal/sched). ScheduleMaxFlow recycles the residual arena of the
+// cold solver between cycles; ScheduleIncremental goes further and keeps
+// the previous epoch's residual/flow state itself, applying per-epoch
+// deltas instead of rebuilding. The zero value is ready to use. A Planner
+// is not safe for concurrent use; give each scheduling shard its own.
 type Planner struct {
 	buf maxflow.Buffers
+	inc *incState // warm-start arena; nil until the first incremental solve
 }
 
 // ScheduleMaxFlow is the package-level ScheduleMaxFlow computed with the
@@ -374,6 +382,7 @@ func (p *Planner) ScheduleMaxFlow(net *topology.Network, reqs []Request, avail [
 		NodeVisits:    res.Ops.NodeVisits,
 	}
 	m.Cost = 0
+	m.Solve = SolveStats{Cold: true}
 	return m, nil
 }
 

@@ -1,0 +1,331 @@
+package core
+
+import (
+	"fmt"
+
+	"rsin/internal/maxflow"
+	"rsin/internal/topology"
+)
+
+// SolveStats describes how the planner obtained a mapping: via the
+// incremental warm-start path, a full cold build, or neither (the
+// non-flow disciplines). It feeds the warm-vs-cold counters of
+// internal/system, internal/sched and the observability layer.
+type SolveStats struct {
+	// Warm marks a solve served by the persistent warm-start arena:
+	// only the epoch's deltas were applied before augmenting.
+	Warm bool `json:"warm,omitempty"`
+	// Cold marks a full build-and-solve: either ScheduleMaxFlow's
+	// per-cycle Transformation 1, or ScheduleIncremental falling back
+	// (first call, topology change, oversized delta, divergence).
+	Cold bool `json:"cold,omitempty"`
+	// ArcsTouched counts the arcs whose instance membership this
+	// epoch's delta sync toggled (warm solves only; a cold build
+	// touches everything and reports 0 to keep the metric a delta
+	// size).
+	ArcsTouched int `json:"arcs_touched,omitempty"`
+	// Retractions counts standing-circuit flow paths the delta sync
+	// walked back: units released by EndTransmission/EndService/Cancel
+	// or severed by hardware faults since the previous epoch.
+	Retractions int `json:"retractions,omitempty"`
+}
+
+// standingCircuit is a circuit granted by an earlier incremental solve
+// whose unit still stands frozen in the warm arena. The arcs are the
+// unit's full flow path (source arc, link arcs, sink arc); the links are
+// the topology link IDs of the interior, used to detect release/sever.
+type standingCircuit struct {
+	res   int
+	arcs  []int
+	links []int
+}
+
+// incState is the planner's persistent warm-start state: the arena, the
+// fixed arc numbering against one topology.Network, capacity mirrors and
+// the standing circuits of previous epochs.
+type incState struct {
+	net   *topology.Network // identity: the fabric the arena was built for
+	epoch uint64            // fault epoch at the last sync (diagnostic)
+
+	w *maxflow.Warm
+	// Arc numbering: arc p in [0,Procs) is the source arc of processor
+	// p, arc Procs+r the sink arc of resource r, arc Procs+Ress+l the
+	// arc of link l. Node numbering: 0 source, 1 sink, 2+b per box,
+	// 2+Boxes+p per processor, 2+Boxes+Procs+r per resource.
+	procs, ress, links int
+
+	standing []standingCircuit // by processor; nil arcs = none
+
+	reqMark   []bool // scratch: processor requests this epoch
+	availMark []bool // scratch: resource free this epoch
+}
+
+func (st *incState) srcArc(p int) int  { return p }
+func (st *incState) snkArc(r int) int  { return st.procs + r }
+func (st *incState) linkArc(l int) int { return st.procs + st.ress + l }
+
+// linkOfArc inverts linkArc; negative for source/sink arcs.
+func (st *incState) linkOfArc(a int) int { return a - st.procs - st.ress }
+
+// resOfSnk inverts snkArc.
+func (st *incState) resOfSnk(a int) int { return a - st.procs }
+
+// newIncState builds the arena for a network: every processor, resource,
+// switchbox, and link gets its node/arc up front, all arcs disabled. The
+// per-epoch sync then toggles membership; the structure itself is never
+// rebuilt while the topology identity holds.
+func newIncState(net *topology.Network) *incState {
+	nBoxes := len(net.Boxes)
+	st := &incState{
+		net:       net,
+		procs:     net.Procs,
+		ress:      net.Ress,
+		links:     len(net.Links),
+		standing:  make([]standingCircuit, net.Procs),
+		reqMark:   make([]bool, net.Procs),
+		availMark: make([]bool, net.Ress),
+	}
+	procNode := func(p int) int { return 2 + nBoxes + p }
+	resNode := func(r int) int { return 2 + nBoxes + st.procs + r }
+	nodeOf := func(e topology.Endpoint) int {
+		switch e.Kind {
+		case topology.KindProcessor:
+			return procNode(e.Index)
+		case topology.KindResource:
+			return resNode(e.Index)
+		default:
+			return 2 + e.Index
+		}
+	}
+	st.w = maxflow.NewWarm(2+nBoxes+st.procs+st.ress, 0, 1)
+	for p := 0; p < st.procs; p++ {
+		st.w.AddArc(0, procNode(p))
+	}
+	for r := 0; r < st.ress; r++ {
+		st.w.AddArc(resNode(r), 1)
+	}
+	for _, l := range net.Links {
+		st.w.AddArc(nodeOf(l.From), nodeOf(l.To))
+	}
+	return st
+}
+
+// matches reports whether the arena still describes this network: same
+// object and same shape (links are append-only in topology, and no
+// public API grows a built network, but the guard keeps a stale arena
+// from silently corrupting a solve).
+func (st *incState) matches(net *topology.Network) bool {
+	return st != nil && st.net == net &&
+		st.procs == net.Procs && st.ress == net.Ress && st.links == len(net.Links)
+}
+
+// ScheduleIncremental computes the same optimal mapping as
+// ScheduleMaxFlow — the differential suite holds it to allocation-count
+// equality with the cold solver and the brute-force oracle — but reuses
+// the previous epoch's residual state, applying only this epoch's
+// deltas:
+//
+//   - a new request enables its source arc and augments along it;
+//   - a released or severed circuit (its links no longer occupied and
+//     usable) has its standing unit retracted by walking the decomposed
+//     path recorded at grant time;
+//   - occupancy and fault changes (keyed off the link states and
+//     topology.Network.FaultEpoch advancing on every Fail/Repair)
+//     toggle exactly the arcs whose LinkUsable/state changed.
+//
+// The full cold rebuild remains the safe fallback: first use, a
+// different or reshaped network, a delta set touching more than half
+// the arena, or bookkeeping divergence (a retraction that no longer
+// matches the arena) all discard the state and rebuild, so a warm solve
+// is never trusted past the point it can be cheaply validated.
+//
+// The mapping may differ from ScheduleMaxFlow's in which optimal
+// assignment it picks; the allocation count is always equal.
+func (p *Planner) ScheduleIncremental(net *topology.Network, reqs []Request, avail []Avail) (*Mapping, error) {
+	cold := false
+	if !p.inc.matches(net) {
+		p.inc = newIncState(net)
+		cold = true
+	}
+	m, err := p.inc.solve(net, reqs, avail, cold)
+	if err == errIncFallback && !cold {
+		// Divergence or oversized delta: rebuild once, solve cold.
+		p.inc = newIncState(net)
+		m, err = p.inc.solve(net, reqs, avail, true)
+	}
+	if err != nil {
+		p.inc = nil // never trust the arena after an error
+		return nil, err
+	}
+	return m, nil
+}
+
+// errIncFallback asks ScheduleIncremental to rebuild the arena and
+// retry cold. Never escapes the planner.
+var errIncFallback = fmt.Errorf("core: incremental state diverged")
+
+// solve runs one epoch: sync deltas, augment new requests, decompose
+// and record the grants. cold marks a freshly built arena (counted as a
+// cold solve, delta accounting suppressed).
+func (st *incState) solve(net *topology.Network, reqs []Request, avail []Avail, cold bool) (*Mapping, error) {
+	touched, retractions := 0, 0
+	w := st.w
+
+	for _, r := range reqs {
+		if r.Proc < 0 || r.Proc >= st.procs {
+			return nil, fmt.Errorf("core: request from processor %d out of range [0,%d)", r.Proc, st.procs)
+		}
+		if st.reqMark[r.Proc] {
+			return nil, fmt.Errorf("core: duplicate request from processor %d", r.Proc)
+		}
+		st.reqMark[r.Proc] = true
+	}
+	for _, a := range avail {
+		if a.Res < 0 || a.Res >= st.ress {
+			return nil, fmt.Errorf("core: availability for resource %d out of range [0,%d)", a.Res, st.ress)
+		}
+		if st.availMark[a.Res] {
+			return nil, fmt.Errorf("core: duplicate availability for resource %d", a.Res)
+		}
+		st.availMark[a.Res] = true
+	}
+	defer func() {
+		for _, r := range reqs {
+			if r.Proc >= 0 && r.Proc < st.procs {
+				st.reqMark[r.Proc] = false
+			}
+		}
+		for _, a := range avail {
+			if a.Res >= 0 && a.Res < st.ress {
+				st.availMark[a.Res] = false
+			}
+		}
+	}()
+
+	// Retraction sweep: a standing circuit whose links are no longer all
+	// occupied-and-usable has been released (EndTransmission, EndService,
+	// Cancel) or severed (ForceRelease after a fault); walk its recorded
+	// path and return the units. A standing processor that requests again
+	// is the raw-API variant of the same thing: its previous grant is no
+	// longer standing from the caller's point of view.
+	for proc := range st.standing {
+		sc := &st.standing[proc]
+		if sc.arcs == nil {
+			continue
+		}
+		live := !st.reqMark[proc]
+		if live {
+			for _, lid := range sc.links {
+				if net.Links[lid].State != topology.LinkOccupied || !net.LinkUsable(lid) {
+					live = false
+					break
+				}
+			}
+		}
+		if live {
+			continue
+		}
+		if err := w.ClearPath(sc.arcs); err != nil {
+			return nil, errIncFallback
+		}
+		retractions++
+		sc.arcs, sc.links = nil, nil
+	}
+
+	// Membership sync against ground truth. After the retraction sweep
+	// the invariant is: every arc still carrying flow belongs to a live
+	// standing circuit, whose links are occupied — so the link scan
+	// below always disables those arcs and never enables a loaded arc.
+	for pr := 0; pr < st.procs; pr++ {
+		want := st.reqMark[pr]
+		a := st.srcArc(pr)
+		if want && w.Flow(a) {
+			return nil, errIncFallback
+		}
+		if w.SetEnabled(a, want) {
+			touched++
+		}
+	}
+	for r := 0; r < st.ress; r++ {
+		want := st.availMark[r]
+		a := st.snkArc(r)
+		if want && w.Flow(a) {
+			return nil, errIncFallback
+		}
+		if w.SetEnabled(a, want) {
+			touched++
+		}
+	}
+	for l := range net.Links {
+		want := net.Links[l].State == topology.LinkFree && net.LinkUsable(l)
+		a := st.linkArc(l)
+		if want && w.Flow(a) {
+			return nil, errIncFallback
+		}
+		if w.SetEnabled(a, want) {
+			touched++
+		}
+	}
+	st.epoch = net.FaultEpoch()
+
+	// Oversized delta: past half the arena the warm bookkeeping buys
+	// nothing over a cold build, and a smaller standing state bounds how
+	// much a divergence could ever corrupt. (Policy documented in
+	// DESIGN.md §12.)
+	if !cold && touched > w.NumArcs()/2 {
+		return nil, errIncFallback
+	}
+
+	// Augment: one sweep per arriving request, in caller order. A sweep
+	// that fails retires every node it saw for the rest of this solve.
+	var ops maxflow.Counters
+	w.BeginSolve()
+	for _, r := range reqs {
+		w.Augment(st.srcArc(r.Proc), &ops)
+	}
+
+	// Decompose the new flow into circuits and record them standing.
+	m := &Mapping{}
+	for _, r := range reqs {
+		src := st.srcArc(r.Proc)
+		if !w.Flow(src) {
+			m.Blocked = append(m.Blocked, r)
+			continue
+		}
+		arcs, ok := w.DecomposeFrom(src)
+		if !ok {
+			return nil, fmt.Errorf("core: incremental decomposition failed for processor %d", r.Proc)
+		}
+		links := make([]int, 0, len(arcs)-2)
+		for _, a := range arcs[1 : len(arcs)-1] {
+			lid := st.linkOfArc(a)
+			if lid < 0 || lid >= st.links {
+				return nil, fmt.Errorf("core: interior path arc %d has no link", a)
+			}
+			links = append(links, lid)
+		}
+		res := st.resOfSnk(arcs[len(arcs)-1])
+		if res < 0 || res >= st.ress {
+			return nil, fmt.Errorf("core: path does not end with a resource arc")
+		}
+		m.Assigned = append(m.Assigned, Assignment{
+			Req:     r,
+			Res:     res,
+			Circuit: topology.Circuit{Proc: r.Proc, Res: res, Links: links},
+		})
+		st.standing[r.Proc] = standingCircuit{res: res, arcs: arcs, links: links}
+	}
+	sortMapping(m)
+	m.Ops = OpCounts{
+		Augmentations: ops.Augmentations,
+		Phases:        ops.Phases,
+		ArcScans:      ops.ArcScans,
+		NodeVisits:    ops.NodeVisits,
+	}
+	if cold {
+		m.Solve = SolveStats{Cold: true, Retractions: retractions}
+	} else {
+		m.Solve = SolveStats{Warm: true, ArcsTouched: touched, Retractions: retractions}
+	}
+	return m, nil
+}

@@ -33,6 +33,29 @@ type Problem struct {
 	Value int64 // required flow value for min instances (from node supplies)
 }
 
+// ParseError is the typed rejection every malformed input produces:
+// Parse never panics, whatever the bytes — out-of-range or coincident
+// endpoints, overflowing or negative capacities, duplicate problem
+// lines or designations all come back as a *ParseError (check with
+// errors.As). Line is the 1-based input line, or 0 for whole-file
+// conditions (missing problem line, arc-count mismatch).
+type ParseError struct {
+	Line int
+	Msg  string
+}
+
+func (e *ParseError) Error() string {
+	if e.Line == 0 {
+		return "dimacs: " + e.Msg
+	}
+	return fmt.Sprintf("dimacs: line %d: %s", e.Line, e.Msg)
+}
+
+// perr builds a *ParseError.
+func perr(line int, format string, args ...any) error {
+	return &ParseError{Line: line, Msg: fmt.Sprintf(format, args...)}
+}
+
 // Parse reads a DIMACS max- or min-flow instance.
 func Parse(r io.Reader) (*Problem, error) {
 	sc := bufio.NewScanner(r)
@@ -43,6 +66,7 @@ func Parse(r io.Reader) (*Problem, error) {
 		source, sink  = -1, -1
 		supplies      = map[int]int64{}
 		arcLines      [][]string
+		arcLineNos    []int
 		lineNo        int
 		sawProblemRow bool
 	)
@@ -56,67 +80,77 @@ func Parse(r io.Reader) (*Problem, error) {
 		switch fields[0] {
 		case "p":
 			if sawProblemRow {
-				return nil, fmt.Errorf("dimacs: line %d: duplicate problem line", lineNo)
+				return nil, perr(lineNo, "duplicate problem line")
 			}
 			if len(fields) != 4 {
-				return nil, fmt.Errorf("dimacs: line %d: malformed problem line", lineNo)
+				return nil, perr(lineNo, "malformed problem line")
 			}
 			kind = fields[1]
 			if kind != "max" && kind != "min" {
-				return nil, fmt.Errorf("dimacs: line %d: unsupported problem kind %q", lineNo, kind)
+				return nil, perr(lineNo, "unsupported problem kind %q", kind)
 			}
 			var err error
 			if nodes, err = strconv.Atoi(fields[2]); err != nil || nodes < 2 {
-				return nil, fmt.Errorf("dimacs: line %d: bad node count", lineNo)
+				return nil, perr(lineNo, "bad node count")
 			}
 			if arcs, err = strconv.Atoi(fields[3]); err != nil || arcs < 0 {
-				return nil, fmt.Errorf("dimacs: line %d: bad arc count", lineNo)
+				return nil, perr(lineNo, "bad arc count")
 			}
 			sawProblemRow = true
 		case "n":
 			if !sawProblemRow {
-				return nil, fmt.Errorf("dimacs: line %d: node line before problem line", lineNo)
+				return nil, perr(lineNo, "node line before problem line")
 			}
 			if len(fields) != 3 {
-				return nil, fmt.Errorf("dimacs: line %d: malformed node line", lineNo)
+				return nil, perr(lineNo, "malformed node line")
 			}
 			id, err := strconv.Atoi(fields[1])
 			if err != nil || id < 1 || id > nodes {
-				return nil, fmt.Errorf("dimacs: line %d: bad node id", lineNo)
+				return nil, perr(lineNo, "bad node id")
 			}
 			if kind == "max" {
 				switch fields[2] {
 				case "s":
+					if source != -1 {
+						return nil, perr(lineNo, "duplicate source designation")
+					}
 					source = id - 1
 				case "t":
+					if sink != -1 {
+						return nil, perr(lineNo, "duplicate sink designation")
+					}
 					sink = id - 1
 				default:
-					return nil, fmt.Errorf("dimacs: line %d: bad designation %q", lineNo, fields[2])
+					return nil, perr(lineNo, "bad designation %q", fields[2])
 				}
 			} else {
 				sup, err := strconv.ParseInt(fields[2], 10, 64)
 				if err != nil {
-					return nil, fmt.Errorf("dimacs: line %d: bad supply", lineNo)
+					return nil, perr(lineNo, "bad supply")
+				}
+				if _, dup := supplies[id-1]; dup {
+					return nil, perr(lineNo, "duplicate supply for node %d", id)
 				}
 				supplies[id-1] = sup
 			}
 		case "a":
 			if !sawProblemRow {
-				return nil, fmt.Errorf("dimacs: line %d: arc line before problem line", lineNo)
+				return nil, perr(lineNo, "arc line before problem line")
 			}
 			arcLines = append(arcLines, fields)
+			arcLineNos = append(arcLineNos, lineNo)
 		default:
-			return nil, fmt.Errorf("dimacs: line %d: unknown line type %q", lineNo, fields[0])
+			return nil, perr(lineNo, "unknown line type %q", fields[0])
 		}
 	}
 	if err := sc.Err(); err != nil {
 		return nil, err
 	}
 	if !sawProblemRow {
-		return nil, fmt.Errorf("dimacs: missing problem line")
+		return nil, perr(0, "missing problem line")
 	}
 	if len(arcLines) != arcs {
-		return nil, fmt.Errorf("dimacs: %d arcs declared, %d given", arcs, len(arcLines))
+		return nil, perr(0, "%d arcs declared, %d given", arcs, len(arcLines))
 	}
 
 	var value int64
@@ -129,16 +163,21 @@ func Parse(r io.Reader) (*Problem, error) {
 			case sup < 0 && sink == -1:
 				sink = id
 			default:
-				return nil, fmt.Errorf("dimacs: unsupported supply structure (want one source, one sink)")
+				return nil, perr(0, "unsupported supply structure (want one source, one sink)")
 			}
 		}
 	}
 	if source < 0 || sink < 0 {
-		return nil, fmt.Errorf("dimacs: source/sink not designated")
+		return nil, perr(0, "source/sink not designated")
+	}
+	if source == sink {
+		// graph.New would panic; a file designating one node as both ends
+		// is malformed input, not a programming error.
+		return nil, perr(0, "source and sink are the same node %d", source+1)
 	}
 	g := graph.New(nodes, source, sink)
 	for i, fields := range arcLines {
-		bad := func() error { return fmt.Errorf("dimacs: arc %d malformed: %v", i+1, fields) }
+		bad := func() error { return perr(arcLineNos[i], "arc %d malformed: %v", i+1, fields) }
 		if kind == "max" {
 			if len(fields) != 4 {
 				return nil, bad()
@@ -164,7 +203,7 @@ func Parse(r io.Reader) (*Problem, error) {
 				return nil, bad()
 			}
 			if low != 0 {
-				return nil, fmt.Errorf("dimacs: arc %d: nonzero lower bound unsupported", i+1)
+				return nil, perr(arcLineNos[i], "arc %d: nonzero lower bound unsupported", i+1)
 			}
 			g.AddArc(from-1, to-1, cap, cost)
 		}

@@ -2,6 +2,7 @@ package dimacs
 
 import (
 	"bytes"
+	"errors"
 	"math/rand"
 	"strings"
 	"testing"
@@ -95,11 +96,43 @@ func TestParseErrors(t *testing.T) {
 		"p max 3 0\np max 3 0\n",             // duplicate problem
 		"p min 3 1\nn 1 4\nn 3 -4\na 1 3 1 5 2\n", // nonzero lower bound
 		"p min 3 0\nn 1 4\nn 2 4\n",               // two sources
+
+		// The malformed-input sweep: each once crashed or slipped
+		// through; now every one is a typed rejection (the same inputs
+		// seed the fuzz corpus in testdata/fuzz/FuzzParse).
+		"p max 2 0\nn 1 s\nn 1 t\n",                             // source == sink (panicked in graph.New)
+		"p max 4 1\nn 1 s\nn 4 t\na 0 4 5\n",                    // arc endpoint 0
+		"p max 4 1\nn 1 s\nn 4 t\na 1 4 -3\n",                   // negative capacity
+		"p max 4 1\nn 1 s\nn 4 t\na 1 4 99999999999999999999\n", // overflowing capacity
+		"p max 4 0\nn 1 s\nn 2 s\nn 4 t\n",                      // duplicate source (silently overwrote)
+		"p max 4 0\nn 1 t\nn 2 t\nn 3 s\n",                      // duplicate sink
+		"p min 4 0\nn 1 4\nn 1 -4\n",                            // duplicate supply (silently overwrote)
 	}
 	for i, c := range cases {
-		if _, err := Parse(strings.NewReader(c)); err == nil {
+		_, err := Parse(strings.NewReader(c))
+		if err == nil {
 			t.Fatalf("case %d accepted:\n%s", i, c)
 		}
+		var pe *ParseError
+		if !errors.As(err, &pe) {
+			t.Fatalf("case %d: untyped error %T: %v", i, err, err)
+		}
+	}
+}
+
+// TestParseErrorLines pins the line attribution of the typed errors.
+func TestParseErrorLines(t *testing.T) {
+	_, err := Parse(strings.NewReader("c head\np max 4 1\nn 1 s\nn 4 t\na 1 9 5\n"))
+	var pe *ParseError
+	if !errors.As(err, &pe) {
+		t.Fatalf("want *ParseError, got %T: %v", err, err)
+	}
+	if pe.Line != 5 {
+		t.Fatalf("bad arc attributed to line %d, want 5", pe.Line)
+	}
+	_, err = Parse(strings.NewReader(""))
+	if !errors.As(err, &pe) || pe.Line != 0 {
+		t.Fatalf("whole-file error: %v", err)
 	}
 }
 

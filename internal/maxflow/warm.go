@@ -1,0 +1,281 @@
+package maxflow
+
+import "fmt"
+
+// Warm is a persistent unit-capacity residual network for incremental
+// (warm-start) max-flow solving across scheduling epochs. Unlike the
+// per-solve residual built by Dinic/FordFulkerson from a graph.Network,
+// a Warm arena is built once for a fixed node/arc structure and then
+// mutated by deltas between solves:
+//
+//   - SetEnabled toggles an arc in or out of the instance (a request
+//     arriving or leaving, a resource becoming busy or free, a link
+//     being occupied, released, failed or repaired) without rebuilding
+//     adjacency.
+//   - Augment advances one unit of flow from the source through a chosen
+//     source arc, the per-request delta of a new arrival.
+//   - ClearPath retracts the unit carried by a previously decomposed
+//     path (an EndService/Cancel release or a fault severing a standing
+//     circuit), returning its capacity to the residual.
+//
+// Every arc has unit capacity — exactly the networks Transformation 1
+// produces — so flow is a per-arc bit and the forward/reverse residual
+// capacities are derived from (enabled, flow) instead of stored.
+//
+// A disabled arc contributes no residual capacity in either direction
+// even while it carries flow. That is how callers freeze an established
+// circuit: leave its unit in place and disable its arcs, and no later
+// augmentation can reroute it (step (T3) of Transformation 1: occupied
+// links leave the flow problem entirely).
+//
+// Warm is not safe for concurrent use; give each scheduling shard its
+// own, like Buffers.
+type Warm struct {
+	source, sink int
+
+	to   []int32   // head node of residual arc id (2i forward, 2i+1 reverse)
+	head [][]int32 // per-node adjacency of residual arc ids
+
+	enabled []bool // per logical arc
+	flow    []bool // per logical arc: one unit in flight
+
+	// Per-solve scratch, stamp-cleared so a solve never iterates the
+	// whole arena to reset state. stamp advances once per sweep; solve is
+	// the stamp BeginSolve pinned, shared by every sweep of that solve.
+	stamp   uint32
+	solve   uint32
+	seenAt  []uint32 // node visited in the current DFS sweep
+	deadAt  []uint32 // node retired for the current solve (cannot reach sink)
+	usedAt  []uint32 // arc consumed by the current solve's decomposition
+	sweep   []int32  // DFS stack scratch (arc ids of the current path)
+	visited []int32  // nodes touched by the current sweep, for dead marking
+}
+
+// NewWarm returns an arena with the given node count, source and sink and
+// no arcs. Arcs are added once with AddArc and start disabled.
+func NewWarm(nodes, source, sink int) *Warm {
+	if nodes < 2 || source == sink || source < 0 || sink < 0 || source >= nodes || sink >= nodes {
+		panic(fmt.Sprintf("maxflow: NewWarm(%d, %d, %d)", nodes, source, sink))
+	}
+	return &Warm{
+		source: source,
+		sink:   sink,
+		head:   make([][]int32, nodes),
+		seenAt: make([]uint32, nodes),
+		deadAt: make([]uint32, nodes),
+	}
+}
+
+// AddArc appends a unit-capacity arc from u to v (disabled, no flow) and
+// returns its logical arc id. Structure is append-only: deltas disable
+// arcs rather than remove them.
+func (w *Warm) AddArc(u, v int) int {
+	if u < 0 || u >= len(w.head) || v < 0 || v >= len(w.head) || u == v {
+		panic(fmt.Sprintf("maxflow: Warm.AddArc(%d, %d) with %d nodes", u, v, len(w.head)))
+	}
+	id := len(w.enabled)
+	w.to = append(w.to, int32(v), int32(u))
+	w.enabled = append(w.enabled, false)
+	w.flow = append(w.flow, false)
+	w.usedAt = append(w.usedAt, 0)
+	w.head[u] = append(w.head[u], int32(2*id))
+	w.head[v] = append(w.head[v], int32(2*id+1))
+	return id
+}
+
+// NumArcs reports the number of logical arcs.
+func (w *Warm) NumArcs() int { return len(w.enabled) }
+
+// Enabled reports whether arc a is part of the current instance.
+func (w *Warm) Enabled(a int) bool { return w.enabled[a] }
+
+// Flow reports whether arc a carries a unit of flow.
+func (w *Warm) Flow(a int) bool { return w.flow[a] }
+
+// Tail reports the tail node of arc a.
+func (w *Warm) Tail(a int) int { return int(w.to[2*a+1]) }
+
+// Head reports the head node of arc a.
+func (w *Warm) Head(a int) int { return int(w.to[2*a]) }
+
+// SetEnabled toggles arc a's membership in the instance and reports
+// whether the state changed (the caller's delta counter). Disabling an
+// arc that carries flow is legal and freezes the unit in place; enabling
+// an arc that carries flow is a caller bug — the stale unit would
+// saturate the arc — so the caller must ClearPath first (the invariant
+// ScheduleIncremental's sync enforces).
+func (w *Warm) SetEnabled(a int, on bool) bool {
+	if w.enabled[a] == on {
+		return false
+	}
+	w.enabled[a] = on
+	return true
+}
+
+// residual reports whether residual arc id has capacity: forward when the
+// logical arc is enabled and idle, reverse when it is enabled and loaded.
+func (w *Warm) residual(id int32) bool {
+	if id&1 == 0 {
+		return w.enabled[id>>1] && !w.flow[id>>1]
+	}
+	return w.enabled[id>>1] && w.flow[id>>1]
+}
+
+// BeginSolve starts a new solve: dead-node retirement and decomposition
+// consumption from previous solves are discarded in O(1).
+func (w *Warm) BeginSolve() {
+	// One solve consumes up to NumArcs+2 stamps (one per sweep plus the
+	// decomposition); renumber well before uint32 wraparound.
+	if w.stamp > ^uint32(0)-uint32(len(w.enabled))-8 {
+		for i := range w.seenAt {
+			w.seenAt[i], w.deadAt[i] = 0, 0
+		}
+		for i := range w.usedAt {
+			w.usedAt[i] = 0
+		}
+		w.stamp = 0
+	}
+	w.stamp++
+	w.solve = w.stamp
+}
+
+// Augment tries to advance one unit from the source through source arc
+// src to the sink with a depth-first search over the residual, the
+// per-arrival delta of warm-start scheduling. It reports whether a unit
+// landed, updating flow along the augmenting path (which may cancel flow
+// on reverse residual arcs, rerouting earlier units of this solve).
+//
+// Nodes proven unable to reach the sink by a failed sweep are retired
+// for the remainder of the solve: once a sweep fails, no residual arc
+// leaves its visited set, and later augmentations cannot create one —
+// any augmenting path entering the set could never leave it to reach the
+// sink, so the paths of later sweeps avoid the set and never touch its
+// incident arcs. This is the warm-start analogue of Dinic's per-phase
+// node retirement.
+func (w *Warm) Augment(src int, c *Counters) bool {
+	solve := w.solve
+	c.ArcScans++
+	if !w.enabled[src] || w.flow[src] {
+		return false
+	}
+	if w.Tail(src) != w.source {
+		panic(fmt.Sprintf("maxflow: Warm.Augment(%d): arc does not leave the source", src))
+	}
+	// Fresh stamp for this sweep's seen set; dead marks (== solve) persist.
+	w.stamp++
+	sweepSeen := w.stamp
+	w.seenAt[w.source] = sweepSeen // never route back through the source
+	w.visited = w.visited[:0]
+	start := w.Head(src)
+	if w.deadAt[start] == solve {
+		return false
+	}
+	w.sweep = w.sweep[:0]
+	if !w.dfs(start, sweepSeen, solve, c) {
+		// Failed sweep: everything it saw is cut off from the sink.
+		for _, v := range w.visited {
+			w.deadAt[v] = solve
+		}
+		return false
+	}
+	w.flow[src] = true
+	for _, id := range w.sweep {
+		w.flow[id>>1] = id&1 == 0 // forward arcs load, reverse arcs unload
+	}
+	c.Augmentations++
+	return true
+}
+
+// dfs extends the current sweep from node v; on success w.sweep holds the
+// residual arc ids of the path from the sweep's start to the sink.
+func (w *Warm) dfs(v int, sweepSeen, solve uint32, c *Counters) bool {
+	c.NodeVisits++
+	if v == w.sink {
+		return true
+	}
+	w.seenAt[v] = sweepSeen
+	w.visited = append(w.visited, int32(v))
+	for _, id := range w.head[v] {
+		c.ArcScans++
+		if !w.residual(id) {
+			continue
+		}
+		next := int(w.to[id])
+		if w.seenAt[next] == sweepSeen || w.deadAt[next] == solve {
+			continue
+		}
+		w.sweep = append(w.sweep, id)
+		if w.dfs(next, sweepSeen, solve, c) {
+			return true
+		}
+		w.sweep = w.sweep[:len(w.sweep)-1]
+	}
+	return false
+}
+
+// DecomposeFrom walks the flow unit entering through source arc src to
+// the sink and returns the logical arc ids of its path, src first, sink
+// arc last. Arcs are consumed per solve so repeated calls decompose a
+// multi-unit flow into disjoint paths (at a node carrying several units
+// the pairing of in- to out-arcs is arbitrary, which is exactly the
+// freedom flow decomposition has). Only enabled arcs are walked: frozen
+// (disabled) flow from earlier epochs is invisible here. Returns false
+// on a conservation violation, which indicates arena corruption.
+func (w *Warm) DecomposeFrom(src int) ([]int, bool) {
+	solve := w.solve
+	if !w.enabled[src] || !w.flow[src] || w.usedAt[src] == solve {
+		return nil, false
+	}
+	w.usedAt[src] = solve
+	path := []int{src}
+	v := w.Head(src)
+	for v != w.sink {
+		found := false
+		for _, id := range w.head[v] {
+			if id&1 != 0 {
+				continue // only forward direction carries decomposable flow
+			}
+			a := int(id >> 1)
+			if !w.enabled[a] || !w.flow[a] || w.usedAt[a] == solve {
+				continue
+			}
+			w.usedAt[a] = solve
+			path = append(path, a)
+			v = w.Head(a)
+			found = true
+			break
+		}
+		if !found || len(path) > len(w.enabled) {
+			return nil, false
+		}
+	}
+	return path, true
+}
+
+// ClearPath retracts the unit carried by a previously decomposed path:
+// every arc's flow bit is cleared, returning the capacity to the
+// residual (the arcs typically get re-enabled by the caller's next sync
+// once the underlying links are free again). It fails without changes
+// if any arc of the path carries no flow — the path no longer describes
+// a standing unit, so the caller's bookkeeping has diverged from the
+// arena and it should rebuild cold.
+func (w *Warm) ClearPath(arcs []int) error {
+	fail := func(i int, err error) error {
+		for j := 0; j < i; j++ {
+			w.flow[arcs[j]] = true // roll back the cleared prefix
+		}
+		return err
+	}
+	for i, a := range arcs {
+		if a < 0 || a >= len(w.flow) {
+			return fail(i, fmt.Errorf("maxflow: ClearPath: arc %d out of range", a))
+		}
+		if !w.flow[a] {
+			// Covers both a genuinely idle arc and a duplicate entry
+			// cleared earlier in this same call.
+			return fail(i, fmt.Errorf("maxflow: ClearPath: arc %d carries no flow", a))
+		}
+		w.flow[a] = false
+	}
+	return nil
+}

@@ -53,6 +53,11 @@ type schedObs struct {
 	arcScans      *obs.Counter
 	nodeVisits    *obs.Counter
 
+	warmSolves  *obs.Counter // cycles served by the warm-start arena
+	coldSolves  *obs.Counter // cycles that rebuilt the flow network cold
+	warmArcs    *obs.Counter // arena arcs toggled by warm delta syncs
+	retractions *obs.Counter // standing-circuit units walked back
+
 	free   *obs.Gauge
 	usable *obs.Gauge
 
@@ -92,6 +97,10 @@ func newSchedObs(reg *obs.Registry) schedObs {
 		phases:         reg.Counter("rsin_solver_phases_total"),
 		arcScans:       reg.Counter("rsin_solver_arc_scans_total"),
 		nodeVisits:     reg.Counter("rsin_solver_node_visits_total"),
+		warmSolves:     reg.Counter("rsin_solver_warm_solves_total"),
+		coldSolves:     reg.Counter("rsin_solver_cold_solves_total"),
+		warmArcs:       reg.Counter("rsin_solver_warm_arcs_touched_total"),
+		retractions:    reg.Counter("rsin_solver_warm_retractions_total"),
 		free:           reg.Gauge("rsin_sched_free_resources"),
 		usable:         reg.Gauge("rsin_sched_usable_resources"),
 		submitGrantMS:  reg.Histogram("rsin_sched_submit_to_grant_ms", latencyBuckets()),

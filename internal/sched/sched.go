@@ -145,6 +145,13 @@ type Stats struct {
 	Severed    int64 // in-flight units lost to faults and re-queued
 	Repairs    int64 // component repairs applied
 
+	// Warm-start solver counters (MaxFlow discipline only; zero for the
+	// others and with Config.ColdSolve).
+	WarmSolves  int64 // cycles served from the persistent warm-start arena
+	ColdSolves  int64 // cycles that built the flow network from scratch
+	ArcsTouched int64 // arena arcs toggled by warm delta syncs
+	Retractions int64 // standing-circuit units walked back (releases, severs)
+
 	Free   int // free resources after each shard's latest epoch
 	Usable int // degraded-capacity gauge: schedulable resources surviving faults
 	// Ops accumulates the solver's primitive-operation counters across
@@ -525,6 +532,10 @@ func (s *Scheduler) Stats() Stats {
 		tot.LinkFaults += st.LinkFaults
 		tot.Severed += st.Severed
 		tot.Repairs += st.Repairs
+		tot.WarmSolves += st.WarmSolves
+		tot.ColdSolves += st.ColdSolves
+		tot.ArcsTouched += st.ArcsTouched
+		tot.Retractions += st.Retractions
 		tot.Free += st.Free
 		tot.Usable += st.Usable
 		tot.Ops.Add(st.Ops)
@@ -642,6 +653,10 @@ func (s *Scheduler) publish(sh *shard, epoch *Stats) {
 	sh.stats.LinkFaults += epoch.LinkFaults
 	sh.stats.Severed += epoch.Severed
 	sh.stats.Repairs += epoch.Repairs
+	sh.stats.WarmSolves += epoch.WarmSolves
+	sh.stats.ColdSolves += epoch.ColdSolves
+	sh.stats.ArcsTouched += epoch.ArcsTouched
+	sh.stats.Retractions += epoch.Retractions
 	sh.stats.Free = free
 	sh.stats.Ops.Add(epoch.Ops)
 	sh.mu.Unlock()
@@ -662,6 +677,10 @@ func (s *Scheduler) publish(sh *shard, epoch *Stats) {
 		s.o.phases.Add(int64(epoch.Ops.Phases))
 		s.o.arcScans.Add(int64(epoch.Ops.ArcScans))
 		s.o.nodeVisits.Add(int64(epoch.Ops.NodeVisits))
+		s.o.warmSolves.Add(epoch.WarmSolves)
+		s.o.coldSolves.Add(epoch.ColdSolves)
+		s.o.warmArcs.Add(epoch.ArcsTouched)
+		s.o.retractions.Add(epoch.Retractions)
 		s.o.free.Add(int64(free - sh.lastFree))
 		sh.lastFree = free
 	}
@@ -832,6 +851,14 @@ func (s *Scheduler) flush(sh *shard, buf []op) []op {
 			ArcScans:      r.Mapping.Ops.ArcScans,
 			NodeVisits:    r.Mapping.Ops.NodeVisits,
 		})
+		switch {
+		case r.Mapping.Solve.Warm:
+			epoch.WarmSolves++
+		case r.Mapping.Solve.Cold:
+			epoch.ColdSolves++
+		}
+		epoch.ArcsTouched += int64(r.Mapping.Solve.ArcsTouched)
+		epoch.Retractions += int64(r.Mapping.Solve.Retractions)
 		if r.Granted == 0 {
 			break
 		}

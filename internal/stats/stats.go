@@ -135,34 +135,58 @@ func (h *Histogram) String() string {
 
 // Percentiles returns the qs-quantiles of a sample slice in one pass over
 // a single sorted copy — the latency-report shape (p50/p90/p99/...) the
-// load harnesses print.
+// load harnesses print. NaN samples are dropped first (see Quantile for
+// the full convention).
 func Percentiles(samples []float64, qs ...float64) []float64 {
 	out := make([]float64, len(qs))
-	if len(samples) == 0 {
+	s := sortedFinite(samples)
+	if len(s) == 0 {
 		return out
 	}
-	s := append([]float64(nil), samples...)
-	sort.Float64s(s)
 	for i, q := range qs {
 		out[i] = quantileSorted(s, q)
 	}
 	return out
 }
 
-// Quantile returns the q-quantile (0 <= q <= 1) of a sample slice, using
-// linear interpolation; the slice is not modified.
+// Quantile returns the q-quantile of a sample slice; the slice is not
+// modified. The convention, pinned by TestQuantileConvention:
+//
+//   - linear interpolation between order statistics at rank q*(n-1)
+//     (the "R-7" / numpy-default rule), so a single-element slice
+//     returns that element for every q;
+//   - q <= 0 returns the minimum, q >= 1 the maximum (clamped, never an
+//     index panic); a NaN q returns NaN;
+//   - NaN samples are dropped before ranking — they carry no order
+//     information, and letting them through would poison neighboring
+//     quantiles via sort.Float64s's unspecified NaN placement. An empty
+//     or all-NaN slice returns 0 (the harnesses' "no data" value).
 func Quantile(samples []float64, q float64) float64 {
-	if len(samples) == 0 {
+	s := sortedFinite(samples)
+	if len(s) == 0 {
 		return 0
 	}
-	s := append([]float64(nil), samples...)
-	sort.Float64s(s)
 	return quantileSorted(s, q)
 }
 
+// sortedFinite copies samples without NaNs and sorts the copy.
+func sortedFinite(samples []float64) []float64 {
+	s := make([]float64, 0, len(samples))
+	for _, x := range samples {
+		if !math.IsNaN(x) {
+			s = append(s, x)
+		}
+	}
+	sort.Float64s(s)
+	return s
+}
+
 // quantileSorted interpolates the q-quantile of an already-sorted,
-// non-empty slice.
+// NaN-free, non-empty slice.
 func quantileSorted(s []float64, q float64) float64 {
+	if math.IsNaN(q) {
+		return math.NaN()
+	}
 	if q <= 0 {
 		return s[0]
 	}

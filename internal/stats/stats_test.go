@@ -148,3 +148,54 @@ func TestPercentiles(t *testing.T) {
 		t.Fatalf("empty input: %v", empty)
 	}
 }
+
+// TestQuantileConvention pins the interpolation convention and its edge
+// cases in one table: R-7 linear interpolation at rank q*(n-1), q
+// clamped to [0,1], single-element slices constant in q, and NaN
+// samples dropped before ranking.
+func TestQuantileConvention(t *testing.T) {
+	nan := math.NaN()
+	cases := []struct {
+		name    string
+		samples []float64
+		q       float64
+		want    float64
+	}{
+		{"q0 is min", []float64{3, 1, 2}, 0, 1},
+		{"q1 is max", []float64{3, 1, 2}, 1, 3},
+		{"q below 0 clamps", []float64{3, 1, 2}, -0.5, 1},
+		{"q above 1 clamps", []float64{3, 1, 2}, 1.5, 3},
+		{"median of even n interpolates", []float64{1, 2, 3, 4}, 0.5, 2.5},
+		{"R-7 rank: q*(n-1)", []float64{10, 20, 30, 40, 50}, 0.25, 20},
+		{"interpolated rank", []float64{0, 10}, 0.75, 7.5},
+		{"single element, q=0", []float64{7}, 0, 7},
+		{"single element, q=0.5", []float64{7}, 0.5, 7},
+		{"single element, q=1", []float64{7}, 1, 7},
+		{"NaN samples dropped", []float64{nan, 1, nan, 3}, 0.5, 2},
+		{"NaN dropped at extremes", []float64{nan, 5, nan}, 1, 5},
+		{"empty returns 0", nil, 0.5, 0},
+		{"all NaN returns 0", []float64{nan, nan}, 0.5, 0},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if got := Quantile(c.samples, c.q); got != c.want {
+				t.Fatalf("Quantile(%v, %v) = %v, want %v", c.samples, c.q, got, c.want)
+			}
+		})
+	}
+	if got := Quantile([]float64{1, 2}, nan); !math.IsNaN(got) {
+		t.Fatalf("Quantile with NaN q = %v, want NaN", got)
+	}
+	// Percentiles shares the same convention, including the NaN drop.
+	ps := Percentiles([]float64{nan, 4, 2, nan}, 0, 0.5, 1)
+	if ps[0] != 2 || ps[1] != 3 || ps[2] != 4 {
+		t.Fatalf("Percentiles = %v, want [2 3 4]", ps)
+	}
+	// Inputs must never be mutated (both copy before sorting).
+	in := []float64{3, 1, 2}
+	_ = Quantile(in, 0.5)
+	_ = Percentiles(in, 0.5)
+	if in[0] != 3 || in[1] != 1 || in[2] != 2 {
+		t.Fatalf("input mutated: %v", in)
+	}
+}

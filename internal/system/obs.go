@@ -31,6 +31,11 @@ type sysObs struct {
 	faultOps  *obs.Counter
 	repairOps *obs.Counter
 
+	warmSolves  *obs.Counter // cycles served by the warm-start arena
+	coldSolves  *obs.Counter // cycles that built the flow network cold
+	arcsTouched *obs.Counter // arena arcs toggled by warm delta syncs
+	retractions *obs.Counter // standing-circuit units walked back
+
 	cycleMS *obs.Histogram // solve wall time per cycle, milliseconds
 
 	trace *obs.Trace
@@ -53,8 +58,14 @@ func newSysObs(reg *obs.Registry, shard int) sysObs {
 		severAcks: reg.Counter("rsin_system_sever_acks_total"),
 		faultOps:  reg.Counter("rsin_system_fault_ops_total"),
 		repairOps: reg.Counter("rsin_system_repair_ops_total"),
-		cycleMS:   reg.Histogram("rsin_system_cycle_ms", obs.ExpBuckets(0.001, 2, 20)),
-		trace:     reg.Trace(),
+
+		warmSolves:  reg.Counter("rsin_system_warm_solves_total"),
+		coldSolves:  reg.Counter("rsin_system_cold_solves_total"),
+		arcsTouched: reg.Counter("rsin_system_warm_arcs_touched_total"),
+		retractions: reg.Counter("rsin_system_warm_retractions_total"),
+
+		cycleMS: reg.Histogram("rsin_system_cycle_ms", obs.ExpBuckets(0.001, 2, 20)),
+		trace:   reg.Trace(),
 	}
 }
 

@@ -87,6 +87,14 @@ type Config struct {
 	Preferences []int64
 	// Types assigns a resource type per resource (Hetero); nil = all 0.
 	Types []int
+	// ColdSolve disables the incremental warm-start solver for the
+	// MaxFlow discipline, rebuilding the flow network from scratch every
+	// cycle (the pre-warm-start behavior). The default, false, keeps the
+	// previous epoch's residual state in the planner and applies only the
+	// cycle's deltas; the mapping quality is identical (both are optimal
+	// per Theorem 2) — only which optimal assignment gets picked may
+	// differ. Other disciplines ignore this knob.
+	ColdSolve bool
 	// FaultHook, when non-nil, is consulted at the named fault points
 	// (FaultCycle, FaultEndTransmission). A non-nil return makes that
 	// operation fail with the hook's error before it mutates any state.
@@ -431,6 +439,16 @@ func (s *System) Cycle() (*CycleResult, error) {
 		s.o.granted.Add(int64(res.Granted))
 		s.o.deferred.Add(int64(res.Deferred))
 		s.o.cycleMS.Observe(res.Elapsed.Seconds() * 1e3)
+		if res.Mapping != nil {
+			switch {
+			case res.Mapping.Solve.Warm:
+				s.o.warmSolves.Inc()
+			case res.Mapping.Solve.Cold:
+				s.o.coldSolves.Inc()
+			}
+			s.o.arcsTouched.Add(int64(res.Mapping.Solve.ArcsTouched))
+			s.o.retractions.Add(int64(res.Mapping.Solve.Retractions))
+		}
 		s.event(evCycle, 0, int64(res.Granted), "")
 	}
 	return res, nil
@@ -490,7 +508,11 @@ func (s *System) cycle() (*CycleResult, error) {
 	var err error
 	switch s.cfg.Discipline {
 	case MaxFlow:
-		m, err = s.planner.ScheduleMaxFlow(s.net, reqs, avail)
+		if s.cfg.ColdSolve {
+			m, err = s.planner.ScheduleMaxFlow(s.net, reqs, avail)
+		} else {
+			m, err = s.planner.ScheduleIncremental(s.net, reqs, avail)
+		}
 	case MinCost:
 		m, err = core.ScheduleMinCost(s.net, reqs, avail)
 	case Hetero:

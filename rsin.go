@@ -42,6 +42,13 @@ type (
 	Mapping = core.Mapping
 	// Assignment binds one request to one resource through a circuit.
 	Assignment = core.Assignment
+	// Planner carries reusable scheduling state across epochs; its
+	// ScheduleIncremental method warm-starts each solve from the previous
+	// epoch's residual flow (DESIGN.md §12). The zero value is ready to use.
+	Planner = core.Planner
+	// SolveStats reports how a Mapping was solved (warm vs cold, arcs
+	// touched, circuits retracted).
+	SolveStats = core.SolveStats
 	// HeteroOptions tunes heterogeneous (multi-type) scheduling.
 	HeteroOptions = core.HeteroOptions
 	// TokenResult is the outcome of a distributed token-architecture cycle.
