@@ -2,9 +2,9 @@
 # packages. `make` (or `make all`) is what CI runs.
 GO ?= go
 
-.PHONY: all vet build test race allocguard schedbench bench fuzz lint vuln
+.PHONY: all vet build test race allocguard ratchet schedbench bench fuzz lint vuln
 
-all: vet build test race
+all: vet build test race ratchet
 
 vet:
 	$(GO) vet ./...
@@ -17,10 +17,18 @@ test:
 	$(GO) test -shuffle=on ./...
 
 # The scheduling service and the system facade are the two packages with
-# concurrency (or concurrent callers); their stress tests must stay
-# race-clean.
+# concurrency (or concurrent callers); their stress tests — including the
+# priority differential traces and the preemption chaos stress — must
+# stay race-clean.
 race:
 	$(GO) test -race -shuffle=on ./internal/sched ./internal/system ./internal/obs
+
+# Warm-solver pivot ratchet plus the three-engine min-cost cross-check:
+# the warm network simplex must pivot strictly less than cold on the
+# reference trace, and out-of-kilter / SSP / simplex must agree.
+ratchet:
+	$(GO) test -run 'TestWarmSimplexPivotRatchet|TestMinCostIncremental' ./internal/core
+	$(GO) test -run 'TestQuickCrossSolver|TestNegativeCostRegressions' ./internal/netsimplex
 
 # The instrumentation hot path must not allocate (disabled or enabled);
 # CI runs the same guard.
@@ -28,9 +36,9 @@ allocguard:
 	$(GO) test -run 'TestDisabledObsAllocFree|TestNilInstruments|TestLiveInstrumentsAllocFree' ./internal/sched ./internal/obs
 
 # Machine-readable scheduling-service benchmark (see EXPERIMENTS.md for
-# the BENCH_sched.json format).
+# the BENCH_sched.json format), with the warm-start and tier-0 QoS gates.
 schedbench:
-	$(GO) run ./cmd/rsinbench -sched -json BENCH_sched.json
+	$(GO) run ./cmd/rsinbench -sched -gatewarm -gatetier -json BENCH_sched.json
 
 # lint/vuln need staticcheck / govulncheck on PATH (CI installs them);
 # they are not part of `all` so an offline checkout still builds.

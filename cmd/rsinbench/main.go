@@ -26,11 +26,12 @@ func main() {
 		smoke    = flag.Bool("smoke", false, "with -sched: shrink the run for CI smoke testing")
 		jsonOut  = flag.String("json", "", "with -sched: write the machine-readable report (BENCH_sched.json) here")
 		gateWarm = flag.Bool("gatewarm", false, "with -sched: fail unless the warm-start solver does no more work than the cold solver")
+		gateTier = flag.Bool("gatetier", false, "with -sched: fail unless tier-0 p99 beats the untiered baseline p99 on the contended comparison load")
 	)
 	flag.Parse()
 
 	if *schedRun {
-		if err := runSchedBench(*seed, *smoke, *gateWarm, *jsonOut); err != nil {
+		if err := runSchedBench(*seed, *smoke, *gateWarm, *gateTier, *jsonOut); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}

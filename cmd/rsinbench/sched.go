@@ -19,8 +19,10 @@ import (
 // schedBenchSchema identifies the BENCH_sched.json layout; bump it on any
 // incompatible change so downstream tooling can reject files it cannot
 // parse (EXPERIMENTS.md documents the format). v2 added the warm_cold
-// section and the warm-start counters inside sched_stats.
-const schedBenchSchema = "rsin-bench-sched/v2"
+// section and the warm-start counters inside sched_stats; v3 added the
+// tiered section (the SLO-tier comparison with per-tier p50/p99 against
+// an untiered baseline) and the Preempts counter inside sched_stats.
+const schedBenchSchema = "rsin-bench-sched/v3"
 
 // schedBenchConfig records the load shape a run used, so a BENCH file is
 // self-describing.
@@ -54,7 +56,11 @@ type schedBenchReport struct {
 	// same steady-state trace solved by both paths, operation counters
 	// side by side (see cmd/rsinbench/warmcold.go).
 	WarmCold warmColdReport `json:"warm_cold"`
-	Obs      obs.Snapshot   `json:"obs"`
+	// Tiered is the SLO-tier comparison: one contended workload driven
+	// untiered (baseline) and tiered (min-cost + preemption), per-tier
+	// latency percentiles side by side (see cmd/rsinbench/tiered.go).
+	Tiered tieredReport `json:"tiered"`
+	Obs    obs.Snapshot `json:"obs"`
 }
 
 // runSchedBench drives the batched scheduling service at load — including
@@ -63,8 +69,10 @@ type schedBenchReport struct {
 // ("" = stdout only prints the summary lines). smoke shrinks the run for
 // CI. gateWarm turns the comparison into a regression gate: the run
 // fails unless the warm path's solve work (arc scans + node visits) is
-// no worse than the cold path's on the steady-state trace.
-func runSchedBench(seed int64, smoke, gateWarm bool, jsonPath string) error {
+// no worse than the cold path's on the steady-state trace. gateTier does
+// the same for the QoS claim: tier 0's p99 in the tiered comparison must
+// not exceed the untiered baseline's p99 on the identical load.
+func runSchedBench(seed int64, smoke, gateWarm, gateTier bool, jsonPath string) error {
 	cfg := schedBenchConfig{
 		Topology: "omega", N: 64, Shards: 2,
 		Clients: 64, Tasks: 200, Need: 1, Faults: 16,
@@ -134,6 +142,10 @@ func runSchedBench(seed int64, smoke, gateWarm bool, jsonPath string) error {
 	if err != nil {
 		return fmt.Errorf("warm-cold trace: %w", err)
 	}
+	tiered, err := runTieredComparison(smoke)
+	if err != nil {
+		return fmt.Errorf("tiered comparison: %w", err)
+	}
 
 	var all []float64
 	for _, lat := range latencies {
@@ -152,6 +164,7 @@ func runSchedBench(seed int64, smoke, gateWarm bool, jsonPath string) error {
 		LatencyMS:  map[string]float64{"p50": qs[0], "p90": qs[1], "p99": qs[2], "max": qs[3]},
 		Sched:      s.Stats(),
 		WarmCold:   wc,
+		Tiered:     tiered,
 		Obs:        reg.Snapshot(),
 	}
 
@@ -161,6 +174,10 @@ func runSchedBench(seed int64, smoke, gateWarm bool, jsonPath string) error {
 	fmt.Printf("warm vs cold  omega(%d) x %d steps: warm work %d, cold work %d (ratio %.3f, %d warm solves, %d cold rebuilds, %d retractions)\n",
 		wc.N, wc.SolvedSteps, wc.WarmWork, wc.ColdWork, wc.WorkRatio,
 		wc.WarmSolves, wc.ColdRebuilds, wc.Retractions)
+	fmt.Printf("tiered qos    crossbar(%dx%d) %d clients x %d tiers: tier0 p99=%.3fms vs untiered p99=%.3fms (tier%d p99=%.3fms, preempts=%d)\n",
+		tiered.Procs, tiered.Ress, tiered.Clients, tiered.Tiers,
+		tiered.PerTier[0].P99, tiered.BaselineP99,
+		tiered.Tiers-1, tiered.PerTier[tiered.Tiers-1].P99, tiered.Preempts)
 	if jsonPath != "" {
 		data, err := json.MarshalIndent(rep, "", "  ")
 		if err != nil {
@@ -173,6 +190,10 @@ func runSchedBench(seed int64, smoke, gateWarm bool, jsonPath string) error {
 	if gateWarm && wc.WarmWork > wc.ColdWork {
 		return fmt.Errorf("warm-start gate: warm solve work %d exceeds cold %d (ratio %.3f) on the steady-state trace",
 			wc.WarmWork, wc.ColdWork, wc.WorkRatio)
+	}
+	if gateTier && tiered.PerTier[0].P99 > tiered.BaselineP99 {
+		return fmt.Errorf("tier gate: tier-0 p99 %.3fms exceeds the untiered baseline p99 %.3fms on the contended comparison load",
+			tiered.PerTier[0].P99, tiered.BaselineP99)
 	}
 	return nil
 }

@@ -20,6 +20,16 @@
 //	go run ./cmd/rsinserve -deadline 2ms                 # cancel slow tasks
 //	go run ./cmd/rsinserve -linkfault 5ms                # fail→heal a link every 5ms
 //
+// The -tiers flag spreads the clients across priority classes (tier 0
+// most urgent), switches the shards to the min-cost discipline so the
+// classes are honored at every epoch solve, and reports latency
+// percentiles per tier; -preempt additionally lets a higher-tier arrival
+// sever a lower-tier in-flight circuit when that strictly improves the
+// fabric's weighted value:
+//
+//	go run ./cmd/rsinserve -tiers 3                      # gold/silver/bronze QoS
+//	go run ./cmd/rsinserve -tiers 3 -preempt -need 2     # with preemption
+//
 // rsinserve shuts down gracefully on SIGINT/SIGTERM: clients stop
 // admitting new tasks, in-flight tasks drain (bounded by -drain), and the
 // full statistics report is printed for whatever portion of the run
@@ -88,6 +98,8 @@ func main() {
 		batch     = flag.Int("batch", 0, "epoch batch size (0 = library default)")
 		flush     = flag.Duration("flush", 0, "epoch flush period (0 = library default)")
 		naive     = flag.Bool("no-avoidance", false, "disable banker's deadlock avoidance for need > 1 (can wedge, §II)")
+		tiers     = flag.Int("tiers", 0, "spread clients across this many priority tiers (1..8); switches shards to the min-cost discipline and reports per-tier latency")
+		preempt   = flag.Bool("preempt", false, "let higher-tier arrivals sever lower-tier in-flight circuits (requires -tiers)")
 		inject    = flag.String("inject", "", "fault-injection script, e.g. cycle:%500,cycle:9:fail-link=3 (see internal/faultinject)")
 		deadline  = flag.Duration("deadline", 0, "per-task context deadline (0 = none); expired tasks are canceled")
 		linkfault = flag.Duration("linkfault", 0, "hardware chaos: fail then heal one random link per period (0 = off)")
@@ -96,6 +108,15 @@ func main() {
 		drain     = flag.Duration("drain", 10*time.Second, "in-flight drain deadline after SIGINT/SIGTERM")
 	)
 	flag.Parse()
+
+	if *tiers < 0 || *tiers > system.MaxTier+1 {
+		fmt.Fprintf(os.Stderr, "-tiers %d out of range (0..%d)\n", *tiers, system.MaxTier+1)
+		os.Exit(2)
+	}
+	if *preempt && *tiers <= 0 {
+		fmt.Fprintln(os.Stderr, "-preempt requires -tiers (preemption is tier-driven)")
+		os.Exit(2)
+	}
 
 	chaosSeed := chooseSeed(*seed, func() int64 { return time.Now().UnixNano() })
 	if *inject != "" || *linkfault > 0 {
@@ -152,9 +173,14 @@ func main() {
 		defer srv.Close()
 	}
 
-	cfg := sched.Config{BatchSize: *batch, FlushEvery: *flush, Workers: *workers, Obs: reg}
+	cfg := sched.Config{BatchSize: *batch, FlushEvery: *flush, Workers: *workers, Obs: reg, Preempt: *preempt}
 	for i := 0; i < *shards; i++ {
 		sc := system.Config{Net: build(*n), Avoidance: avoidance}
+		// Tiered traffic needs the priority-honoring discipline; untiered
+		// runs keep the cheaper max-flow solve.
+		if *tiers > 0 {
+			sc.Discipline = system.MinCost
+		}
 		if injector != nil {
 			sc.FaultHook = injector.Hook // one injector: counters span shards
 			sc.HardwareHook = injector.HardwareHook
@@ -231,6 +257,9 @@ func main() {
 			shard := c % *shards
 			proc := (c / *shards) % *n
 			task := system.Task{Proc: proc, Need: *need}
+			if *tiers > 0 {
+				task.Tier = c % *tiers // stable tier per client: latencies group by c mod tiers
+			}
 			// runTask submits and waits for provisioning, under a deadline
 			// when one is configured.
 			runTask := func() (*sched.Handle, error) {
@@ -312,6 +341,19 @@ func main() {
 	fmt.Printf("wall time     %v\n", elapsed.Round(time.Millisecond))
 	fmt.Printf("throughput    %.0f tasks/s\n", float64(len(all))/elapsed.Seconds())
 	fmt.Printf("latency (ms)  p50=%.3f p90=%.3f p99=%.3f max=%.3f (n=%d)\n", qs[0], qs[1], qs[2], qs[3], len(all))
+	if *tiers > 0 {
+		for tier := 0; tier < *tiers; tier++ {
+			var lat []float64
+			for c := tier; c < *clients; c += *tiers {
+				lat = append(lat, latencies[c]...)
+			}
+			tq := stats.Percentiles(lat, 0.50, 0.99)
+			fmt.Printf("  tier %d      p50=%.3f p99=%.3f (n=%d)\n", tier, tq[0], tq[1], len(lat))
+		}
+		if *preempt {
+			fmt.Printf("preemption    units-revoked=%d\n", st.Preempts)
+		}
+	}
 	fmt.Printf("service       epochs=%d cycles=%d granted=%d serviced=%d deferred=%d\n",
 		st.Epochs, st.Cycles, st.Granted, st.Serviced, st.Deferred)
 	if injector != nil || *deadline > 0 || st.Restarts > 0 || st.Canceled > 0 {

@@ -123,9 +123,21 @@ func Transform1(net *topology.Network, reqs []Request, avail []Avail) *Transform
 // Transform2 performs Transformation 2 (§III-C): Transformation 1 plus a
 // bypass node u reachable from every requesting processor, with cost
 // assignments w(e) = y_max - y_p on request arcs, q_max - q_w on resource
-// arcs, max(y_max, q_max) + 1 on bypass arcs and zero elsewhere. The
-// required flow value F0 equals the number of requests; flow through the
-// bypass marks the requests left unallocated.
+// arcs, max(y_max, q_max) + 1 + y_p on the bypass arc of request p and
+// zero elsewhere. The required flow value F0 equals the number of
+// requests; flow through the bypass marks the requests left unallocated.
+//
+// The y_p term on the bypass arc is the load-bearing part of the pricing:
+// every request arc is saturated at F0, so its cost is paid by allocated
+// and bypassed requests alike and cancels out of the objective. Only the
+// bypass charge discriminates — a request forfeits y_p (plus the constant
+// base) when it goes unserved, so the min-cost flow allocates the
+// highest-priority requests first. With a uniform bypass cost (the
+// pre-fix formulation) priorities were objective-inert: successive
+// shortest paths happened to favor them through its shortest-path-first
+// tie-breaking, but the network simplex and out-of-kilter engines could
+// legally return equal-cost mappings that ignored priority entirely.
+// TestPriorityPricingFixture pins the divergence.
 func Transform2(net *topology.Network, reqs []Request, avail []Avail) *Transform {
 	return transform(net, reqs, avail, true)
 }
@@ -194,10 +206,7 @@ func transform(net *topology.Network, reqs []Request, avail []Avail, priced bool
 			qMax = a.Preference
 		}
 	}
-	bypassCost := yMax + 1
-	if qMax+1 > bypassCost {
-		bypassCost = qMax + 1
-	}
+	bypassBase := bypassBaseCost(yMax, qMax)
 
 	// (T2)/(T3): request arcs S = {(s, p)}.
 	for _, r := range reqs {
@@ -256,10 +265,12 @@ func transform(net *topology.Network, reqs []Request, avail []Avail, priced bool
 		}
 		tr.arcLink[id] = l.ID
 	}
-	// Bypass arcs L (Transformation 2 only).
+	// Bypass arcs L (Transformation 2 only): leaving request p unserved
+	// forfeits its priority on top of the constant base, so the objective
+	// discriminates between requests (see Transform2).
 	if priced {
 		for _, r := range reqs {
-			g.AddLabeledArc(procNode[r.Proc], bypass, 1, bypassCost, fmt.Sprintf("bypass p%d", r.Proc))
+			g.AddLabeledArc(procNode[r.Proc], bypass, 1, bypassBase+r.Priority, fmt.Sprintf("bypass p%d", r.Proc))
 		}
 		g.AddLabeledArc(bypass, 1, int64(len(reqs)), 0, "bypass sink")
 		tr.F0 = int64(len(reqs))
@@ -364,6 +375,7 @@ func ScheduleMaxFlow(net *topology.Network, reqs []Request, avail []Avail) (*Map
 type Planner struct {
 	buf maxflow.Buffers
 	inc *incState // warm-start arena; nil until the first incremental solve
+	mc  *mcState  // min-cost warm-basis arena; nil until the first prioritized solve
 }
 
 // ScheduleMaxFlow is the package-level ScheduleMaxFlow computed with the

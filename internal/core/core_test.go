@@ -388,13 +388,17 @@ func TestTransform2Structure(t *testing.T) {
 	if tr.F0 != 2 {
 		t.Fatalf("F0 = %d, want 2", tr.F0)
 	}
-	// Expect bypass arcs with cost max(yMax,qMax)+1 = 10.
+	// Expect bypass arcs priced base + y_p with base = max(yMax,qMax)+1 =
+	// 10: bypassing forfeits the request's priority, which is what makes
+	// the objective discriminate between requests (all request arcs are
+	// saturated at F0, so their costs are paid regardless).
+	wantBypass := map[string]int64{"bypass p0": 10 + 9, "bypass p1": 10 + 2}
 	var bypassArcs, sinkCap int64
 	for _, a := range tr.G.Arcs {
-		if a.Label == "bypass p0" || a.Label == "bypass p1" {
+		if want, ok := wantBypass[a.Label]; ok {
 			bypassArcs++
-			if a.Cost != 10 {
-				t.Fatalf("bypass cost %d, want 10", a.Cost)
+			if a.Cost != want {
+				t.Fatalf("%s cost %d, want %d", a.Label, a.Cost, want)
 			}
 		}
 		if a.Label == "bypass sink" {

@@ -1,0 +1,154 @@
+package core
+
+import (
+	"rsin/internal/topology"
+)
+
+// bypassBaseCost is the constant part of the bypass pricing of
+// Transformation 2: strictly larger than any single resource-arc cost, so
+// serving one more request always beats bypassing it (Theorem 3's
+// max-allocation guarantee), with the forfeited priority y_p added per
+// request on top (see Transform2).
+func bypassBaseCost(yMax, qMax int64) int64 {
+	base := yMax + 1
+	if qMax+1 > base {
+		base = qMax + 1
+	}
+	return base
+}
+
+// maxPriorityPreference scans the instance bounds y_max and q_max.
+func maxPriorityPreference(reqs []Request, avail []Avail) (yMax, qMax int64) {
+	for _, r := range reqs {
+		if r.Priority > yMax {
+			yMax = r.Priority
+		}
+	}
+	for _, a := range avail {
+		if a.Preference > qMax {
+			qMax = a.Preference
+		}
+	}
+	return yMax, qMax
+}
+
+// WeightedValue reports the total weighted value a mapping realizes on
+// the instance (reqs, avail): the sum over allocated pairs (p, r) of
+//
+//	v(p, r) = base + y_p + q_r - q_max,   base = max(y_max, q_max) + 1
+//
+// which is the exact quantity the Transformation 2 min-cost flow
+// maximizes: total transformation cost and weighted value are related by
+// cost = F0*(y_max + base) - value, so two mappings have equal cost if
+// and only if they have equal weighted value. Since base > q_max - q_r
+// for every resource, each term is positive and a mapping allocating
+// more requests always outvalues one allocating fewer; among
+// maximum-allocation mappings, value orders them by total priority plus
+// preference — Theorem 3's optimality criterion. The differential suites
+// compare schedulers on this value rather than on the (legitimately
+// non-unique) assignments.
+//
+// The instance must be the one the scheduler solved: reqs including the
+// blocked requests, avail including the unchosen resources.
+func WeightedValue(reqs []Request, avail []Avail, m *Mapping) int64 {
+	yMax, qMax := maxPriorityPreference(reqs, avail)
+	base := bypassBaseCost(yMax, qMax)
+	pref := make(map[int]int64, len(avail))
+	for _, a := range avail {
+		pref[a.Res] = a.Preference
+	}
+	var v int64
+	for _, a := range m.Assigned {
+		v += base + a.Req.Priority + pref[a.Res] - qMax
+	}
+	return v
+}
+
+// BruteForceBestValue computes, by exhaustive backtracking over all
+// link-disjoint path sets, the maximum weighted value (as defined by
+// WeightedValue) any mapping can realize on the network. Like
+// Transformation 2 it is homogeneous: request and resource types are
+// ignored. It is the priority-aware sibling of BruteForceMax and exists
+// as a test oracle for small instances only — its cost is exponential.
+func BruteForceBestValue(net *topology.Network, reqs []Request, avail []Avail) int64 {
+	yMax, qMax := maxPriorityPreference(reqs, avail)
+	base := bypassBaseCost(yMax, qMax)
+
+	usedLink := make([]bool, len(net.Links))
+	for i, l := range net.Links {
+		if l.State != topology.LinkFree || !net.LinkUsable(l.ID) {
+			usedLink[i] = true // occupied or failed: unavailable to any path
+		}
+	}
+	usedRes := make(map[int]bool)
+	prefOf := make(map[int]int64, len(avail))
+	availSet := make(map[int]bool, len(avail))
+	for _, a := range avail {
+		availSet[a.Res] = true
+		prefOf[a.Res] = a.Preference
+	}
+	// remBound[i] = sum over requests j >= i of the largest value request
+	// j could possibly contribute (its best case is a q_max resource):
+	// the branch-and-bound pruning cap.
+	remBound := make([]int64, len(reqs)+1)
+	for i := len(reqs) - 1; i >= 0; i-- {
+		remBound[i] = remBound[i+1] + base + reqs[i].Priority
+	}
+
+	var best int64
+	var assign func(i int, value int64)
+	paths := func(p int, fn func(links []int, res int)) {
+		start := net.ProcLink[p]
+		if start == -1 {
+			return
+		}
+		var cur []int
+		var dfs func(lid int)
+		dfs = func(lid int) {
+			if usedLink[lid] {
+				return
+			}
+			l := net.Links[lid]
+			cur = append(cur, lid)
+			defer func() { cur = cur[:len(cur)-1] }()
+			switch l.To.Kind {
+			case topology.KindResource:
+				if availSet[l.To.Index] && !usedRes[l.To.Index] {
+					cp := append([]int(nil), cur...)
+					fn(cp, l.To.Index)
+				}
+			case topology.KindBox:
+				for _, out := range net.Boxes[l.To.Index].Out {
+					if out != -1 {
+						dfs(out)
+					}
+				}
+			}
+		}
+		dfs(start)
+	}
+	assign = func(i int, value int64) {
+		if value > best {
+			best = value
+		}
+		if i >= len(reqs) || value+remBound[i] <= best {
+			return
+		}
+		// Option 1: leave request i unserved.
+		assign(i+1, value)
+		// Option 2: allocate request i along every possible path.
+		paths(reqs[i].Proc, func(links []int, res int) {
+			for _, l := range links {
+				usedLink[l] = true
+			}
+			usedRes[res] = true
+			assign(i+1, value+base+reqs[i].Priority+prefOf[res]-qMax)
+			usedRes[res] = false
+			for _, l := range links {
+				usedLink[l] = false
+			}
+		})
+	}
+	assign(0, 0)
+	return best
+}

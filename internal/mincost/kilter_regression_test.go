@@ -1,0 +1,74 @@
+package mincost
+
+import (
+	"errors"
+	"testing"
+
+	"rsin/internal/graph"
+)
+
+// TestOutOfKilterDeadTailRegression pins the divergence the cross-solver
+// property suite found: a negative-cost arc whose tail is unreachable can
+// never carry flow, so it must be brought into kilter by a dual update
+// driving its reduced cost to zero while the flow rests at the lower
+// bound. The dual-update scan originally used strict bound comparisons
+// (f > low / f < up), which excluded exactly this arc, left delta at
+// infinity and made OutOfKilter declare a feasible instance infeasible.
+func TestOutOfKilterDeadTailRegression(t *testing.T) {
+	// s -> b -> t carries the demanded unit; a -> t (cost -1) starts from
+	// the unreachable node a.
+	g := graph.New(4, 0, 3)
+	g.AddArc(0, 2, 1, 0)  // s -> b
+	g.AddArc(2, 3, 1, 0)  // b -> t
+	g.AddArc(1, 3, 1, -1) // a -> t, dead tail
+	res, err := OutOfKilter(g, 1)
+	if err != nil {
+		t.Fatalf("feasible instance declared infeasible: %v", err)
+	}
+	if res.Value != 1 || res.Cost != 0 {
+		t.Fatalf("got value=%d cost=%d, want 1, 0", res.Value, res.Cost)
+	}
+	if g.Arcs[2].Flow != 0 {
+		t.Fatalf("dead-tail arc carries flow %d", g.Arcs[2].Flow)
+	}
+	// Beyond max flow it must still report infeasibility.
+	g2 := graph.New(4, 0, 3)
+	g2.AddArc(0, 2, 1, 0)
+	g2.AddArc(2, 3, 1, 0)
+	g2.AddArc(1, 3, 1, -1)
+	if _, err := OutOfKilter(g2, 2); !errors.Is(err, ErrInfeasible) {
+		t.Fatalf("over-target: want ErrInfeasible, got %v", err)
+	}
+}
+
+// TestOutOfKilterSeed154Regression replays the full randomized instance
+// (layered 0-1 network, signed costs, generator seed 154) on which the
+// dead-tail bug was first observed, cross-checking value and cost against
+// the independently computed optimum.
+func TestOutOfKilterSeed154Regression(t *testing.T) {
+	g := graph.New(14, 0, 13)
+	type a struct {
+		f, t int
+		c    int64
+	}
+	for _, x := range []a{
+		{0, 1, -1}, {10, 13, -4}, {0, 2, 1}, {11, 13, -4}, {0, 3, -4},
+		{12, 13, 7}, {1, 5, 2}, {1, 6, 8}, {2, 6, 2}, {3, 5, -1},
+		{3, 6, 4}, {4, 7, -4}, {4, 9, -1}, {5, 7, 7}, {5, 8, -1},
+		{5, 9, 5}, {6, 9, 1}, {7, 10, 1}, {7, 11, -1}, {7, 12, -4},
+		{8, 11, 5}, {8, 12, -4}, {9, 10, -4}, {9, 12, 2},
+	} {
+		g.AddArc(x.f, x.t, 1, x.c)
+	}
+	res, err := OutOfKilter(g, 2)
+	if err != nil {
+		t.Fatalf("seed-154 instance declared infeasible: %v", err)
+	}
+	// Optimum confirmed by successive shortest paths and network simplex.
+	if res.Value != 2 || res.Cost != -9 {
+		t.Fatalf("got value=%d cost=%d, want 2, -9", res.Value, res.Cost)
+	}
+	if err := g.CheckLegal(); err != nil {
+		t.Fatal(err)
+	}
+}

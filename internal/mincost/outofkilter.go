@@ -188,16 +188,23 @@ func OutOfKilter(g *graph.Network, target int64) (Result, error) {
 				res.Ops.Augmentations++
 				continue
 			}
-			// Labeling stuck: dual update. S = labeled set.
+			// Labeling stuck: dual update. S = labeled set. The bound
+			// comparisons are inclusive (f <= up, f >= low), per Fulkerson:
+			// an arc resting exactly at a bound with a wrong-signed reduced
+			// cost is brought into kilter by driving that reduced cost to
+			// zero, not by moving flow. With strict comparisons an arc that
+			// can never carry flow (e.g. one whose tail is unreachable) is
+			// excluded from the scan and a feasible instance is wrongly
+			// declared infeasible — see TestOutOfKilterDeadTailRegression.
 			delta := inf
 			for i := range arcs {
 				c := rcost(i)
-				if labeled[arcs[i].from] && !labeled[arcs[i].to] && c > 0 && arcs[i].flow < arcs[i].up {
+				if labeled[arcs[i].from] && !labeled[arcs[i].to] && c > 0 && arcs[i].flow <= arcs[i].up {
 					if c < delta {
 						delta = c
 					}
 				}
-				if !labeled[arcs[i].from] && labeled[arcs[i].to] && c < 0 && arcs[i].flow > arcs[i].low {
+				if !labeled[arcs[i].from] && labeled[arcs[i].to] && c < 0 && arcs[i].flow >= arcs[i].low {
 					if -c < delta {
 						delta = -c
 					}

@@ -10,6 +10,13 @@
 // entering arcs are chosen by round-robin eligibility; the leaving arc is
 // the last blocking arc when traversing the pivot cycle from its apex
 // along the orientation, which guarantees termination under degeneracy.
+//
+// Two front ends share the pivot engine: MinCostFlow is the one-shot
+// solver (build, big-M cold start, solve), and Warm is the persistent
+// arena for epoch schedulers — a fixed arc set whose capacities and costs
+// are re-synced each epoch, hot-started from a caller-provided feasible
+// flow and, when the caller permits, from the previous epoch's optimal
+// basis tree (see warm.go).
 package netsimplex
 
 import (
@@ -34,10 +41,232 @@ type arc struct {
 	cost      int64
 	flow      int64
 	state     arcState
-	origIndex int // index into g.Arcs, or -1 for artificial arcs
+	origIndex int // index into g.Arcs / the Warm arena, or -1 for artificial arcs
 }
 
 const inf = int64(1) << 60
+
+// simplex is the pivot engine shared by MinCostFlow and Warm: the arc
+// array (real arcs first, then one artificial arc per real node), the
+// basis tree and the strongly-feasible pivot loop.
+type simplex struct {
+	arcs  []arc
+	total int // node count including the artificial root
+	root  int
+
+	parent    []int // parent node in the tree
+	parentArc []int // arc connecting node to parent
+	depth     []int
+	pi        []int64 // node potentials
+	treeAdj   [][]int
+}
+
+// init sizes the tree scratch for a node count (root = total-1).
+func (sx *simplex) init(total int) {
+	sx.total = total
+	sx.root = total - 1
+	sx.parent = make([]int, total)
+	sx.parentArc = make([]int, total)
+	sx.depth = make([]int, total)
+	sx.pi = make([]int64, total)
+	sx.treeAdj = make([][]int, total)
+}
+
+// rebuildTree recomputes parent/depth/potentials from the arcs marked
+// inTree by BFS from the root. O(n + m); called once per pivot, which is
+// acceptable at MRSIN scale and keeps the invariants trivially correct.
+func (sx *simplex) rebuildTree() error {
+	for v := range sx.treeAdj {
+		sx.treeAdj[v] = sx.treeAdj[v][:0]
+	}
+	for i := range sx.arcs {
+		if sx.arcs[i].state == inTree {
+			sx.treeAdj[sx.arcs[i].from] = append(sx.treeAdj[sx.arcs[i].from], i)
+			sx.treeAdj[sx.arcs[i].to] = append(sx.treeAdj[sx.arcs[i].to], i)
+		}
+	}
+	for v := range sx.parent {
+		sx.parent[v] = -2
+	}
+	root := sx.root
+	sx.parent[root] = -1
+	sx.parentArc[root] = -1
+	sx.depth[root] = 0
+	sx.pi[root] = 0
+	queue := []int{root}
+	seen := 1
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, ai := range sx.treeAdj[v] {
+			a := &sx.arcs[ai]
+			w := a.from + a.to - v
+			if sx.parent[w] != -2 {
+				continue
+			}
+			sx.parent[w] = v
+			sx.parentArc[w] = ai
+			sx.depth[w] = sx.depth[v] + 1
+			if a.from == v { // arc v -> w: pi[w] = pi[v] - ... rc = c + pi_u - pi_v = 0
+				sx.pi[w] = sx.pi[v] + a.cost
+			} else { // arc w -> v
+				sx.pi[w] = sx.pi[v] - a.cost
+			}
+			seen++
+			queue = append(queue, w)
+		}
+	}
+	if seen != sx.total {
+		return fmt.Errorf("netsimplex: basis is not a spanning tree (%d of %d nodes)", seen, sx.total)
+	}
+	return nil
+}
+
+// step describes one traversal element of the pivot cycle: arc index and
+// whether the orientation crosses it forward.
+type step struct {
+	ai      int
+	forward bool
+}
+
+// cycleFor assembles the pivot cycle for entering arc e, ordered from the
+// apex along the orientation (the direction of flow change).
+func (sx *simplex) cycleFor(e int) []step {
+	a := &sx.arcs[e]
+	// Orientation: if entering from lower bound, flow increases along the
+	// arc (u -> v); if from upper, flow decreases, i.e. the orientation
+	// runs v -> u.
+	u, v := a.from, a.to
+	entF := true
+	if a.state == atUpper {
+		u, v = v, u
+		entF = false
+	}
+	// Find apex = LCA(u, v).
+	x, y := u, v
+	for sx.depth[x] > sx.depth[y] {
+		x = sx.parent[x]
+	}
+	for sx.depth[y] > sx.depth[x] {
+		y = sx.parent[y]
+	}
+	for x != y {
+		x = sx.parent[x]
+		y = sx.parent[y]
+	}
+	apex := x
+	// The directed pivot cycle is u ->(entering)-> v ->(tree)-> apex
+	// ->(tree)-> u; we emit it starting at the apex: first descend
+	// apex..u, then the entering arc, then ascend v..apex. Descending
+	// crosses each tree arc from parent(w) to w, so the crossing is
+	// forward iff the arc points at w; the slice is built bottom-up and
+	// reversed into apex-first order (the flags are unaffected).
+	var down []step
+	for w := u; w != apex; w = sx.parent[w] {
+		ai := sx.parentArc[w]
+		down = append(down, step{ai, sx.arcs[ai].to == w})
+	}
+	for i, j := 0, len(down)-1; i < j; i, j = i+1, j-1 {
+		down[i], down[j] = down[j], down[i]
+	}
+	cycle := down
+	cycle = append(cycle, step{e, entF})
+	for w := v; w != apex; w = sx.parent[w] {
+		ai := sx.parentArc[w]
+		// Moving from v up to apex crosses each arc from w toward
+		// parent(w): forward iff the arc points w->parent.
+		cycle = append(cycle, step{ai, sx.arcs[ai].from == w})
+	}
+	return cycle
+}
+
+func (sx *simplex) residual(s step) int64 {
+	a := &sx.arcs[s.ai]
+	if s.forward {
+		return a.cap - a.flow
+	}
+	return a.flow
+}
+
+// run is the main simplex loop with round-robin entering-arc selection,
+// starting from the current basis (states + tree already rebuilt). Pivot
+// work is recorded in ops: ArcScans counts pricing scans, Augmentations
+// counts pivots (flow changes), PotentialUpdates counts tree rebuilds.
+func (sx *simplex) run(ops *mincost.Counters) error {
+	arcs := sx.arcs
+	rc := func(i int) int64 { return arcs[i].cost + sx.pi[arcs[i].from] - sx.pi[arcs[i].to] }
+	m := len(arcs)
+	scan := 0
+	maxPivots := 50 * m * sx.total // generous safety bound
+	for pivots := 0; ; pivots++ {
+		if pivots > maxPivots {
+			return fmt.Errorf("netsimplex: pivot bound exceeded (internal error)")
+		}
+		entering := -1
+		for k := 0; k < m; k++ {
+			i := (scan + k) % m
+			ops.ArcScans++
+			if arcs[i].state == atLower && arcs[i].cap > 0 && rc(i) < 0 {
+				entering = i
+				break
+			}
+			if arcs[i].state == atUpper && rc(i) > 0 {
+				entering = i
+				break
+			}
+		}
+		if entering < 0 {
+			return nil // optimal
+		}
+		scan = entering + 1
+		cycle := sx.cycleFor(entering)
+		delta := inf
+		for _, s := range cycle {
+			if r := sx.residual(s); r < delta {
+				delta = r
+			}
+		}
+		// Leaving arc: the LAST blocking arc along the orientation from
+		// the apex (strong feasibility rule).
+		leaving := -1
+		for idx := range cycle {
+			if sx.residual(cycle[idx]) == delta {
+				leaving = idx
+			}
+		}
+		for _, s := range cycle {
+			if s.forward {
+				arcs[s.ai].flow += delta
+			} else {
+				arcs[s.ai].flow -= delta
+			}
+		}
+		ops.Augmentations++
+		lv := cycle[leaving].ai
+		if lv == entering {
+			// The entering arc itself blocks: it swaps bound without
+			// entering the tree.
+			if arcs[entering].state == atLower {
+				arcs[entering].state = atUpper
+			} else {
+				arcs[entering].state = atLower
+			}
+			continue
+		}
+		// Pivot: entering arc joins the tree; leaving arc departs at the
+		// bound it hit.
+		arcs[entering].state = inTree
+		if arcs[lv].flow == 0 {
+			arcs[lv].state = atLower
+		} else {
+			arcs[lv].state = atUpper
+		}
+		if err := sx.rebuildTree(); err != nil {
+			return err
+		}
+		ops.PotentialUpdates++
+	}
+}
 
 // MinCostFlow computes the minimum-cost flow of value exactly target from
 // the network's source to its sink, writing the assignment into Arc.Flow.
@@ -77,7 +306,6 @@ func MinCostFlow(g *graph.Network, target int64) (mincost.Result, error) {
 	}
 	// Artificial spanning tree: one arc per real node, oriented by supply
 	// sign and carrying the initial imbalance.
-
 	for v := 0; v < n; v++ {
 		var a arc
 		if b[v] >= 0 {
@@ -89,205 +317,14 @@ func MinCostFlow(g *graph.Network, target int64) (mincost.Result, error) {
 		arcs = append(arcs, a)
 	}
 
-	parent := make([]int, total)    // parent node in the tree
-	parentArc := make([]int, total) // arc connecting node to parent
-	depth := make([]int, total)
-	pi := make([]int64, total) // node potentials
-
-	// rebuildTree recomputes parent/depth/potentials from the arcs marked
-	// inTree by BFS from the root. O(n + m); called once per pivot, which
-	// is acceptable at MRSIN scale and keeps the invariants trivially
-	// correct.
-	treeAdj := make([][]int, total)
-	rebuildTree := func() error {
-		for v := range treeAdj {
-			treeAdj[v] = treeAdj[v][:0]
-		}
-		for i := range arcs {
-			if arcs[i].state == inTree {
-				treeAdj[arcs[i].from] = append(treeAdj[arcs[i].from], i)
-				treeAdj[arcs[i].to] = append(treeAdj[arcs[i].to], i)
-			}
-		}
-		for v := range parent {
-			parent[v] = -2
-		}
-		parent[root] = -1
-		parentArc[root] = -1
-		depth[root] = 0
-		pi[root] = 0
-		queue := []int{root}
-		seen := 1
-		for len(queue) > 0 {
-			v := queue[0]
-			queue = queue[1:]
-			for _, ai := range treeAdj[v] {
-				a := &arcs[ai]
-				w := a.from + a.to - v
-				if parent[w] != -2 {
-					continue
-				}
-				parent[w] = v
-				parentArc[w] = ai
-				depth[w] = depth[v] + 1
-				if a.from == v { // arc v -> w: pi[w] = pi[v] - ... rc = c + pi_u - pi_v = 0
-					pi[w] = pi[v] + a.cost
-				} else { // arc w -> v
-					pi[w] = pi[v] - a.cost
-				}
-				seen++
-				queue = append(queue, w)
-			}
-		}
-		if seen != total {
-			return fmt.Errorf("netsimplex: basis is not a spanning tree (%d of %d nodes)", seen, total)
-		}
-		return nil
-	}
-	if err := rebuildTree(); err != nil {
+	var sx simplex
+	sx.init(total)
+	sx.arcs = arcs
+	if err := sx.rebuildTree(); err != nil {
 		return res, err
 	}
-
-	rc := func(i int) int64 { return arcs[i].cost + pi[arcs[i].from] - pi[arcs[i].to] }
-
-	// step describes one traversal element of the pivot cycle: arc index
-	// and whether the orientation crosses it forward.
-	type step struct {
-		ai      int
-		forward bool
-	}
-
-	// cycleFor assembles the pivot cycle for entering arc e, ordered from
-	// the apex along the orientation (the direction of flow change).
-	cycleFor := func(e int) []step {
-		a := &arcs[e]
-		// Orientation: if entering from lower bound, flow increases along
-		// the arc (u -> v); if from upper, flow decreases, i.e. the
-		// orientation runs v -> u.
-		u, v := a.from, a.to
-		entF := true
-		if a.state == atUpper {
-			u, v = v, u
-			entF = false
-		}
-		// Find apex = LCA(u, v).
-		x, y := u, v
-		for depth[x] > depth[y] {
-			x = parent[x]
-		}
-		for depth[y] > depth[x] {
-			y = parent[y]
-		}
-		for x != y {
-			x = parent[x]
-			y = parent[y]
-		}
-		apex := x
-		// The directed pivot cycle is u ->(entering)-> v ->(tree)-> apex
-		// ->(tree)-> u; we emit it starting at the apex: first descend
-		// apex..u, then the entering arc, then ascend v..apex. Descending
-		// crosses each tree arc from parent(w) to w, so the crossing is
-		// forward iff the arc points at w; the slice is built bottom-up
-		// and reversed into apex-first order (the flags are unaffected).
-		var down []step
-		for w := u; w != apex; w = parent[w] {
-			ai := parentArc[w]
-			down = append(down, step{ai, arcs[ai].to == w})
-		}
-		for i, j := 0, len(down)-1; i < j; i, j = i+1, j-1 {
-			down[i], down[j] = down[j], down[i]
-		}
-		cycle := down
-		cycle = append(cycle, step{e, entF})
-		for w := v; w != apex; w = parent[w] {
-			ai := parentArc[w]
-			// Moving from v up to apex crosses each arc from w toward
-			// parent(w): forward iff the arc points w->parent.
-			cycle = append(cycle, step{ai, arcs[ai].from == w})
-		}
-		return cycle
-	}
-
-	residual := func(s step) int64 {
-		a := &arcs[s.ai]
-		if s.forward {
-			return a.cap - a.flow
-		}
-		return a.flow
-	}
-
-	// Main simplex loop with round-robin entering-arc selection.
-	m := len(arcs)
-	scan := 0
-	maxPivots := 50 * m * total // generous safety bound
-	res.Ops.Augmentations = 0
-	for pivots := 0; ; pivots++ {
-		if pivots > maxPivots {
-			return res, fmt.Errorf("netsimplex: pivot bound exceeded (internal error)")
-		}
-		entering := -1
-		for k := 0; k < m; k++ {
-			i := (scan + k) % m
-			res.Ops.ArcScans++
-			if arcs[i].state == atLower && arcs[i].cap > 0 && rc(i) < 0 {
-				entering = i
-				break
-			}
-			if arcs[i].state == atUpper && rc(i) > 0 {
-				entering = i
-				break
-			}
-		}
-		if entering < 0 {
-			break // optimal
-		}
-		scan = entering + 1
-		cycle := cycleFor(entering)
-		delta := inf
-		for _, s := range cycle {
-			if r := residual(s); r < delta {
-				delta = r
-			}
-		}
-		// Leaving arc: the LAST blocking arc along the orientation from
-		// the apex (strong feasibility rule).
-		leaving := -1
-		for idx := range cycle {
-			if residual(cycle[idx]) == delta {
-				leaving = idx
-			}
-		}
-		for _, s := range cycle {
-			if s.forward {
-				arcs[s.ai].flow += delta
-			} else {
-				arcs[s.ai].flow -= delta
-			}
-		}
-		res.Ops.Augmentations++
-		lv := cycle[leaving].ai
-		if lv == entering {
-			// The entering arc itself blocks: it swaps bound without
-			// entering the tree.
-			if arcs[entering].state == atLower {
-				arcs[entering].state = atUpper
-			} else {
-				arcs[entering].state = atLower
-			}
-			continue
-		}
-		// Pivot: entering arc joins the tree; leaving arc departs at the
-		// bound it hit.
-		arcs[entering].state = inTree
-		if arcs[lv].flow == 0 {
-			arcs[lv].state = atLower
-		} else {
-			arcs[lv].state = atUpper
-		}
-		if err := rebuildTree(); err != nil {
-			return res, err
-		}
-		res.Ops.PotentialUpdates++
+	if err := sx.run(&res.Ops); err != nil {
+		return res, err
 	}
 
 	// Feasibility: artificial arcs must be empty.

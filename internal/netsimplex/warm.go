@@ -1,0 +1,234 @@
+package netsimplex
+
+import (
+	"fmt"
+
+	"rsin/internal/mincost"
+)
+
+// Warm is a persistent network-simplex arena for epoch schedulers that
+// solve a sequence of min-cost instances over one fixed graph shape. The
+// caller adds every arc the topology can ever contribute once, then per
+// epoch re-syncs capacities and costs (SetArc), loads a feasible starting
+// flow (ResetFlow/SetFlow) and calls Solve.
+//
+// Unlike the one-shot MinCostFlow there is no big-M flow phase: the
+// caller's starting flow is already feasible (for Transformation 2 the
+// all-bypass routing always is), so the artificial root arcs carry zero
+// flow and serve purely as structural tree filler. Warmth is basis reuse:
+// when the caller permits, Solve restarts the pivot loop from the
+// previous epoch's optimal basis tree — between two similar epochs that
+// basis is almost optimal and the loop terminates after a handful of
+// pivots, where a cold start must first pivot every artificial arc out.
+// A reused basis requires every non-tree arc of the new flow to sit at a
+// bound; the all-bypass start guarantees it (flow only on saturated
+// arcs), and Solve falls back to the all-artificial tree on any
+// structural doubt rather than guessing.
+//
+// The zero Warm is not usable; construct with NewWarm. Not safe for
+// concurrent use.
+type Warm struct {
+	sx     simplex
+	n      int // real node count (the artificial root is node n)
+	source int
+	sink   int
+	m      int // real arc count; arcs m..m+n-1 are artificial
+	frozen bool
+	basis  bool // a previous Solve left an optimal basis in the states
+
+	excess []int64 // per-node conservation scratch
+}
+
+// NewWarm creates an arena over a fixed node set. Arcs are added with
+// AddArc before the first Solve freezes the structure.
+func NewWarm(nodes, source, sink int) *Warm {
+	if nodes < 2 || source < 0 || source >= nodes || sink < 0 || sink >= nodes || source == sink {
+		panic(fmt.Sprintf("netsimplex: bad arena shape: %d nodes, source %d, sink %d", nodes, source, sink))
+	}
+	return &Warm{n: nodes, source: source, sink: sink}
+}
+
+// AddArc declares one arc of the fixed structure and returns its ID. The
+// arc starts disabled (capacity 0); SetArc gives it per-epoch capacity
+// and cost. Adding arcs after the first Solve is a caller bug.
+func (w *Warm) AddArc(from, to int) int {
+	if w.frozen {
+		panic("netsimplex: AddArc after first Solve")
+	}
+	if from < 0 || from >= w.n || to < 0 || to >= w.n || from == to {
+		panic(fmt.Sprintf("netsimplex: bad arc %d->%d in %d-node arena", from, to, w.n))
+	}
+	w.sx.arcs = append(w.sx.arcs, arc{from: from, to: to, origIndex: len(w.sx.arcs)})
+	return len(w.sx.arcs) - 1
+}
+
+// NumArcs reports the number of real arcs in the arena.
+func (w *Warm) NumArcs() int {
+	if w.frozen {
+		return w.m
+	}
+	return len(w.sx.arcs)
+}
+
+// SetArc updates one arc's capacity and cost for the coming Solve and
+// reports whether either changed. A capacity of 0 removes the arc from
+// the instance (occupied or failed links, idle processors, busy
+// resources) without disturbing the arena structure.
+func (w *Warm) SetArc(id int, cap, cost int64) bool {
+	a := &w.sx.arcs[id]
+	if a.cap == cap && a.cost == cost {
+		return false
+	}
+	a.cap, a.cost = cap, cost
+	return true
+}
+
+// ResetFlow zeroes every real arc's flow; the caller then loads the
+// epoch's feasible starting flow with SetFlow.
+func (w *Warm) ResetFlow() {
+	for i := 0; i < len(w.sx.arcs); i++ {
+		w.sx.arcs[i].flow = 0
+	}
+}
+
+// SetFlow loads one arc of the starting flow.
+func (w *Warm) SetFlow(id int, f int64) { w.sx.arcs[id].flow = f }
+
+// Flow reads one arc's flow after a Solve.
+func (w *Warm) Flow(id int) int64 { return w.sx.arcs[id].flow }
+
+// freeze appends the artificial root arcs and sizes the tree scratch.
+func (w *Warm) freeze() {
+	w.m = len(w.sx.arcs)
+	root := w.n
+	for v := 0; v < w.n; v++ {
+		w.sx.arcs = append(w.sx.arcs, arc{from: v, to: root, cap: inf, origIndex: -1})
+	}
+	w.sx.init(w.n + 1)
+	w.excess = make([]int64, w.n)
+	w.frozen = true
+}
+
+// Solve runs the simplex to optimality for a flow of value target,
+// starting from the flow the caller loaded. With reuse set (and a basis
+// banked by a previous Solve) the pivot loop hot-starts from that basis
+// tree; otherwise — first solve, epoch the caller wants cold, or a
+// starting flow the old basis cannot classify — it starts from the
+// all-artificial tree. The second return reports whether the banked
+// basis was actually reused.
+//
+// The starting flow must be feasible: within every arc's bounds,
+// conserving at every node, with net outflow target at the source (an
+// error, not a panic, since the caller typically falls back to a cold
+// one-shot solver on it). Artificial arcs never carry flow, so no
+// separate feasibility phase runs and ErrInfeasible cannot arise here.
+func (w *Warm) Solve(target int64, reuse bool) (mincost.Result, bool, error) {
+	var res mincost.Result
+	if !w.frozen {
+		w.freeze()
+	}
+	arcs := w.sx.arcs
+
+	// Validate the caller's starting flow: bounds and conservation.
+	for v := range w.excess {
+		w.excess[v] = 0
+	}
+	for i := 0; i < w.m; i++ {
+		a := &arcs[i]
+		if a.flow < 0 || a.flow > a.cap {
+			return res, false, fmt.Errorf("netsimplex: starting flow %d outside [0,%d] on arc %d", a.flow, a.cap, i)
+		}
+		w.excess[a.from] -= a.flow
+		w.excess[a.to] += a.flow
+	}
+	for v := 0; v < w.n; v++ {
+		want := int64(0)
+		switch v {
+		case w.source:
+			want = -target
+		case w.sink:
+			want = target
+		}
+		if w.excess[v] != want {
+			return res, false, fmt.Errorf("netsimplex: starting flow excess %d at node %d, want %d", w.excess[v], v, want)
+		}
+	}
+
+	// Big-M for the artificial arcs: recomputed per epoch since costs
+	// change. The starting flow's cost is below bigM, and pivots never
+	// increase cost, so the artificial arcs stay empty throughout.
+	var maxCost int64 = 1
+	for i := 0; i < w.m; i++ {
+		c := arcs[i].cost
+		if c < 0 {
+			c = -c
+		}
+		if c > maxCost {
+			maxCost = c
+		}
+	}
+	bigM := (maxCost + 1) * int64(w.sx.total)
+	for i := w.m; i < len(arcs); i++ {
+		arcs[i].cost = bigM
+		arcs[i].flow = 0
+	}
+
+	// Basis: reuse the banked tree when every non-tree arc of the new
+	// flow sits at a bound; otherwise the all-artificial tree (valid as a
+	// degenerate basis because the artificial arcs carry zero flow).
+	usedBasis := false
+	if reuse && w.basis {
+		ok := true
+		for i := range arcs {
+			if arcs[i].state != inTree && arcs[i].flow != 0 && arcs[i].flow != arcs[i].cap {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			for i := range arcs {
+				if arcs[i].state != inTree {
+					if arcs[i].flow == arcs[i].cap && arcs[i].cap > 0 {
+						arcs[i].state = atUpper
+					} else {
+						arcs[i].state = atLower
+					}
+				}
+			}
+			if err := w.sx.rebuildTree(); err == nil {
+				usedBasis = true
+			}
+		}
+	}
+	if !usedBasis {
+		for i := 0; i < w.m; i++ {
+			switch {
+			case arcs[i].flow == 0:
+				arcs[i].state = atLower
+			case arcs[i].flow == arcs[i].cap:
+				arcs[i].state = atUpper
+			default:
+				return res, false, fmt.Errorf("netsimplex: starting flow %d strictly inside bounds of arc %d needs a basis", arcs[i].flow, i)
+			}
+		}
+		for i := w.m; i < len(arcs); i++ {
+			arcs[i].state = inTree
+		}
+		if err := w.sx.rebuildTree(); err != nil {
+			w.basis = false
+			return res, false, err
+		}
+	}
+
+	if err := w.sx.run(&res.Ops); err != nil {
+		w.basis = false
+		return res, usedBasis, err
+	}
+	w.basis = true
+
+	res.Value = target
+	for i := 0; i < w.m; i++ {
+		res.Cost += arcs[i].cost * arcs[i].flow
+	}
+	return res, usedBasis, nil
+}

@@ -1,0 +1,191 @@
+package netsimplex
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"rsin/internal/graph"
+	"rsin/internal/maxflow"
+)
+
+// buildArena mirrors a graph.Network into a Warm arena and loads the
+// network's current flow as the starting flow.
+func buildArena(g *graph.Network) (*Warm, []int) {
+	w := NewWarm(g.NumNodes(), g.Source, g.Sink)
+	ids := make([]int, len(g.Arcs))
+	for i := range g.Arcs {
+		ids[i] = w.AddArc(g.Arcs[i].From, g.Arcs[i].To)
+	}
+	for i := range g.Arcs {
+		w.SetArc(ids[i], g.Arcs[i].Cap, g.Arcs[i].Cost)
+	}
+	w.ResetFlow()
+	for i := range g.Arcs {
+		w.SetFlow(ids[i], g.Arcs[i].Flow)
+	}
+	return w, ids
+}
+
+// TestWarmMatchesOneShot holds the arena solver to the one-shot
+// MinCostFlow objective on random 0-1 networks with negative costs,
+// hot-starting from an arbitrary (cost-oblivious) max-flow.
+func TestWarmMatchesOneShot(t *testing.T) {
+	rng := rand.New(rand.NewSource(211))
+	for trial := 0; trial < 120; trial++ {
+		g := testutilUnitWithCosts(rng)
+		start := g.Clone()
+		mf := maxflow.Dinic(start)
+		if mf.Value == 0 {
+			continue
+		}
+		cold, err := MinCostFlow(g.Clone(), mf.Value)
+		if err != nil {
+			t.Fatalf("trial %d: cold: %v", trial, err)
+		}
+		w, ids := buildArena(start) // start carries the Dinic flow
+		res, usedBasis, err := w.Solve(mf.Value, false)
+		if err != nil {
+			t.Fatalf("trial %d: warm: %v", trial, err)
+		}
+		if usedBasis {
+			t.Fatalf("trial %d: first solve claims basis reuse", trial)
+		}
+		if res.Cost != cold.Cost {
+			t.Fatalf("trial %d: warm cost %d, cold cost %d", trial, res.Cost, cold.Cost)
+		}
+		// Second epoch: jitter the costs, reuse the basis, and hold the
+		// arena to the cold objective again.
+		for i := range g.Arcs {
+			g.Arcs[i].Cost += rng.Int63n(5) - 2
+			w.SetArc(ids[i], g.Arcs[i].Cap, g.Arcs[i].Cost)
+		}
+		cold2, err := MinCostFlow(g.Clone(), mf.Value)
+		if err != nil {
+			t.Fatalf("trial %d: cold2: %v", trial, err)
+		}
+		w.ResetFlow()
+		for i := range start.Arcs {
+			w.SetFlow(ids[i], start.Arcs[i].Flow)
+		}
+		res2, _, err := w.Solve(mf.Value, true)
+		if err != nil {
+			t.Fatalf("trial %d: warm2: %v", trial, err)
+		}
+		if res2.Cost != cold2.Cost {
+			t.Fatalf("trial %d: reused-basis cost %d, cold cost %d", trial, res2.Cost, cold2.Cost)
+		}
+	}
+}
+
+func TestWarmBasisReuseReported(t *testing.T) {
+	g := costDiamond()
+	start := g.Clone()
+	if mf := maxflow.Dinic(start); mf.Value != 4 {
+		t.Fatalf("diamond max flow %d", mf.Value)
+	}
+	w, ids := buildArena(start)
+	if _, used, err := w.Solve(4, true); err != nil || used {
+		t.Fatalf("first solve: used=%v err=%v (no basis banked yet)", used, err)
+	}
+	w.ResetFlow()
+	for i := range start.Arcs {
+		w.SetFlow(ids[i], start.Arcs[i].Flow)
+	}
+	res, used, err := w.Solve(4, true)
+	if err != nil || !used {
+		t.Fatalf("second solve: used=%v err=%v", used, err)
+	}
+	if res.Cost != 16 {
+		t.Fatalf("second solve cost %d, want 16", res.Cost)
+	}
+	// An explicit cold request must not reuse the banked basis.
+	w.ResetFlow()
+	for i := range start.Arcs {
+		w.SetFlow(ids[i], start.Arcs[i].Flow)
+	}
+	if _, used, err := w.Solve(4, false); err != nil || used {
+		t.Fatalf("cold request: used=%v err=%v", used, err)
+	}
+}
+
+func TestWarmRejectsBadStartFlow(t *testing.T) {
+	mk := func() (*Warm, []int) {
+		g := costDiamond()
+		return buildArena(g) // zero flow
+	}
+	w, ids := mk()
+	// Conservation violated: one unit appears at an internal node.
+	w.SetFlow(ids[0], 1)
+	if _, _, err := w.Solve(1, false); err == nil || !strings.Contains(err.Error(), "excess") {
+		t.Fatalf("unbalanced start flow accepted: %v", err)
+	}
+	// Out of bounds: flow above capacity.
+	w, ids = mk()
+	w.SetFlow(ids[0], 99)
+	if _, _, err := w.Solve(99, false); err == nil || !strings.Contains(err.Error(), "outside") {
+		t.Fatalf("overfull start flow accepted: %v", err)
+	}
+	// Wrong value: a valid circulation that does not carry the target.
+	w, _ = mk()
+	if _, _, err := w.Solve(2, false); err == nil {
+		t.Fatal("zero start flow accepted for target 2")
+	}
+	// Target 0 with zero flow is fine.
+	w, _ = mk()
+	if res, _, err := w.Solve(0, false); err != nil || res.Cost != 0 {
+		t.Fatalf("zero target: %+v err=%v", res, err)
+	}
+}
+
+func TestWarmArenaMisusePanics(t *testing.T) {
+	expectPanic := func(name string, fn func()) {
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s did not panic", name)
+			}
+		}()
+		fn()
+	}
+	expectPanic("bad shape", func() { NewWarm(1, 0, 0) })
+	expectPanic("self arc", func() { NewWarm(3, 0, 2).AddArc(1, 1) })
+	expectPanic("arc after freeze", func() {
+		w := NewWarm(2, 0, 1)
+		w.AddArc(0, 1)
+		if _, _, err := w.Solve(0, false); err != nil {
+			t.Fatal(err)
+		}
+		w.AddArc(0, 1)
+	})
+}
+
+// testutilUnitWithCosts builds a random layered 0-1 network and sprinkles
+// signed costs on it, including negative ones (the regime the satellite
+// cross-check demands: residual costs of either sign).
+func testutilUnitWithCosts(rng *rand.Rand) *graph.Network {
+	stages := 2 + rng.Intn(3)
+	width := 2 + rng.Intn(4)
+	n := stages * width
+	g := graph.New(n+2, 0, n+1)
+	node := func(s, i int) int { return 1 + s*width + i }
+	cost := func() int64 { return rng.Int63n(13) - 4 }
+	for i := 0; i < width; i++ {
+		g.AddArc(0, node(0, i), 1, cost())
+		g.AddArc(node(stages-1, i), n+1, 1, cost())
+	}
+	for s := 0; s+1 < stages; s++ {
+		for i := 0; i < width; i++ {
+			deg := 0
+			for j := 0; j < width; j++ {
+				if rng.Float64() < 0.5 {
+					g.AddArc(node(s, i), node(s+1, j), 1, cost())
+					deg++
+				}
+			}
+			if deg == 0 {
+				g.AddArc(node(s, i), node(s+1, rng.Intn(width)), 1, cost())
+			}
+		}
+	}
+	return g
+}

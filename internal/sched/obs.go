@@ -1,9 +1,11 @@
 package sched
 
 import (
+	"fmt"
 	"time"
 
 	"rsin/internal/obs"
+	"rsin/internal/system"
 )
 
 // Trace event kinds and terminal-result labels recorded by the service
@@ -18,6 +20,7 @@ const (
 	evFault   = "fault"   // hardware fault applied via the sched API; Val = index
 	evRepair  = "repair"  // hardware repair applied via the sched API; Val = index
 	evReject  = "reject"  // Submit rejected the task before admission
+	evPreempt = "preempt" // unit revoked from a lower tier; Task = victim, Val = resource
 
 	resShardDown   = "shard-down"   // in-flight at a supervisor restart
 	resSeverBudget = "sever-budget" // units severed more than SeverRetries times
@@ -47,6 +50,7 @@ type schedObs struct {
 	faultOps  *obs.Counter
 	repairOps *obs.Counter
 	severed   *obs.Counter
+	preempts  *obs.Counter
 
 	augmentations *obs.Counter
 	phases        *obs.Counter
@@ -65,6 +69,12 @@ type schedObs struct {
 	grantReleaseMS *obs.Histogram // provisioned -> EndService released
 	epochSolveMS   *obs.Histogram // wall time of one epoch's cycle loop
 
+	// Per-tier QoS instruments, indexed by Task.Tier. The band is small
+	// and fixed (system.MaxTier+1 classes), so each tier gets its own
+	// flat-named instrument rather than a label dimension.
+	grantedTier       [system.MaxTier + 1]*obs.Counter
+	submitGrantTierMS [system.MaxTier + 1]*obs.Histogram
+
 	trace *obs.Trace
 }
 
@@ -78,7 +88,7 @@ func newSchedObs(reg *obs.Registry) schedObs {
 	if reg == nil {
 		return schedObs{}
 	}
-	return schedObs{
+	o := schedObs{
 		enabled:        true,
 		submitted:      reg.Counter("rsin_sched_submitted_total"),
 		granted:        reg.Counter("rsin_sched_granted_total"),
@@ -93,6 +103,7 @@ func newSchedObs(reg *obs.Registry) schedObs {
 		faultOps:       reg.Counter("rsin_sched_fault_ops_total"),
 		repairOps:      reg.Counter("rsin_sched_repair_ops_total"),
 		severed:        reg.Counter("rsin_sched_severed_total"),
+		preempts:       reg.Counter("rsin_sched_preempts_total"),
 		augmentations:  reg.Counter("rsin_solver_augmentations_total"),
 		phases:         reg.Counter("rsin_solver_phases_total"),
 		arcScans:       reg.Counter("rsin_solver_arc_scans_total"),
@@ -108,6 +119,11 @@ func newSchedObs(reg *obs.Registry) schedObs {
 		epochSolveMS:   reg.Histogram("rsin_sched_epoch_solve_ms", latencyBuckets()),
 		trace:          reg.Trace(),
 	}
+	for t := 0; t <= system.MaxTier; t++ {
+		o.grantedTier[t] = reg.Counter(fmt.Sprintf("rsin_sched_granted_tier%d_total", t))
+		o.submitGrantTierMS[t] = reg.Histogram(fmt.Sprintf("rsin_sched_submit_to_grant_tier%d_ms", t), latencyBuckets())
+	}
+	return o
 }
 
 // event records a trace event stamped with the shard's coordinates. Runs

@@ -97,12 +97,26 @@ type Config struct {
 	// (the solver worker pool). Default: one worker per shard.
 	Workers int
 	// SeverRetries bounds how many times a task's units may be severed
-	// by hardware faults before its handle is failed with an error
-	// matching system.ErrCircuitSevered (the client may resubmit once
-	// capacity heals). Each retry rides the ordinary epoch cadence — the
-	// re-queued unit is solved for on the next cycle, a natural backoff
-	// of one batch period. Default 3.
+	// by hardware faults (or preemption, with Preempt set) before its
+	// handle is failed with an error matching system.ErrCircuitSevered
+	// (the client may resubmit once capacity heals). Each retry rides the
+	// ordinary epoch cadence — the re-queued unit is solved for on the
+	// next cycle, a natural backoff of one batch period. Default 3.
 	SeverRetries int
+	// Preempt enables tier-based preemption: when an epoch reaches
+	// quiescence with a queue-head task still acquiring, the shard may
+	// revoke one unit from a still-acquiring holder of a strictly less
+	// urgent tier (larger Task.Tier) and re-run the cycle loop so the
+	// beneficiary can claim it. The exchange is made only when it
+	// strictly improves total tier weight — system.TierWeight(benef) >
+	// system.TierWeight(victim), i.e. strictly lower tier number — and a
+	// free route to the unit exists, so equal-tier tasks never starve
+	// each other. Victims are charged against the same SeverRetries
+	// budget as hardware severs. Requires every shard to run the MinCost
+	// discipline: only its weighted-value objective guarantees the freed
+	// unit goes to the higher tier. Fully-provisioned tasks are never
+	// preempted.
+	Preempt bool
 	// Obs, when non-nil, receives service metrics (the Stats counters as
 	// Prometheus-style instruments), latency histograms (submit-to-grant,
 	// grant-to-release, epoch solve wall time) and a ring-buffer trace of
@@ -144,6 +158,7 @@ type Stats struct {
 	LinkFaults int64 // component failures applied (links, boxes, resources)
 	Severed    int64 // in-flight units lost to faults and re-queued
 	Repairs    int64 // component repairs applied
+	Preempts   int64 // units revoked from lower-tier holders (Config.Preempt)
 
 	// Warm-start solver counters (MaxFlow discipline only; zero for the
 	// others and with Config.ColdSolve).
@@ -168,7 +183,9 @@ type Handle struct {
 	gen    int // shard restart generation the task was admitted under
 	need   int // declared resource demand (for degraded-capacity rechecks)
 	typ    int // declared resource type
-	severs int // units lost to hardware faults; bounded by Config.SeverRetries
+	tier   int // declared priority class, for the preemption policy
+	proc   int // submitting processor, for preemption route probes
+	severs int // units lost to faults or preemption; bounded by Config.SeverRetries
 	done   chan struct{}
 	res    []int // resources held; written by the shard goroutine before done closes
 	err    error // terminal submission error; written before done closes
@@ -280,6 +297,14 @@ func New(cfg Config) (*Scheduler, error) {
 	if cfg.SeverRetries <= 0 {
 		cfg.SeverRetries = 3
 	}
+	if cfg.Preempt {
+		for i, sc := range cfg.Shards {
+			if sc.Discipline != system.MinCost {
+				return nil, fmt.Errorf("sched: shard %d: Preempt requires the MinCost discipline (got %d): "+
+					"only its weighted-value objective routes a preempted unit to the higher tier", i, sc.Discipline)
+			}
+		}
+	}
 	s := &Scheduler{
 		cfg: cfg,
 		sem: make(chan struct{}, cfg.Workers),
@@ -346,6 +371,13 @@ func (s *Scheduler) Submit(shard int, t system.Task) (*Handle, error) {
 	if t.Proc < 0 || t.Proc >= sh.procs {
 		return nil, fmt.Errorf("sched: shard %d: processor %d out of range [0,%d)", shard, t.Proc, sh.procs)
 	}
+	// Tier and preference-vector validation runs here, before shard
+	// dispatch, so a malformed task never consumes a batch slot (the
+	// System would reject it again, but only on the shard goroutine).
+	if err := system.ValidateTask(t, sh.ress); err != nil {
+		s.o.rejected.Inc()
+		return nil, fmt.Errorf("sched: shard %d: %w", shard, err)
+	}
 	need := t.Need
 	if need <= 0 {
 		need = 1
@@ -377,7 +409,7 @@ func (s *Scheduler) Submit(shard int, t system.Task) (*Handle, error) {
 		return nil, fmt.Errorf("sched: shard %d: task needs %d resources, surviving fabric has %d usable: %w",
 			shard, need, limit, system.ErrUnsatisfiable)
 	}
-	h := &Handle{shard: shard, need: need, typ: t.Type, done: make(chan struct{})}
+	h := &Handle{shard: shard, need: need, typ: t.Type, tier: t.Tier, proc: t.Proc, done: make(chan struct{})}
 	if s.o.enabled {
 		h.submitNano = nowNano()
 	}
@@ -532,6 +564,7 @@ func (s *Scheduler) Stats() Stats {
 		tot.LinkFaults += st.LinkFaults
 		tot.Severed += st.Severed
 		tot.Repairs += st.Repairs
+		tot.Preempts += st.Preempts
 		tot.WarmSolves += st.WarmSolves
 		tot.ColdSolves += st.ColdSolves
 		tot.ArcsTouched += st.ArcsTouched
@@ -653,6 +686,7 @@ func (s *Scheduler) publish(sh *shard, epoch *Stats) {
 	sh.stats.LinkFaults += epoch.LinkFaults
 	sh.stats.Severed += epoch.Severed
 	sh.stats.Repairs += epoch.Repairs
+	sh.stats.Preempts += epoch.Preempts
 	sh.stats.WarmSolves += epoch.WarmSolves
 	sh.stats.ColdSolves += epoch.ColdSolves
 	sh.stats.ArcsTouched += epoch.ArcsTouched
@@ -673,6 +707,7 @@ func (s *Scheduler) publish(sh *shard, epoch *Stats) {
 		s.o.faultOps.Add(epoch.LinkFaults)
 		s.o.repairOps.Add(epoch.Repairs)
 		s.o.severed.Add(epoch.Severed)
+		s.o.preempts.Add(epoch.Preempts)
 		s.o.augmentations.Add(int64(epoch.Ops.Augmentations))
 		s.o.phases.Add(int64(epoch.Ops.Phases))
 		s.o.arcScans.Add(int64(epoch.Ops.ArcScans))
@@ -798,23 +833,8 @@ func (s *Scheduler) flush(sh *shard, buf []op) []op {
 					if h == nil {
 						continue // a multi-unit holder published in an earlier epoch
 					}
-					h.severs++
-					if h.severs > s.cfg.SeverRetries {
-						// Retry budget exhausted: withdraw the task instead
-						// of letting it churn against a flapping component.
-						if cerr := sh.sys.Cancel(id); cerr != nil {
-							// Same containment as opCancel: a tracked task the
-							// System cannot withdraw means the state is suspect.
-							s.failShard(sh, fmt.Errorf("withdrawing sever-exhausted task %d: %w", id, cerr), &epoch)
-							break
-						}
-						delete(sh.tracked, id)
-						h.err = fmt.Errorf("sched: shard %d: units severed %d times: %w",
-							sh.idx, h.severs, system.ErrCircuitSevered)
-						h.finished = true
-						epoch.Failed++
-						s.event(sh, evFailed, int64(id), int64(h.severs), resSeverBudget)
-						close(h.done)
+					if !s.chargeSever(sh, id, h, &epoch) {
+						break
 					}
 				}
 				if sh.dead == nil {
@@ -834,51 +854,66 @@ func (s *Scheduler) flush(sh *shard, buf []op) []op {
 		solveStart = nowNano()
 	}
 	cycles := 0
-	for sh.dead == nil && len(sh.tracked) > 0 {
-		r, err := sh.sys.Cycle()
-		if err != nil {
-			s.failShard(sh, err, &epoch)
-			break
-		}
-		cycles++
-		sh.cycleCount++
-		epoch.Cycles++
-		epoch.Granted += int64(r.Granted)
-		epoch.Deferred += int64(r.Deferred)
-		epoch.Ops.Add(maxflow.Counters{
-			Augmentations: r.Mapping.Ops.Augmentations,
-			Phases:        r.Mapping.Ops.Phases,
-			ArcScans:      r.Mapping.Ops.ArcScans,
-			NodeVisits:    r.Mapping.Ops.NodeVisits,
-		})
-		switch {
-		case r.Mapping.Solve.Warm:
-			epoch.WarmSolves++
-		case r.Mapping.Solve.Cold:
-			epoch.ColdSolves++
-		}
-		epoch.ArcsTouched += int64(r.Mapping.Solve.ArcsTouched)
-		epoch.Retractions += int64(r.Mapping.Solve.Retractions)
-		if r.Granted == 0 {
-			break
-		}
-		faulted := false
-		for _, a := range r.Mapping.Assigned {
-			if err := sh.sys.EndTransmission(a.Req.Proc); err != nil {
-				if errors.Is(err, system.ErrCircuitSevered) {
-					// Retryable: the System already revoked and re-queued
-					// the unit; a follow-up cycle reacquires it.
-					epoch.Severed++
-					continue
-				}
+	// Preemption-round bound: every round strictly increases the total
+	// tier weight held (the beneficiary's unit outweighs the victim's), so
+	// at most one round per tracked task can make progress; the explicit
+	// cap also keeps a deferred beneficiary (deadlock avoidance) from
+	// churning a victim's sever budget within one epoch.
+	rounds := len(sh.tracked)
+	for {
+		for sh.dead == nil && len(sh.tracked) > 0 {
+			r, err := sh.sys.Cycle()
+			if err != nil {
 				s.failShard(sh, err, &epoch)
-				faulted = true
+				break
+			}
+			cycles++
+			sh.cycleCount++
+			epoch.Cycles++
+			epoch.Granted += int64(r.Granted)
+			epoch.Deferred += int64(r.Deferred)
+			epoch.Ops.Add(maxflow.Counters{
+				Augmentations: r.Mapping.Ops.Augmentations,
+				Phases:        r.Mapping.Ops.Phases,
+				ArcScans:      r.Mapping.Ops.ArcScans,
+				NodeVisits:    r.Mapping.Ops.NodeVisits,
+			})
+			switch {
+			case r.Mapping.Solve.Warm:
+				epoch.WarmSolves++
+			case r.Mapping.Solve.Cold:
+				epoch.ColdSolves++
+			}
+			epoch.ArcsTouched += int64(r.Mapping.Solve.ArcsTouched)
+			epoch.Retractions += int64(r.Mapping.Solve.Retractions)
+			if r.Granted == 0 {
+				break
+			}
+			faulted := false
+			for _, a := range r.Mapping.Assigned {
+				if err := sh.sys.EndTransmission(a.Req.Proc); err != nil {
+					if errors.Is(err, system.ErrCircuitSevered) {
+						// Retryable: the System already revoked and re-queued
+						// the unit; a follow-up cycle reacquires it.
+						epoch.Severed++
+						continue
+					}
+					s.failShard(sh, err, &epoch)
+					faulted = true
+					break
+				}
+			}
+			if faulted {
 				break
 			}
 		}
-		if faulted {
+		// Quiescent: no further grants are possible on the current holding
+		// pattern. With Preempt set, try one tier exchange and re-enter the
+		// cycle loop so the beneficiary can claim the freed unit.
+		if sh.dead != nil || !s.cfg.Preempt || rounds <= 0 || !s.preemptOnce(sh, &epoch) {
 			break
 		}
+		rounds--
 	}
 	if s.o.enabled && cycles > 0 {
 		s.o.epochSolveMS.Observe(float64(nowNano()-solveStart) / 1e6)
@@ -898,8 +933,11 @@ func (s *Scheduler) flush(sh *shard, buf []op) []op {
 			h.res = sh.sys.Holding(id)
 			if s.o.enabled {
 				h.grantNano = nowNano()
+				s.o.grantedTier[h.tier].Inc()
 				if h.submitNano != 0 {
-					s.o.submitGrantMS.Observe(float64(h.grantNano-h.submitNano) / 1e6)
+					ms := float64(h.grantNano-h.submitNano) / 1e6
+					s.o.submitGrantMS.Observe(ms)
+					s.o.submitGrantTierMS[h.tier].Observe(ms)
 				}
 			}
 			s.event(sh, evGrant, int64(id), int64(len(h.res)), "")
@@ -908,6 +946,101 @@ func (s *Scheduler) flush(sh *shard, buf []op) []op {
 		}
 	}
 	return buf[:0]
+}
+
+// chargeSever charges one lost unit (hardware sever or preemption)
+// against a tracked handle's retry budget, withdrawing the task with an
+// ErrCircuitSevered failure when the budget is exhausted — a task churned
+// by a flapping component or repeated preemption should fail crisply
+// rather than retry forever. Reports false when withdrawal escalated to a
+// shard restart (the caller's tracked iteration is invalid). Runs on the
+// shard goroutine.
+func (s *Scheduler) chargeSever(sh *shard, id system.TaskID, h *Handle, epoch *Stats) bool {
+	h.severs++
+	if h.severs <= s.cfg.SeverRetries {
+		return true
+	}
+	if cerr := sh.sys.Cancel(id); cerr != nil {
+		// Same containment as opCancel: a tracked task the System cannot
+		// withdraw means the state is suspect.
+		s.failShard(sh, fmt.Errorf("withdrawing sever-exhausted task %d: %w", id, cerr), epoch)
+		return false
+	}
+	delete(sh.tracked, id)
+	h.err = fmt.Errorf("sched: shard %d: units severed %d times: %w",
+		sh.idx, h.severs, system.ErrCircuitSevered)
+	h.finished = true
+	epoch.Failed++
+	s.event(sh, evFailed, int64(id), int64(h.severs), resSeverBudget)
+	close(h.done)
+	return true
+}
+
+// preemptOnce is the tier-preemption policy: pick the most urgent
+// queue-head task still acquiring (the beneficiary), then the least
+// urgent still-acquiring holder of a strictly lower tier whose unit the
+// beneficiary can reach, and revoke that one unit. The strict-tier
+// requirement is the starvation guard — TierWeight is strictly monotone
+// in tier, so the exchange strictly increases total held tier weight and
+// equal-tier tasks can never preempt each other. Reports whether a unit
+// was revoked (the caller then re-runs the cycle loop, where the MinCost
+// solve routes the freed unit to the highest effective priority). Runs on
+// the shard goroutine.
+func (s *Scheduler) preemptOnce(sh *shard, epoch *Stats) bool {
+	var benef *Handle
+	for p := 0; p < sh.procs; p++ {
+		id := sh.sys.QueueHead(p)
+		if id < 0 {
+			continue
+		}
+		h := sh.tracked[id]
+		if h == nil || sh.sys.Remaining(id) == 0 {
+			continue
+		}
+		if benef == nil || h.tier < benef.tier || (h.tier == benef.tier && id < benef.id) {
+			benef = h
+		}
+	}
+	if benef == nil {
+		return false
+	}
+	// Cheapest viable victim: highest tier number first, lowest task ID to
+	// stay deterministic. Fully-provisioned holders are immune (they are
+	// computing on a complete resource set; revoking would waste finished
+	// work for a unit the System cannot even take back).
+	var victim *Handle
+	res := -1
+	for id, h := range sh.tracked {
+		if h.tier <= benef.tier || id == benef.id || sh.sys.Remaining(id) == 0 {
+			continue
+		}
+		r := -1
+		for _, held := range sh.sys.Holding(id) {
+			if sh.sys.CanRoute(benef.proc, held) {
+				r = held
+				break
+			}
+		}
+		if r < 0 {
+			continue
+		}
+		if victim == nil || h.tier > victim.tier || (h.tier == victim.tier && id < victim.id) {
+			victim, res = h, r
+		}
+	}
+	if victim == nil {
+		return false
+	}
+	if err := sh.sys.Preempt(victim.id, res); err != nil {
+		// Preempt's preconditions were just checked on this goroutine;
+		// failure means the shard state is inconsistent.
+		s.failShard(sh, fmt.Errorf("preempting resource %d from task %d: %w", res, victim.id, err), epoch)
+		return false
+	}
+	epoch.Preempts++
+	s.event(sh, evPreempt, int64(victim.id), int64(res), "")
+	s.chargeSever(sh, victim.id, victim, epoch)
+	return sh.dead == nil
 }
 
 // refreshCapacity republishes the shard's degraded-capacity census when

@@ -1,6 +1,7 @@
 package sched
 
 import (
+	"errors"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -39,6 +40,44 @@ func TestSubmitValidation(t *testing.T) {
 	}
 	if _, err := s.Submit(0, system.Task{Proc: 0, Need: 99}); err == nil {
 		t.Fatal("impossible need accepted")
+	}
+	// Malformed priority classes and preference vectors are rejected with
+	// the typed system.ErrBadTask before shard dispatch: no handle, no
+	// batch slot, nothing for the shard goroutine to clean up.
+	for _, c := range []struct {
+		name string
+		task system.Task
+	}{
+		{"tier below range", system.Task{Proc: 0, Tier: -1}},
+		{"tier above range", system.Task{Proc: 0, Tier: system.MaxTier + 1}},
+		{"negative priority", system.Task{Proc: 0, Priority: -1}},
+		{"oversized priority", system.Task{Proc: 0, Priority: 1 << 30}},
+		{"prefs wrong length", system.Task{Proc: 0, Prefs: []int64{1, 2}}},
+		{"prefs weight out of range", system.Task{Proc: 0, Prefs: func() []int64 {
+			p := make([]int64, 8)
+			p[3] = -4
+			return p
+		}()}},
+	} {
+		h, err := s.Submit(0, c.task)
+		if !errors.Is(err, system.ErrBadTask) {
+			t.Errorf("%s: err = %v, want ErrBadTask", c.name, err)
+		}
+		if h != nil {
+			t.Errorf("%s: got a handle for a rejected task", c.name)
+		}
+	}
+	// A legal tiered task with a full preference vector is accepted.
+	h, err := s.Submit(0, system.Task{Proc: 0, Tier: system.MaxTier, Priority: 7, Prefs: make([]int64, 8)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, h, "legal tiered task")
+	if h.Err() != nil {
+		t.Fatal(h.Err())
+	}
+	if err := s.EndService(h); err != nil {
+		t.Fatal(err)
 	}
 }
 

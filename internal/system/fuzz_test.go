@@ -29,6 +29,9 @@ func FuzzSubmitCycle(f *testing.F) {
 	f.Add([]byte{0x20, 0x60, 0xa0, 0xe0, 0x01, 0x01, 0x01, 0x02, 0x02, 0x03, 0x03})
 	// Fault-heavy seed: submit, cycle, fail link/res, cycle, repair, cycle.
 	f.Add([]byte{0x00, 0x20, 0x01, 0x04, 0x16, 0x01, 0x0c, 0x1e, 0x01, 0x02, 0x03})
+	// Preemption seed: two tiered Need=2 submits, cycles, then 0x47/0x4f
+	// exercise op 7's preempt variant (b&0x40) against both tasks.
+	f.Add([]byte{0x01, 0x40, 0x60, 0x01, 0x02, 0x02, 0x47, 0x01, 0x4f, 0x01, 0x02, 0x03})
 	f.Fuzz(func(t *testing.T, ops []byte) {
 		if len(ops) > 1<<12 {
 			return
@@ -48,8 +51,12 @@ func FuzzSubmitCycle(f *testing.F) {
 		var ids []TaskID
 		for _, b := range ops {
 			switch b & 0x07 {
-			case 0: // Submit(proc, need) from the upper bits
+			case 0: // Submit(proc, need, tier) from the upper bits
 				task := Task{Proc: int(b>>3) & 0x03, Need: int(b>>5) & 0x03}
+				// Fold the payload into a legal tier band so tiered and
+				// untiered tasks mix in one run; the validation gate is
+				// covered separately by TestValidateTaskTable.
+				task.Tier = int(b>>3) % (MaxTier + 1)
 				if id, err := s.Submit(task); err == nil {
 					ids = append(ids, id)
 				}
@@ -84,9 +91,19 @@ func FuzzSubmitCycle(f *testing.F) {
 				} else if _, err := s.FailResource(r); err != nil {
 					t.Fatalf("fail resource %d: %v", r, err)
 				}
-			case 7: // Cancel a fuzzer-chosen task
-				if len(ids) > 0 {
-					_ = s.Cancel(ids[int(b>>3)%len(ids)])
+			case 7: // Cancel — or, with bit 6 set, Preempt — a fuzzer-chosen task
+				if len(ids) == 0 {
+					break
+				}
+				id := ids[int(b>>3)%len(ids)]
+				if b&0x40 != 0 {
+					// Preempt the task's first held unit; errors (not held,
+					// fully provisioned, already serviced) are legal outcomes.
+					if held := s.Holding(id); len(held) > 0 {
+						_ = s.Preempt(id, held[0])
+					}
+				} else {
+					_ = s.Cancel(id)
 				}
 			}
 			checkInvariants(t, s, net, ids)

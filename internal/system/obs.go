@@ -10,6 +10,7 @@ const (
 	evCycle    = "cycle"    // one scheduling cycle ran; Val = units granted
 	evSever    = "sever"    // a circuit was severed; Task, Val = resource
 	evSeverAck = "severack" // EndTransmission acknowledged a sever (retry path)
+	evPreempt  = "preempt"  // a held unit was preempted; Task = victim, Val = resource
 	evUnsat    = "unsat"    // admission rejected a task; Val = its Need
 	evHwFault  = "hwfault"  // a component failed; Val = index, Result = class
 	evHwRepair = "hwrepair" // a component was repaired; Val = index, Result = class
@@ -28,6 +29,7 @@ type sysObs struct {
 	unsat     *obs.Counter
 	severed   *obs.Counter
 	severAcks *obs.Counter
+	preempts  *obs.Counter
 	faultOps  *obs.Counter
 	repairOps *obs.Counter
 
@@ -56,6 +58,7 @@ func newSysObs(reg *obs.Registry, shard int) sysObs {
 		unsat:     reg.Counter("rsin_system_unsat_total"),
 		severed:   reg.Counter("rsin_system_severed_total"),
 		severAcks: reg.Counter("rsin_system_sever_acks_total"),
+		preempts:  reg.Counter("rsin_system_preempts_total"),
 		faultOps:  reg.Counter("rsin_system_fault_ops_total"),
 		repairOps: reg.Counter("rsin_system_repair_ops_total"),
 

@@ -87,13 +87,14 @@ type Config struct {
 	Preferences []int64
 	// Types assigns a resource type per resource (Hetero); nil = all 0.
 	Types []int
-	// ColdSolve disables the incremental warm-start solver for the
-	// MaxFlow discipline, rebuilding the flow network from scratch every
-	// cycle (the pre-warm-start behavior). The default, false, keeps the
-	// previous epoch's residual state in the planner and applies only the
-	// cycle's deltas; the mapping quality is identical (both are optimal
-	// per Theorem 2) — only which optimal assignment gets picked may
-	// differ. Other disciplines ignore this knob.
+	// ColdSolve disables the incremental warm-start solvers, rebuilding
+	// the flow network from scratch every cycle (the pre-warm-start
+	// behavior). The default, false, keeps a persistent arena in the
+	// planner between cycles: residual flow for the MaxFlow discipline,
+	// the previous epoch's simplex basis for MinCost. The mapping quality
+	// is identical either way (every engine is optimal per Theorems 2/3)
+	// — only which equal-objective assignment gets picked may differ.
+	// Other disciplines ignore this knob.
 	ColdSolve bool
 	// FaultHook, when non-nil, is consulted at the named fault points
 	// (FaultCycle, FaultEndTransmission). A non-nil return makes that
@@ -157,10 +158,23 @@ type TaskID int
 // Task is one unit of work requiring Need resources (all of type Type),
 // acquired sequentially.
 type Task struct {
-	Proc     int
+	Proc int
+	// Tier is the task's priority class, 0 (most urgent) through MaxTier.
+	// Under the MinCost discipline tier strictly dominates Priority: any
+	// tier-k request outranks every tier-(k+1) request. Tier also drives
+	// the sched layer's preemption policy (TierWeight).
+	Tier int
+	// Priority is the fine-grain priority within a tier, [0, 2^20).
 	Priority int64
-	Type     int
-	Need     int // resources required; 0 is treated as 1
+	// Prefs optionally weights this task's affinity per resource,
+	// [0, 2^20) each, with exactly one entry per resource. Transformation
+	// 2 prices resources globally per cycle, so the effective preference
+	// of a resource is the configured Config.Preferences level plus the
+	// sum of the requesting tasks' weights for it (see DESIGN.md §13).
+	// Nil means no per-task weighting.
+	Prefs []int64
+	Type  int
+	Need  int // resources required; 0 is treated as 1
 }
 
 type taskState struct {
@@ -208,7 +222,7 @@ type System struct {
 	usableCacheEpoch uint64
 	usableCacheOK    bool
 
-	planner core.Planner // recycled solver buffers for the MaxFlow discipline
+	planner core.Planner // recycled solver arenas (MaxFlow residuals, MinCost warm basis)
 
 	// Observability (zero value = disabled, allocation-free).
 	o          sysObs
@@ -260,6 +274,9 @@ func New(cfg Config) (*System, error) {
 func (s *System) Submit(t Task) (TaskID, error) {
 	if t.Proc < 0 || t.Proc >= s.net.Procs {
 		return 0, fmt.Errorf("system: processor %d out of range", t.Proc)
+	}
+	if err := ValidateTask(t, s.net.Ress); err != nil {
+		return 0, err
 	}
 	if t.Need <= 0 {
 		t.Need = 1
@@ -485,7 +502,7 @@ func (s *System) cycle() (*CycleResult, error) {
 			res.Deferred++
 			continue
 		}
-		reqs = append(reqs, core.Request{Proc: p, Priority: t.task.Priority, Type: t.task.Type})
+		reqs = append(reqs, core.Request{Proc: p, Priority: effectivePriority(t.task), Type: t.task.Type})
 		taskOf[p] = t
 	}
 	var avail []core.Avail
@@ -496,6 +513,14 @@ func (s *System) cycle() (*CycleResult, error) {
 		pref := int64(0)
 		if s.cfg.Preferences != nil {
 			pref = s.cfg.Preferences[r]
+		}
+		// Per-task preference weights aggregate onto the cycle's global
+		// resource preference (Transformation 2 prices each resource once
+		// per cycle; see Task.Prefs).
+		for _, t := range taskOf {
+			if t.task.Prefs != nil {
+				pref += t.task.Prefs[r]
+			}
 		}
 		avail = append(avail, core.Avail{Res: r, Preference: pref, Type: s.resType(r)})
 	}
@@ -514,7 +539,14 @@ func (s *System) cycle() (*CycleResult, error) {
 			m, err = s.planner.ScheduleIncremental(s.net, reqs, avail)
 		}
 	case MinCost:
-		m, err = core.ScheduleMinCost(s.net, reqs, avail)
+		if s.cfg.ColdSolve {
+			m, err = core.ScheduleMinCost(s.net, reqs, avail)
+		} else {
+			// Warm-basis network simplex: the planner keeps the previous
+			// epoch's optimal basis and falls back cold on fault-epoch
+			// changes or divergence (see core.ScheduleMinCostIncremental).
+			m, err = s.planner.ScheduleMinCostIncremental(s.net, reqs, avail)
+		}
 	case Hetero:
 		m, err = core.ScheduleHetero(s.net, reqs, avail, s.cfg.Hetero)
 	case TokenArch:

@@ -1,0 +1,165 @@
+package system
+
+import (
+	"errors"
+	"testing"
+
+	"rsin/internal/topology"
+)
+
+// TestValidateTaskTable pins the typed admission gate for priority
+// classes and preference vectors: every malformed shape is rejected
+// with an error matching ErrBadTask, every legal shape passes, and the
+// same verdicts apply at Submit (so a malformed task never consumes a
+// task ID or a queue slot).
+func TestValidateTaskTable(t *testing.T) {
+	const ress = 4
+	cases := []struct {
+		name string
+		task Task
+		bad  bool
+	}{
+		{"zero value", Task{}, false},
+		{"max tier", Task{Tier: MaxTier}, false},
+		{"tier below range", Task{Tier: -1}, true},
+		{"tier above range", Task{Tier: MaxTier + 1}, true},
+		{"priority max legal", Task{Priority: maxFinePriority - 1}, false},
+		{"priority negative", Task{Priority: -1}, true},
+		{"priority at cap", Task{Priority: maxFinePriority}, true},
+		{"prefs full length", Task{Prefs: make([]int64, ress)}, false},
+		{"prefs short", Task{Prefs: make([]int64, ress-1)}, true},
+		{"prefs long", Task{Prefs: make([]int64, ress+1)}, true},
+		{"prefs empty non-nil", Task{Prefs: []int64{}}, true},
+		{"prefs weight negative", Task{Prefs: []int64{0, -1, 0, 0}}, true},
+		{"prefs weight at cap", Task{Prefs: []int64{0, 0, maxFinePriority, 0}}, true},
+		{"prefs weight max legal", Task{Prefs: []int64{0, 0, maxFinePriority - 1, 0}}, false},
+	}
+	sys, err := New(Config{Net: topology.Crossbar(2, ress), Discipline: MinCost})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range cases {
+		err := ValidateTask(c.task, ress)
+		if c.bad && !errors.Is(err, ErrBadTask) {
+			t.Errorf("%s: ValidateTask = %v, want ErrBadTask", c.name, err)
+		}
+		if !c.bad && err != nil {
+			t.Errorf("%s: ValidateTask = %v, want nil", c.name, err)
+		}
+		before := sys.Pending()
+		_, serr := sys.Submit(c.task)
+		if c.bad {
+			if !errors.Is(serr, ErrBadTask) {
+				t.Errorf("%s: Submit = %v, want ErrBadTask", c.name, serr)
+			}
+			if sys.Pending() != before {
+				t.Errorf("%s: rejected task entered the system", c.name)
+			}
+		} else if serr != nil {
+			t.Errorf("%s: Submit = %v, want nil", c.name, serr)
+		}
+	}
+}
+
+// TestTierWeightMonotone pins the preemption exchange rate: weights are
+// strictly decreasing in tier (the strict-improvement rule depends on
+// it) and out-of-band tiers clamp instead of misbehaving.
+func TestTierWeightMonotone(t *testing.T) {
+	for tier := 0; tier < MaxTier; tier++ {
+		if TierWeight(tier) <= TierWeight(tier+1) {
+			t.Fatalf("TierWeight(%d)=%d not greater than TierWeight(%d)=%d",
+				tier, TierWeight(tier), tier+1, TierWeight(tier+1))
+		}
+	}
+	if TierWeight(MaxTier) != 1 {
+		t.Fatalf("TierWeight(MaxTier) = %d, want 1", TierWeight(MaxTier))
+	}
+	if TierWeight(-5) != TierWeight(0) || TierWeight(MaxTier+5) != TierWeight(MaxTier) {
+		t.Fatal("out-of-band tiers must clamp")
+	}
+}
+
+// TestEffectivePriorityTierDominates: any tier-k request outranks every
+// tier-(k+1) request regardless of fine-grain priorities — the packing
+// invariant the MinCost solve and the preemption rule both lean on.
+func TestEffectivePriorityTierDominates(t *testing.T) {
+	for tier := 0; tier < MaxTier; tier++ {
+		lo := effectivePriority(Task{Tier: tier, Priority: 0})
+		hi := effectivePriority(Task{Tier: tier + 1, Priority: maxFinePriority - 1})
+		if lo <= hi {
+			t.Fatalf("tier %d floor %d does not dominate tier %d ceiling %d", tier, lo, tier+1, hi)
+		}
+	}
+}
+
+// TestPreemptValidation covers the primitive's error surface and the
+// provisioned-holder immunity rule.
+func TestPreemptValidation(t *testing.T) {
+	sys, err := New(Config{Net: topology.Crossbar(2, 2), Discipline: MinCost})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Preempt(99, 0); err == nil {
+		t.Fatal("unknown task accepted")
+	}
+	id, err := sys.Submit(Task{Proc: 0, Need: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Preempt(id, -1); err == nil {
+		t.Fatal("resource out of range accepted")
+	}
+	if err := sys.Preempt(id, 0); err == nil {
+		t.Fatal("preempting a resource the task does not hold accepted")
+	}
+	if _, err := sys.Cycle(); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.EndTransmission(0); err != nil {
+		t.Fatal(err)
+	}
+	held := sys.Holding(id)
+	if len(held) != 1 {
+		t.Fatalf("holding %v", held)
+	}
+	// Fully provisioned (Need 1, holds 1): immune.
+	if err := sys.Preempt(id, held[0]); err == nil {
+		t.Fatal("fully provisioned holder preempted")
+	}
+}
+
+// TestQueueHead pins the accessor the sched preemption policy uses to
+// pick beneficiaries.
+func TestQueueHead(t *testing.T) {
+	sys, err := New(Config{Net: topology.Crossbar(2, 2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sys.QueueHead(0); got != -1 {
+		t.Fatalf("empty queue head = %d, want -1", got)
+	}
+	if got := sys.QueueHead(-1); got != -1 {
+		t.Fatalf("out-of-range head = %d, want -1", got)
+	}
+	id, err := sys.Submit(Task{Proc: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	id2, err := sys.Submit(Task{Proc: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sys.QueueHead(0); got != id {
+		t.Fatalf("head = %d, want first submission %d", got, id)
+	}
+	if _, err := sys.Cycle(); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.EndTransmission(0); err != nil {
+		t.Fatal(err)
+	}
+	// The provisioned head left the queue; the second task moves up.
+	if got := sys.QueueHead(0); got != id2 {
+		t.Fatalf("head after provisioning = %d, want %d", got, id2)
+	}
+}

@@ -100,7 +100,20 @@ const (
 	// AvoidanceBankers admits multi-resource requests only while a safe
 	// completion order remains.
 	AvoidanceBankers = system.AvoidanceBankers
+
+	// MaxTier is the least-urgent priority class accepted in
+	// SystemTask.Tier (tier 0 is the most urgent). Out-of-range tiers are
+	// rejected at Submit with ErrBadTask.
+	MaxTier = system.MaxTier
 )
+
+// TierWeight is the weighted-value exchange rate of a priority class:
+// strictly decreasing in tier, so granting one tier-k request is worth
+// more than granting every request of the tiers below it. The MinCost
+// discipline maximizes total TierWeight-weighted value each cycle, and
+// the Scheduler's preemption rule (SchedulerConfig.Preempt) only severs
+// a lower-tier circuit when that strictly improves it.
+var TierWeight = system.TierWeight
 
 // NewSystem constructs a System (see internal/system for the life cycle).
 var NewSystem = system.New
@@ -131,6 +144,11 @@ var (
 	// re-requests automatically); a Scheduler fails a handle with it only
 	// after the task exceeded its sever-retry budget.
 	ErrCircuitSevered = system.ErrCircuitSevered
+	// ErrBadTask is wrapped by Submit when a task is malformed — a tier
+	// outside [0, MaxTier], a fine-grain Priority outside its legal band,
+	// or a Prefs vector whose length or weights don't fit the fabric.
+	// Rejection happens before the task consumes an ID or a queue slot.
+	ErrBadTask = system.ErrBadTask
 )
 
 // Topology constructors (see internal/topology for the full set).
