@@ -25,10 +25,16 @@ race:
 
 # Warm-solver pivot ratchet plus the three-engine min-cost cross-check:
 # the warm network simplex must pivot strictly less than cold on the
-# reference trace, and out-of-kilter / SSP / simplex must agree.
+# reference trace, and out-of-kilter / SSP / simplex must agree. The ops
+# ratchet holds arc scans per granted task on the pinned warm-cold trace
+# within 10% of the recorded baseline (the counters are deterministic,
+# so the threshold is absolute), and the parity test pins the counting
+# convention itself.
 ratchet:
 	$(GO) test -run 'TestWarmSimplexPivotRatchet|TestMinCostIncremental' ./internal/core
 	$(GO) test -run 'TestQuickCrossSolver|TestNegativeCostRegressions' ./internal/netsimplex
+	$(GO) test -run 'TestOpsCounterParity' ./internal/maxflow
+	$(GO) test -run 'TestOpsGateRatchet' ./cmd/rsinbench
 
 # The instrumentation hot path must not allocate (disabled or enabled);
 # CI runs the same guard.
@@ -36,9 +42,10 @@ allocguard:
 	$(GO) test -run 'TestDisabledObsAllocFree|TestNilInstruments|TestLiveInstrumentsAllocFree' ./internal/sched ./internal/obs
 
 # Machine-readable scheduling-service benchmark (see EXPERIMENTS.md for
-# the BENCH_sched.json format), with the warm-start and tier-0 QoS gates.
+# the BENCH_sched.json format), with the warm-start, tier-0 QoS and
+# solver-cost gates.
 schedbench:
-	$(GO) run ./cmd/rsinbench -sched -gatewarm -gatetier -json BENCH_sched.json
+	$(GO) run ./cmd/rsinbench -sched -gatewarm -gatetier -gateops -json BENCH_sched.json
 
 # lint/vuln need staticcheck / govulncheck on PATH (CI installs them);
 # they are not part of `all` so an offline checkout still builds.

@@ -27,11 +27,12 @@ func main() {
 		jsonOut  = flag.String("json", "", "with -sched: write the machine-readable report (BENCH_sched.json) here")
 		gateWarm = flag.Bool("gatewarm", false, "with -sched: fail unless the warm-start solver does no more work than the cold solver")
 		gateTier = flag.Bool("gatetier", false, "with -sched: fail unless tier-0 p99 beats the untiered baseline p99 on the contended comparison load")
+		gateOps  = flag.Bool("gateops", false, "with -sched: fail if arc scans per granted task on the pinned ops-gate trace regress >10% over the recorded baseline")
 	)
 	flag.Parse()
 
 	if *schedRun {
-		if err := runSchedBench(*seed, *smoke, *gateWarm, *gateTier, *jsonOut); err != nil {
+		if err := runSchedBench(*seed, *smoke, *gateWarm, *gateTier, *gateOps, *jsonOut); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}

@@ -22,7 +22,29 @@ import (
 // section and the warm-start counters inside sched_stats; v3 added the
 // tiered section (the SLO-tier comparison with per-tier p50/p99 against
 // an untiered baseline) and the Preempts counter inside sched_stats.
-const schedBenchSchema = "rsin-bench-sched/v3"
+// v4 fixed the measured window (warmup barrier, chaos off the timing
+// goroutine), made empty tiered percentiles null instead of zero, and
+// added ops_per_task plus the deterministic ops_gate section that the
+// -gateops ratchet enforces.
+const schedBenchSchema = "rsin-bench-sched/v4"
+
+// The ops gate solves one pinned warm-cold trace — pure computation on a
+// seeded RNG, so its counters are bit-identical on every machine and the
+// ratchet can use absolute thresholds. The baseline is the value
+// recorded by the CSR arena + routing fast path on this trace
+// (10339 arc scans / 1034 grants); the pre-optimization solver measured
+// 35.56 arc scans per grant on the identical trace (32602/917 — the
+// grant count differs because assignment choice shifts the evolution),
+// so the baseline itself is the 3.6x win. -gateops fails a run more
+// than 10% over baseline, or one that stopped using the fast path.
+const (
+	opsGateSeed  = 1
+	opsGateN     = 16
+	opsGateSteps = 600
+
+	opsGateBaselineArcScansPerGrant = 10.0
+	opsGateSlack                    = 1.10
+)
 
 // schedBenchConfig records the load shape a run used, so a BENCH file is
 // self-describing.
@@ -32,6 +54,7 @@ type schedBenchConfig struct {
 	Shards   int    `json:"shards"`
 	Clients  int    `json:"clients"`
 	Tasks    int    `json:"tasks_per_client"`
+	Warmup   int    `json:"warmup_per_client"`
 	Need     int    `json:"need"`
 	Faults   int    `json:"fault_heal_pairs"`
 	Seed     int64  `json:"seed"`
@@ -41,6 +64,9 @@ type schedBenchConfig struct {
 // schedBenchReport is the machine-readable result written to -json: wall
 // time, throughput, end-to-end latency percentiles, the scheduler's own
 // counters and the full observability snapshot (metrics registry dump).
+// WallSecs, Throughput, LatencyMS and OpsPerTask cover the measured
+// window only — every client has finished its warmup tasks before the
+// clock starts — while Sched and Obs are cumulative over the process.
 type schedBenchReport struct {
 	Schema     string             `json:"schema"`
 	GoVersion  string             `json:"go_version"`
@@ -51,11 +77,19 @@ type schedBenchReport struct {
 	Completed  int                `json:"tasks_completed"`
 	Throughput float64            `json:"tasks_per_second"`
 	LatencyMS  map[string]float64 `json:"latency_ms"`
-	Sched      sched.Stats        `json:"sched_stats"`
+	// OpsPerTask is the solver work (arc scans + node visits, the §IV
+	// monitor cost model) spent inside the measured window divided by
+	// the tasks completed in it.
+	OpsPerTask float64     `json:"ops_per_task"`
+	Sched      sched.Stats `json:"sched_stats"`
 	// WarmCold is the deterministic cold-vs-warm solver comparison: the
 	// same steady-state trace solved by both paths, operation counters
 	// side by side (see cmd/rsinbench/warmcold.go).
 	WarmCold warmColdReport `json:"warm_cold"`
+	// OpsGate is the pinned ratchet trace (always seed=1, omega(16),
+	// 600 steps, in smoke and full runs alike) whose arc_scans_per_grant
+	// the -gateops flag checks against the recorded baseline.
+	OpsGate warmColdReport `json:"ops_gate"`
 	// Tiered is the SLO-tier comparison: one contended workload driven
 	// untiered (baseline) and tiered (min-cost + preemption), per-tier
 	// latency percentiles side by side (see cmd/rsinbench/tiered.go).
@@ -64,22 +98,29 @@ type schedBenchReport struct {
 }
 
 // runSchedBench drives the batched scheduling service at load — including
-// a deterministic fail→heal hardware chaos pass — runs the cold-vs-warm
-// solver trace, and writes the machine-readable report to jsonPath
-// ("" = stdout only prints the summary lines). smoke shrinks the run for
-// CI. gateWarm turns the comparison into a regression gate: the run
-// fails unless the warm path's solve work (arc scans + node visits) is
-// no worse than the cold path's on the steady-state trace. gateTier does
-// the same for the QoS claim: tier 0's p99 in the tiered comparison must
-// not exceed the untiered baseline's p99 on the identical load.
-func runSchedBench(seed int64, smoke, gateWarm, gateTier bool, jsonPath string) error {
+// a deterministic fail→heal hardware chaos pass inside the measured
+// window — runs the cold-vs-warm solver trace and the pinned ops-gate
+// trace, and writes the machine-readable report to jsonPath ("" = stdout
+// only prints the summary lines). smoke shrinks the run for CI.
+//
+// The gates turn sections of the report into regression checks:
+//   - gateWarm: the warm path's solve work (arc scans + node visits)
+//     must be no worse than the cold path's on the steady-state trace.
+//   - gateTier: tier 0's p99 in the tiered comparison must not exceed
+//     the untiered baseline's p99 on the identical load; missing
+//     percentile data (an empty bin) fails the gate rather than
+//     passing it vacuously.
+//   - gateOps: arc scans per granted task on the pinned ops-gate trace
+//     must stay within 10% of the recorded baseline, with the routing
+//     fast path still carrying grants.
+func runSchedBench(seed int64, smoke, gateWarm, gateTier, gateOps bool, jsonPath string) error {
 	cfg := schedBenchConfig{
 		Topology: "omega", N: 64, Shards: 2,
-		Clients: 64, Tasks: 200, Need: 1, Faults: 16,
+		Clients: 64, Tasks: 200, Warmup: 20, Need: 1, Faults: 16,
 		Seed: seed, Smoke: smoke,
 	}
 	if smoke {
-		cfg.N, cfg.Shards, cfg.Clients, cfg.Tasks, cfg.Faults = 16, 1, 8, 40, 4
+		cfg.N, cfg.Shards, cfg.Clients, cfg.Tasks, cfg.Warmup, cfg.Faults = 16, 1, 8, 40, 5, 4
 	}
 
 	reg := obs.NewRegistry()
@@ -93,15 +134,33 @@ func runSchedBench(seed int64, smoke, gateWarm, gateTier bool, jsonPath string) 
 	}
 	defer s.Close()
 
+	// Warmup then barrier: every client runs cfg.Warmup unmeasured tasks
+	// (arena builds, routing tables, scheduler queues all reach steady
+	// state), parks on startCh, and only then does the wall clock start.
+	// Earlier versions started the clock before the goroutines launched
+	// and ran the chaos loop — 1ms sleep per fault — on the timing
+	// goroutine, so ramp-up and chaos pacing both inflated wall time and
+	// depressed the reported throughput.
 	latencies := make([][]float64, cfg.Clients)
-	var wg sync.WaitGroup
-	start := time.Now()
+	startCh := make(chan struct{})
+	var ready, wg sync.WaitGroup
 	for c := 0; c < cfg.Clients; c++ {
+		ready.Add(1)
 		wg.Add(1)
 		go func(c int) {
 			defer wg.Done()
 			shard := c % cfg.Shards
 			task := system.Task{Proc: (c / cfg.Shards) % cfg.N, Need: cfg.Need}
+			for i := 0; i < cfg.Warmup; i++ {
+				if h, err := s.Submit(shard, task); err == nil {
+					<-h.Done()
+					if h.Err() == nil {
+						_ = s.EndService(h)
+					}
+				}
+			}
+			ready.Done()
+			<-startCh
 			lat := make([]float64, 0, cfg.Tasks)
 			for i := 0; i < cfg.Tasks; i++ {
 				t0 := time.Now()
@@ -119,20 +178,32 @@ func runSchedBench(seed int64, smoke, gateWarm, gateTier bool, jsonPath string) 
 			latencies[c] = lat
 		}(c)
 	}
-	// Deterministic chaos alongside the load: fail a random link, let the
-	// fabric schedule degraded briefly, heal it.
-	rng := rand.New(rand.NewSource(seed))
-	nLinks := len(scfg.Shards[0].Net.Links)
-	for f := 0; f < cfg.Faults; f++ {
-		shard, link := rng.Intn(cfg.Shards), rng.Intn(nLinks)
-		if err := s.FailLink(shard, link); err != nil {
-			continue
+	ready.Wait()
+	pre := s.Stats()
+	start := time.Now()
+	close(startCh)
+
+	// Deterministic chaos alongside the load, on its own goroutine: fail
+	// a random link, let the fabric schedule degraded briefly, heal it.
+	// The clients' completion alone stops the clock.
+	chaosDone := make(chan struct{})
+	go func() {
+		defer close(chaosDone)
+		rng := rand.New(rand.NewSource(seed))
+		nLinks := len(scfg.Shards[0].Net.Links)
+		for f := 0; f < cfg.Faults; f++ {
+			shard, link := rng.Intn(cfg.Shards), rng.Intn(nLinks)
+			if err := s.FailLink(shard, link); err != nil {
+				continue
+			}
+			time.Sleep(time.Millisecond)
+			_ = s.RepairLink(shard, link)
 		}
-		time.Sleep(time.Millisecond)
-		_ = s.RepairLink(shard, link)
-	}
+	}()
 	wg.Wait()
 	wall := time.Since(start)
+	post := s.Stats()
+	<-chaosDone
 
 	wcN, wcSteps := 32, 4000
 	if smoke {
@@ -141,6 +212,10 @@ func runSchedBench(seed int64, smoke, gateWarm, gateTier bool, jsonPath string) 
 	wc, err := runWarmColdTrace(seed, wcN, wcSteps)
 	if err != nil {
 		return fmt.Errorf("warm-cold trace: %w", err)
+	}
+	og, err := runWarmColdTrace(opsGateSeed, opsGateN, opsGateSteps)
+	if err != nil {
+		return fmt.Errorf("ops-gate trace: %w", err)
 	}
 	tiered, err := runTieredComparison(smoke)
 	if err != nil {
@@ -152,6 +227,11 @@ func runSchedBench(seed int64, smoke, gateWarm, gateTier bool, jsonPath string) 
 		all = append(all, lat...)
 	}
 	qs := stats.Percentiles(all, 0.50, 0.90, 0.99, 1)
+	opsPerTask := 0.0
+	if len(all) > 0 {
+		work := (post.Ops.ArcScans - pre.Ops.ArcScans) + (post.Ops.NodeVisits - pre.Ops.NodeVisits)
+		opsPerTask = float64(work) / float64(len(all))
+	}
 	rep := schedBenchReport{
 		Schema:     schedBenchSchema,
 		GoVersion:  runtime.Version(),
@@ -162,22 +242,26 @@ func runSchedBench(seed int64, smoke, gateWarm, gateTier bool, jsonPath string) 
 		Completed:  len(all),
 		Throughput: float64(len(all)) / wall.Seconds(),
 		LatencyMS:  map[string]float64{"p50": qs[0], "p90": qs[1], "p99": qs[2], "max": qs[3]},
+		OpsPerTask: opsPerTask,
 		Sched:      s.Stats(),
 		WarmCold:   wc,
+		OpsGate:    og,
 		Tiered:     tiered,
 		Obs:        reg.Snapshot(),
 	}
 
-	fmt.Printf("sched bench   %d shard(s) x omega(%d): %d tasks in %v (%.0f tasks/s, p99=%.3fms, faults=%d severed=%d)\n",
+	fmt.Printf("sched bench   %d shard(s) x omega(%d): %d tasks in %v (%.0f tasks/s, p99=%.3fms, %.1f ops/task, faults=%d severed=%d)\n",
 		cfg.Shards, cfg.N, rep.Completed, wall.Round(time.Millisecond), rep.Throughput,
-		rep.LatencyMS["p99"], rep.Sched.LinkFaults, rep.Sched.Severed)
+		rep.LatencyMS["p99"], rep.OpsPerTask, rep.Sched.LinkFaults, rep.Sched.Severed)
 	fmt.Printf("warm vs cold  omega(%d) x %d steps: warm work %d, cold work %d (ratio %.3f, %d warm solves, %d cold rebuilds, %d retractions)\n",
 		wc.N, wc.SolvedSteps, wc.WarmWork, wc.ColdWork, wc.WorkRatio,
 		wc.WarmSolves, wc.ColdRebuilds, wc.Retractions)
-	fmt.Printf("tiered qos    crossbar(%dx%d) %d clients x %d tiers: tier0 p99=%.3fms vs untiered p99=%.3fms (tier%d p99=%.3fms, preempts=%d)\n",
+	fmt.Printf("ops gate      omega(%d) x %d steps: %.2f arc scans/grant (baseline %.2f, fast paths %d of %d grants)\n",
+		og.N, og.Steps, og.ArcScansPerGrant, opsGateBaselineArcScansPerGrant, og.FastPaths, og.Granted)
+	fmt.Printf("tiered qos    crossbar(%dx%d) %d clients x %d tiers: tier0 p99=%s vs untiered p99=%s (tier%d p99=%s, preempts=%d)\n",
 		tiered.Procs, tiered.Ress, tiered.Clients, tiered.Tiers,
-		tiered.PerTier[0].P99, tiered.BaselineP99,
-		tiered.Tiers-1, tiered.PerTier[tiered.Tiers-1].P99, tiered.Preempts)
+		ms(tiered.PerTier[0].P99), ms(tiered.BaselineP99),
+		tiered.Tiers-1, ms(tiered.PerTier[tiered.Tiers-1].P99), tiered.Preempts)
 	if jsonPath != "" {
 		data, err := json.MarshalIndent(rep, "", "  ")
 		if err != nil {
@@ -191,9 +275,28 @@ func runSchedBench(seed int64, smoke, gateWarm, gateTier bool, jsonPath string) 
 		return fmt.Errorf("warm-start gate: warm solve work %d exceeds cold %d (ratio %.3f) on the steady-state trace",
 			wc.WarmWork, wc.ColdWork, wc.WorkRatio)
 	}
-	if gateTier && tiered.PerTier[0].P99 > tiered.BaselineP99 {
-		return fmt.Errorf("tier gate: tier-0 p99 %.3fms exceeds the untiered baseline p99 %.3fms on the contended comparison load",
-			tiered.PerTier[0].P99, tiered.BaselineP99)
+	if gateTier {
+		if len(tiered.PerTier) == 0 || tiered.PerTier[0].P99 == nil || tiered.BaselineP99 == nil {
+			return fmt.Errorf("tier gate: percentile data missing (tier-0 p99 %s, untiered baseline p99 %s) — an empty bin must fail the gate, not pass it",
+				ms(tiered.PerTier[0].P99), ms(tiered.BaselineP99))
+		}
+		if *tiered.PerTier[0].P99 > *tiered.BaselineP99 {
+			return fmt.Errorf("tier gate: tier-0 p99 %.3fms exceeds the untiered baseline p99 %.3fms on the contended comparison load",
+				*tiered.PerTier[0].P99, *tiered.BaselineP99)
+		}
+	}
+	if gateOps {
+		limit := opsGateBaselineArcScansPerGrant * opsGateSlack
+		if og.Granted == 0 {
+			return fmt.Errorf("ops gate: the pinned trace granted nothing (solved %d steps)", og.SolvedSteps)
+		}
+		if og.ArcScansPerGrant > limit {
+			return fmt.Errorf("ops gate: %.2f arc scans/grant exceeds %.2f (baseline %.2f +10%%) on the pinned trace",
+				og.ArcScansPerGrant, limit, opsGateBaselineArcScansPerGrant)
+		}
+		if og.FastPaths == 0 {
+			return fmt.Errorf("ops gate: the routing fast path carried no grants on the pinned trace (%d granted)", og.Granted)
+		}
 	}
 	return nil
 }

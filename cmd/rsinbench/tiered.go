@@ -12,21 +12,25 @@ import (
 )
 
 // tierLatency is one priority class's end-to-end latency distribution in
-// the tiered comparison run.
+// the tiered comparison run. The percentiles are pointers: a class that
+// produced no samples (every client aborted, or the class has no clients
+// at this load shape) reports null, never a zero that could masquerade
+// as sub-millisecond latency downstream.
 type tierLatency struct {
-	Tier int     `json:"tier"`
-	N    int     `json:"n"`
-	P50  float64 `json:"p50_ms"`
-	P99  float64 `json:"p99_ms"`
+	Tier int      `json:"tier"`
+	N    int      `json:"n"`
+	P50  *float64 `json:"p50_ms"`
+	P99  *float64 `json:"p99_ms"`
 }
 
-// tieredReport is the SLO-tier section of BENCH_sched.json (schema v3):
+// tieredReport is the SLO-tier section of BENCH_sched.json (schema v4):
 // the same contended workload driven twice — once untiered under the
 // max-flow discipline (the baseline) and once with the clients spread
 // across every priority class under min-cost + preemption — with the
 // per-tier percentiles side by side. The QoS claim the -gatetier CI
 // smoke enforces: tier 0's p99 must not exceed the untiered baseline's
-// p99 on the identical load.
+// p99 on the identical load. Missing percentiles (empty bins) fail the
+// gate instead of passing it vacuously.
 type tieredReport struct {
 	Topology    string        `json:"topology"`
 	Procs       int           `json:"procs"`
@@ -35,10 +39,47 @@ type tieredReport struct {
 	Tasks       int           `json:"tasks_per_client"`
 	Tiers       int           `json:"tiers"`
 	Preempt     bool          `json:"preempt"`
-	BaselineP50 float64       `json:"untiered_p50_ms"`
-	BaselineP99 float64       `json:"untiered_p99_ms"`
+	BaselineP50 *float64      `json:"untiered_p50_ms"`
+	BaselineP99 *float64      `json:"untiered_p99_ms"`
 	PerTier     []tierLatency `json:"per_tier"`
 	Preempts    int64         `json:"preempts"`
+}
+
+// quantilePtr is Quantile with an honest empty case: nil when there are
+// no samples, instead of the zero stats.Percentiles would fabricate.
+func quantilePtr(samples []float64, q float64) *float64 {
+	if len(samples) == 0 {
+		return nil
+	}
+	v := stats.Quantile(samples, q)
+	return &v
+}
+
+// ms renders a nullable millisecond quantile for the summary lines.
+func ms(v *float64) string {
+	if v == nil {
+		return "n/a"
+	}
+	return fmt.Sprintf("%.3fms", *v)
+}
+
+// tierBins groups the per-client latency series by priority class
+// (client c is in class c mod tiers) and computes each class's
+// percentiles. Aborted clients leave nil rows; a class whose rows are
+// all empty gets N=0 and nil percentiles.
+func tierBins(perClient [][]float64, clients, tiers int) []tierLatency {
+	bins := make([]tierLatency, 0, tiers)
+	for tier := 0; tier < tiers; tier++ {
+		var lat []float64
+		for c := tier; c < clients; c += tiers {
+			lat = append(lat, perClient[c]...)
+		}
+		bins = append(bins, tierLatency{
+			Tier: tier, N: len(lat),
+			P50: quantilePtr(lat, 0.50), P99: quantilePtr(lat, 0.99),
+		})
+	}
+	return bins
 }
 
 // runTieredComparison measures what the priority tiers buy. The fabric is
@@ -66,8 +107,8 @@ func runTieredComparison(smoke bool) (tieredReport, error) {
 	for _, lat := range basePerClient {
 		baseLat = append(baseLat, lat...)
 	}
-	qs := stats.Percentiles(baseLat, 0.50, 0.99)
-	rep.BaselineP50, rep.BaselineP99 = qs[0], qs[1]
+	rep.BaselineP50 = quantilePtr(baseLat, 0.50)
+	rep.BaselineP99 = quantilePtr(baseLat, 0.99)
 
 	// Tiered run: identical load, min-cost discipline, client c in
 	// class c mod tiers, preemption armed.
@@ -76,14 +117,7 @@ func runTieredComparison(smoke bool) (tieredReport, error) {
 		return rep, fmt.Errorf("tiered run: %w", err)
 	}
 	rep.Preempts = st.Preempts
-	for tier := 0; tier < rep.Tiers; tier++ {
-		var lat []float64
-		for c := tier; c < rep.Clients; c += rep.Tiers {
-			lat = append(lat, tierPerClient[c]...)
-		}
-		tq := stats.Percentiles(lat, 0.50, 0.99)
-		rep.PerTier = append(rep.PerTier, tierLatency{Tier: tier, N: len(lat), P50: tq[0], P99: tq[1]})
-	}
+	rep.PerTier = tierBins(tierPerClient, rep.Clients, rep.Tiers)
 	return rep, nil
 }
 

@@ -25,11 +25,17 @@ type warmColdReport struct {
 	ColdRebuilds int              `json:"cold_rebuilds"` // warm-path arena builds/fallbacks
 	Retractions  int              `json:"retractions"`
 	ArcsTouched  int              `json:"arcs_touched"`
+	Granted      int              `json:"granted"`    // tasks the warm path allocated
+	FastPaths    int              `json:"fast_paths"` // grants via the routing fast path
 	WarmOps      maxflow.Counters `json:"warm_ops"`
 	ColdOps      maxflow.Counters `json:"cold_ops"`
 	WarmWork     int              `json:"warm_work"`
 	ColdWork     int              `json:"cold_work"`
 	WorkRatio    float64          `json:"warm_over_cold"`
+	// ArcScansPerGrant is the warm path's arc scans divided by its
+	// granted tasks: the per-task solver cost the -gateops ratchet
+	// tracks (EXPERIMENTS.md, schema v4).
+	ArcScansPerGrant float64 `json:"arc_scans_per_grant"`
 }
 
 // runWarmColdTrace drives a steady-state arrival/release trace with
@@ -118,6 +124,8 @@ func runWarmColdTrace(seed int64, n, steps int) (warmColdReport, error) {
 		}
 		rep.Retractions += wm.Solve.Retractions
 		rep.ArcsTouched += wm.Solve.ArcsTouched
+		rep.Granted += wm.Allocated()
+		rep.FastPaths += wm.Solve.FastPaths
 		rep.WarmOps.Add(maxflow.Counters{
 			Augmentations: wm.Ops.Augmentations, Phases: wm.Ops.Phases,
 			ArcScans: wm.Ops.ArcScans, NodeVisits: wm.Ops.NodeVisits,
@@ -141,6 +149,9 @@ func runWarmColdTrace(seed int64, n, steps int) (warmColdReport, error) {
 	rep.ColdWork = rep.ColdOps.ArcScans + rep.ColdOps.NodeVisits
 	if rep.ColdWork > 0 {
 		rep.WorkRatio = float64(rep.WarmWork) / float64(rep.ColdWork)
+	}
+	if rep.Granted > 0 {
+		rep.ArcScansPerGrant = float64(rep.WarmOps.ArcScans) / float64(rep.Granted)
 	}
 	return rep, nil
 }

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"rsin/internal/bitset"
 	"rsin/internal/maxflow"
 	"rsin/internal/topology"
 )
@@ -28,6 +29,11 @@ type SolveStats struct {
 	// walked back: units released by EndTransmission/EndService/Cancel
 	// or severed by hardware faults since the previous epoch.
 	Retractions int `json:"retractions,omitempty"`
+	// FastPaths counts requests granted by the combinatorial routing
+	// fast path — a candidate path from the topology's routing table
+	// committed without a flow search. The remainder of the epoch's
+	// grants went through Augment's residual search.
+	FastPaths int `json:"fast_paths,omitempty"`
 }
 
 // standingCircuit is a circuit granted by an earlier incremental solve
@@ -41,34 +47,72 @@ type standingCircuit struct {
 }
 
 // incState is the planner's persistent warm-start state: the arena, the
-// fixed arc numbering against one topology.Network, capacity mirrors and
-// the standing circuits of previous epochs.
+// fixed arc numbering against one topology.Network, the routing table for
+// the combinatorial fast path, and the standing circuits of previous
+// epochs.
 type incState struct {
 	net   *topology.Network // identity: the fabric the arena was built for
 	epoch uint64            // fault epoch at the last sync (diagnostic)
 
 	w *maxflow.Warm
-	// Arc numbering: arc p in [0,Procs) is the source arc of processor
-	// p, arc Procs+r the sink arc of resource r, arc Procs+Ress+l the
-	// arc of link l. Node numbering: 0 source, 1 sink, 2+b per box,
-	// 2+Boxes+p per processor, 2+Boxes+Procs+r per resource.
+	// Arc numbering: arc l in [0,Links) is the arc of link l — link
+	// arcs come first so the per-epoch want words below line up with
+	// whole bitset words — then arc Links+p is the source arc of
+	// processor p and arc Links+Procs+r the sink arc of resource r.
+	// Node numbering: 0 source, 1 sink, 2+b per box, 2+Boxes+p per
+	// processor, 2+Boxes+Procs+r per resource.
 	procs, ress, links int
+
+	// rt is the network's combinatorial routing table, nil when the
+	// fabric has too many paths per pair to enumerate (then every
+	// request takes the flow search).
+	rt *topology.RoutingTable
+	// pathWords[pathWordOff[j]:pathWordOff[j+1]] is routing path j's
+	// interior (link arcs only) as word-granular masks — precomputable
+	// because link arcs sit at the bottom of the arc id space, aligned
+	// with the state words. A grant-time probe ORs in the request's
+	// source and sink bits and costs a few word ops total.
+	pathWordOff []int32
+	pathWords   []maxflow.PathWord
 
 	standing []standingCircuit // by processor; nil arcs = none
 
-	reqMark   []bool // scratch: processor requests this epoch
-	availMark []bool // scratch: resource free this epoch
+	// Blocked-request certificates: after a solve with failed searches,
+	// every blocked processor shares the solve's one cut of the final
+	// retired region (maxflow.Cut). While the cut still checks out
+	// against live arena state, a repeat request from p is provably
+	// still blocked for a few word ops instead of a re-search. certGen
+	// tags which build a processor's cert came from, so one solve checks
+	// each shared cut at most once between state changes.
+	cert    []maxflow.Cut
+	hasCert []bool
+	certGen []uint64
+	cutSeq  uint64
+
+	reqMark   []bool             // scratch: processor requests this epoch
+	availMark []bool             // scratch: resource free this epoch
+	want      bitset.Bits        // scratch: per-arc desired membership this epoch
+	wordBuf   []maxflow.PathWord // scratch: fast-path candidate words
+
+	// Per-request residual-word cache: fastPath fetches each state word
+	// from the arena at most once per request (one counted ResidualWord),
+	// then tests source, sink, and candidate-path bits against the local
+	// copy for free — the same word-reuse a hardware monitor register
+	// gets. probeGen stamps the cache so invalidation is O(1) per request.
+	probeGen uint32
+	wordGen  []uint32
+	wordVal  []uint64
 }
 
-func (st *incState) srcArc(p int) int  { return p }
-func (st *incState) snkArc(r int) int  { return st.procs + r }
-func (st *incState) linkArc(l int) int { return st.procs + st.ress + l }
+func (st *incState) linkArc(l int) int { return l }
+func (st *incState) srcArc(p int) int  { return st.links + p }
+func (st *incState) snkArc(r int) int  { return st.links + st.procs + r }
 
-// linkOfArc inverts linkArc; negative for source/sink arcs.
-func (st *incState) linkOfArc(a int) int { return a - st.procs - st.ress }
+// linkOfArc inverts linkArc; out of range for source/sink arcs.
+func (st *incState) linkOfArc(a int) int { return a }
 
 // resOfSnk inverts snkArc.
-func (st *incState) resOfSnk(a int) int { return a - st.procs }
+func (st *incState) resOfSnk(a int) int { return a - st.links - st.procs }
 
 // newIncState builds the arena for a network: every processor, resource,
 // switchbox, and link gets its node/arc up front, all arcs disabled. The
@@ -81,7 +125,11 @@ func newIncState(net *topology.Network) *incState {
 		procs:     net.Procs,
 		ress:      net.Ress,
 		links:     len(net.Links),
+		rt:        topology.NewRoutingTable(net),
 		standing:  make([]standingCircuit, net.Procs),
+		cert:      make([]maxflow.Cut, net.Procs),
+		hasCert:   make([]bool, net.Procs),
+		certGen:   make([]uint64, net.Procs),
 		reqMark:   make([]bool, net.Procs),
 		availMark: make([]bool, net.Ress),
 	}
@@ -98,16 +146,44 @@ func newIncState(net *topology.Network) *incState {
 		}
 	}
 	st.w = maxflow.NewWarm(2+nBoxes+st.procs+st.ress, 0, 1)
+	for _, l := range net.Links {
+		st.w.AddArc(nodeOf(l.From), nodeOf(l.To))
+	}
 	for p := 0; p < st.procs; p++ {
 		st.w.AddArc(0, procNode(p))
 	}
 	for r := 0; r < st.ress; r++ {
 		st.w.AddArc(resNode(r), 1)
 	}
-	for _, l := range net.Links {
-		st.w.AddArc(nodeOf(l.From), nodeOf(l.To))
+	st.want = make(bitset.Bits, st.w.ArcWords())
+	st.wordGen = make([]uint32, st.w.ArcWords())
+	st.wordVal = make([]uint64, st.w.ArcWords())
+	if st.rt != nil {
+		st.pathWordOff = make([]int32, 1, st.rt.NumPaths()+1)
+		for j := 0; j < st.rt.NumPaths(); j++ {
+			start := len(st.pathWords)
+			for _, lid := range st.rt.PathLinks(int32(j)) {
+				st.pathWords = appendPathBit(st.pathWords, start, st.linkArc(int(lid)))
+			}
+			st.pathWordOff = append(st.pathWordOff, int32(len(st.pathWords)))
+		}
 	}
 	return st
+}
+
+// appendPathBit ORs arc a into the path word run words[start:],
+// appending a new word when a's state word is not present yet. One path
+// spans only a few words, so the linear scan is cheap and build-time
+// only.
+func appendPathBit(words []maxflow.PathWord, start, a int) []maxflow.PathWord {
+	wd, bit := int32(a>>6), uint64(1)<<(uint(a)&63)
+	for i := start; i < len(words); i++ {
+		if words[i].Word == wd {
+			words[i].Mask |= bit
+			return words
+		}
+	}
+	return append(words, maxflow.PathWord{Word: wd, Mask: bit})
 }
 
 // matches reports whether the arena still describes this network: same
@@ -125,19 +201,23 @@ func (st *incState) matches(net *topology.Network) bool {
 // the previous epoch's residual state, applying only this epoch's
 // deltas:
 //
-//   - a new request enables its source arc and augments along it;
+//   - a new request enables its source arc and lands its unit either by
+//     committing a free candidate path from the routing table (the
+//     combinatorial fast path) or by augmenting along a residual search;
 //   - a released or severed circuit (its links no longer occupied and
 //     usable) has its standing unit retracted by walking the decomposed
 //     path recorded at grant time;
 //   - occupancy and fault changes (keyed off the link states and
 //     topology.Network.FaultEpoch advancing on every Fail/Repair)
-//     toggle exactly the arcs whose LinkUsable/state changed.
+//     toggle exactly the arcs whose LinkUsable/state changed, compared
+//     64 arcs per word against the arena's membership bits.
 //
 // The full cold rebuild remains the safe fallback: first use, a
 // different or reshaped network, a delta set touching more than half
-// the arena, or bookkeeping divergence (a retraction that no longer
-// matches the arena) all discard the state and rebuild, so a warm solve
-// is never trusted past the point it can be cheaply validated.
+// the arena, or bookkeeping divergence (a retraction or sync that no
+// longer matches the arena) all discard the state and rebuild, so a
+// warm solve is never trusted past the point it can be cheaply
+// validated.
 //
 // The mapping may differ from ScheduleMaxFlow's in which optimal
 // assignment it picks; the allocation count is always equal.
@@ -164,11 +244,12 @@ func (p *Planner) ScheduleIncremental(net *topology.Network, reqs []Request, ava
 // retry cold. Never escapes the planner.
 var errIncFallback = fmt.Errorf("core: incremental state diverged")
 
-// solve runs one epoch: sync deltas, augment new requests, decompose
-// and record the grants. cold marks a freshly built arena (counted as a
-// cold solve, delta accounting suppressed).
+// solve runs one epoch: sync deltas, grant new requests (fast path or
+// augmenting search), decompose and record the grants. cold marks a
+// freshly built arena (counted as a cold solve, delta accounting
+// suppressed).
 func (st *incState) solve(net *topology.Network, reqs []Request, avail []Avail, cold bool) (*Mapping, error) {
-	touched, retractions := 0, 0
+	retractions := 0
 	w := st.w
 
 	for _, r := range reqs {
@@ -232,39 +313,41 @@ func (st *incState) solve(net *topology.Network, reqs []Request, avail []Avail, 
 		sc.arcs, sc.links = nil, nil
 	}
 
-	// Membership sync against ground truth. After the retraction sweep
-	// the invariant is: every arc still carrying flow belongs to a live
-	// standing circuit, whose links are occupied — so the link scan
-	// below always disables those arcs and never enables a loaded arc.
-	for pr := 0; pr < st.procs; pr++ {
-		want := st.reqMark[pr]
-		a := st.srcArc(pr)
-		if want && w.Flow(a) {
-			return nil, errIncFallback
+	// Membership sync against ground truth, one 64-arc word at a time:
+	// assemble the epoch's desired membership into the want scratch bits,
+	// then reconcile each word with a single XOR/popcount. After the
+	// retraction sweep the invariant is: every arc still carrying flow
+	// belongs to a live standing circuit, whose links are occupied — so
+	// the sync only ever disables those arcs; a sync that would enable a
+	// loaded arc means the bookkeeping diverged and falls back cold.
+	st.want.Reset()
+	for l := range net.Links {
+		if net.Links[l].State == topology.LinkFree && net.LinkUsable(l) {
+			st.want.Set(st.linkArc(l))
 		}
-		if w.SetEnabled(a, want) {
-			touched++
+	}
+	for pr := 0; pr < st.procs; pr++ {
+		if st.reqMark[pr] {
+			st.want.Set(st.srcArc(pr))
 		}
 	}
 	for r := 0; r < st.ress; r++ {
-		want := st.availMark[r]
-		a := st.snkArc(r)
-		if want && w.Flow(a) {
-			return nil, errIncFallback
-		}
-		if w.SetEnabled(a, want) {
-			touched++
+		if st.availMark[r] {
+			st.want.Set(st.snkArc(r))
 		}
 	}
-	for l := range net.Links {
-		want := net.Links[l].State == topology.LinkFree && net.LinkUsable(l)
-		a := st.linkArc(l)
-		if want && w.Flow(a) {
+	touched := 0
+	tail := bitset.TailMask(w.NumArcs())
+	for wi := range st.want {
+		mask := ^uint64(0)
+		if wi == len(st.want)-1 {
+			mask = tail
+		}
+		changed, ok := w.SyncEnabledWord(wi, st.want[wi], mask)
+		if !ok {
 			return nil, errIncFallback
 		}
-		if w.SetEnabled(a, want) {
-			touched++
-		}
+		touched += changed
 	}
 	st.epoch = net.FaultEpoch()
 
@@ -276,12 +359,62 @@ func (st *incState) solve(net *topology.Network, reqs []Request, avail []Avail, 
 		return nil, errIncFallback
 	}
 
-	// Augment: one sweep per arriving request, in caller order. A sweep
-	// that fails retires every node it saw for the rest of this solve.
+	// Grant: one attempt per arriving request, in caller order. The
+	// routing fast path goes first — probe the table's candidate paths
+	// against the arena's idle bits and commit the first fully-free one —
+	// and only a conflicted or faulted request pays for Augment's
+	// residual search (whose failed sweeps retire nodes for the rest of
+	// this solve).
 	var ops maxflow.Counters
+	fastPaths := 0
+	if st.rt != nil {
+		st.rt.Refresh()
+	}
 	w.BeginSolve()
+	// Certificates from the same build are the same cut, so between
+	// arena mutations one CutBlocked verdict covers every processor
+	// holding that generation. Any grant invalidates the memo: new flow
+	// can put reverse residual on an R arc and unblock the cut.
+	var blocked []int
+	memoGen, memoBlocked := uint64(0), false
 	for _, r := range reqs {
-		w.Augment(st.srcArc(r.Proc), &ops)
+		if st.hasCert[r.Proc] {
+			still := memoBlocked
+			if g := st.certGen[r.Proc]; g != memoGen {
+				still = w.CutBlocked(st.cert[r.Proc], &ops)
+				memoGen, memoBlocked = g, still
+			}
+			if still {
+				continue // still provably blocked, skip probe and search
+			}
+			st.hasCert[r.Proc] = false
+		}
+		switch st.fastPath(r.Proc, &ops) {
+		case fastGrant:
+			fastPaths++
+			memoGen = 0
+		case fastMiss:
+			if w.Augment(st.srcArc(r.Proc), &ops) {
+				memoGen = 0
+			} else {
+				blocked = append(blocked, r.Proc)
+			}
+		case fastBlocked:
+			// No sink arc has residual capacity, so no augmenting path
+			// exists for anyone: skip the doomed search.
+		}
+	}
+	// One cut serves every processor blocked this solve: each of their
+	// nodes sits in the final retired set (retirement persists for the
+	// whole solve), and CutBlocked validates against live state anyway.
+	if len(blocked) > 0 {
+		cut := w.BuildCut(&ops)
+		st.cutSeq++
+		for _, pr := range blocked {
+			st.cert[pr] = cut
+			st.certGen[pr] = st.cutSeq
+			st.hasCert[pr] = true
+		}
 	}
 
 	// Decompose the new flow into circuits and record them standing.
@@ -323,9 +456,117 @@ func (st *incState) solve(net *topology.Network, reqs []Request, avail []Avail, 
 		NodeVisits:    ops.NodeVisits,
 	}
 	if cold {
-		m.Solve = SolveStats{Cold: true, Retractions: retractions}
+		m.Solve = SolveStats{Cold: true, Retractions: retractions, FastPaths: fastPaths}
 	} else {
-		m.Solve = SolveStats{Warm: true, ArcsTouched: touched, Retractions: retractions}
+		m.Solve = SolveStats{Warm: true, ArcsTouched: touched, Retractions: retractions, FastPaths: fastPaths}
 	}
 	return m, nil
+}
+
+// fastPath verdicts: fastMiss sends the request to the flow search,
+// fastGrant means a candidate path committed, fastBlocked means the sink
+// is provably unreachable this instant (no sink arc has forward residual
+// capacity — every augmenting path ends by crossing one forward, so the
+// search cannot succeed either and is skipped).
+const (
+	fastMiss = iota
+	fastGrant
+	fastBlocked
+)
+
+// residualWord returns the forward-residual mask of state word wi via
+// the per-request cache: the first touch of a word in a request pays one
+// counted ResidualWord fetch, every later bit test against the copy is
+// free. Coherent within a request because the arena only mutates on a
+// successful commit, which ends the request.
+func (st *incState) residualWord(wi int, ops *maxflow.Counters) uint64 {
+	if st.wordGen[wi] != st.probeGen {
+		st.wordVal[wi] = st.w.ResidualWord(wi, ops)
+		st.wordGen[wi] = st.probeGen
+	}
+	return st.wordVal[wi]
+}
+
+// fastPath tries to grant processor p's request combinatorially: find a
+// free sink arc by word scan, then commit the first candidate path from
+// the routing table whose arcs are all enabled and idle — a handful of
+// word ops per grant, no flow search. Resources are probed starting at a
+// processor-dependent rotation ((p*Ress)/Procs) so simultaneous arrivals
+// spread across the resource pool instead of contending for resource 0.
+// On fastMiss the arena is untouched and the caller falls back to the
+// flow search.
+func (st *incState) fastPath(p int, ops *maxflow.Counters) int {
+	rt := st.rt
+	if rt == nil {
+		return fastMiss
+	}
+	st.probeGen++
+	if st.probeGen == 0 { // uint32 wrap: flush the stale generation stamps
+		for i := range st.wordGen {
+			st.wordGen[i] = 0
+		}
+		st.probeGen = 1
+	}
+	src := st.srcArc(p)
+	if st.residualWord(src>>6, ops)&(1<<(uint(src)&63)) == 0 {
+		return fastMiss
+	}
+	// Free-resource scan: the sink arcs are contiguous at the top of the
+	// arc id space, so ress/64 (rounded up) words cover the whole pool;
+	// the rotation loop below then tests the same cached words for free.
+	snkBase := st.snkArc(0)
+	loWord, hiWord := snkBase>>6, (snkBase+st.ress-1)>>6
+	anyFree := false
+	for wi := loWord; wi <= hiWord; wi++ {
+		m := st.residualWord(wi, ops)
+		if lo := snkBase - wi<<6; lo > 0 {
+			m &^= 1<<uint(lo) - 1
+		}
+		if top := snkBase + st.ress - wi<<6; top < 64 {
+			m &= 1<<uint(top) - 1
+		}
+		if m != 0 {
+			anyFree = true
+			break
+		}
+	}
+	if !anyFree {
+		return fastBlocked
+	}
+	start := p * st.ress / st.procs
+	for i := 0; i < st.ress; i++ {
+		r := start + i
+		if r >= st.ress {
+			r -= st.ress
+		}
+		snk := snkBase + r
+		if st.residualWord(snk>>6, ops)&(1<<(uint(snk)&63)) == 0 {
+			continue
+		}
+		lo, hi := rt.PairPaths(p, r)
+	paths:
+		for j := lo; j < hi; j++ {
+			if rt.PathDead(j) {
+				continue
+			}
+			pws := st.pathWords[st.pathWordOff[j]:st.pathWordOff[j+1]]
+			for _, pw := range pws {
+				if st.residualWord(int(pw.Word), ops)&pw.Mask != pw.Mask {
+					continue paths
+				}
+			}
+			// Every arc of the candidate read free through counted
+			// fetches of this request's snapshot, so the probe is fully
+			// paid for; LoadWords commits the unit, revalidating only as
+			// an assertion.
+			buf := append(st.wordBuf[:0], pws...)
+			buf = appendPathBit(buf, 0, src)
+			buf = appendPathBit(buf, 0, snk)
+			st.wordBuf = buf
+			if w := st.w; w.LoadWords(buf, ops) {
+				return fastGrant
+			}
+		}
+	}
+	return fastMiss
 }

@@ -41,31 +41,36 @@ type Result struct {
 
 // residual is the paired-arc residual representation shared by the
 // algorithms: residual arc 2i is the forward copy of original arc i and
-// residual arc 2i+1 is its reverse.
+// residual arc 2i+1 is its reverse. Adjacency is CSR — every node's
+// residual arc ids sit contiguously in adj between off[v] and off[v+1] —
+// so search loops walk cache-linear int32 runs instead of chasing
+// per-node slice headers.
 type residual struct {
-	g    *graph.Network
-	to   []int   // residual arc head
-	cap  []int64 // remaining residual capacity
-	head [][]int32
+	g   *graph.Network
+	to  []int   // residual arc head
+	cap []int64 // remaining residual capacity
+	off []int32 // CSR offsets, len NumNodes()+1
+	adj []int32 // CSR adjacency: residual arc ids grouped by tail node
 }
 
+// arcs returns node v's residual adjacency as a contiguous CSR slice.
+func (r *residual) arcs(v int) []int32 { return r.adj[r.off[v]:r.off[v+1]] }
+
 // reset rebuilds the residual for g, reusing the backing arrays from any
-// previous computation. Adjacency sub-slices keep their capacity across
-// resets, so a warm residual builds without allocating on the hot path of
-// repeated scheduling cycles.
+// previous computation, so a warm residual builds without allocating on
+// the hot path of repeated scheduling cycles. The CSR arrays are filled
+// with the classic two-pass counting sort: degree count, prefix sum,
+// scatter.
 func (r *residual) reset(g *graph.Network) {
 	r.g = g
 	m := 2 * len(g.Arcs)
 	r.to = growInts(r.to, m)
 	r.cap = growInt64s(r.cap, m)
 	n := g.NumNodes()
-	if n > cap(r.head) {
-		r.head = make([][]int32, n)
-	} else {
-		r.head = r.head[:n]
-	}
-	for i := range r.head {
-		r.head[i] = r.head[i][:0]
+	r.off = growInt32s(r.off, n+1)
+	r.adj = growInt32s(r.adj, m)
+	for i := range r.off {
+		r.off[i] = 0
 	}
 	for i := range g.Arcs {
 		a := &g.Arcs[i]
@@ -73,9 +78,25 @@ func (r *residual) reset(g *graph.Network) {
 		r.cap[2*i] = a.Cap - a.Flow
 		r.to[2*i+1] = a.From
 		r.cap[2*i+1] = a.Flow
-		r.head[a.From] = append(r.head[a.From], int32(2*i))
-		r.head[a.To] = append(r.head[a.To], int32(2*i+1))
+		r.off[a.From+1]++
+		r.off[a.To+1]++
 	}
+	for v := 0; v < n; v++ {
+		r.off[v+1] += r.off[v]
+	}
+	// Scatter using off[v] as the running fill cursor, then shift the
+	// cursors back down into offsets (off[v] ends up at the old off[v-1]).
+	for i := range g.Arcs {
+		a := &g.Arcs[i]
+		r.adj[r.off[a.From]] = int32(2 * i)
+		r.off[a.From]++
+		r.adj[r.off[a.To]] = int32(2*i + 1)
+		r.off[a.To]++
+	}
+	for v := n; v > 0; v-- {
+		r.off[v] = r.off[v-1]
+	}
+	r.off[0] = 0
 }
 
 func newResidual(g *graph.Network) *residual {
@@ -96,6 +117,13 @@ func growInts(s []int, n int) []int {
 func growInt64s(s []int64, n int) []int64 {
 	if cap(s) < n {
 		return make([]int64, n)
+	}
+	return s[:n]
+}
+
+func growInt32s(s []int32, n int) []int32 {
+	if cap(s) < n {
+		return make([]int32, n)
 	}
 	return s[:n]
 }
@@ -148,12 +176,12 @@ func FordFulkerson(g *graph.Network) Result {
 	var dfs func(v int) bool
 	var pathArcs []int
 	dfs = func(v int) bool {
-		res.Ops.NodeVisits++
 		if v == g.Sink {
 			return true
 		}
+		res.Ops.NodeVisits++
 		seen[v] = true
-		for _, id := range r.head[v] {
+		for _, id := range r.arcs(v) {
 			res.Ops.ArcScans++
 			if r.cap[id] > 0 && !seen[r.to[id]] {
 				if dfs(r.to[id]) {
@@ -209,7 +237,7 @@ func EdmondsKarp(g *graph.Network) Result {
 			v := queue[0]
 			queue = queue[1:]
 			res.Ops.NodeVisits++
-			for _, id := range r.head[v] {
+			for _, id := range r.arcs(v) {
 				res.Ops.ArcScans++
 				w := r.to[id]
 				if r.cap[id] > 0 && prevArc[w] == -1 {
@@ -258,7 +286,9 @@ func Dinic(g *graph.Network) Result {
 }
 
 // dinic is the shared Dinic body; level and iter must have length
-// g.NumNodes() (their contents are overwritten).
+// g.NumNodes() (their contents are overwritten). iter[v] is an absolute
+// cursor into the residual's CSR adjacency array, so the blocking-flow
+// DFS resumes each node exactly where its last probe stopped.
 func dinic(g *graph.Network, r *residual, level, iter []int) Result {
 	var res Result
 	res.Value = g.Value()
@@ -273,7 +303,7 @@ func dinic(g *graph.Network, r *residual, level, iter []int) Result {
 			v := queue[0]
 			queue = queue[1:]
 			res.Ops.NodeVisits++
-			for _, id := range r.head[v] {
+			for _, id := range r.arcs(v) {
 				res.Ops.ArcScans++
 				w := r.to[id]
 				if r.cap[id] > 0 && level[w] < 0 {
@@ -291,8 +321,8 @@ func dinic(g *graph.Network, r *residual, level, iter []int) Result {
 			return limit
 		}
 		res.Ops.NodeVisits++
-		for ; iter[v] < len(r.head[v]); iter[v]++ {
-			id := r.head[v][iter[v]]
+		for end := int(r.off[v+1]); iter[v] < end; iter[v]++ {
+			id := r.adj[iter[v]]
 			w := r.to[id]
 			res.Ops.ArcScans++
 			if r.cap[id] > 0 && level[w] == level[v]+1 {
@@ -313,8 +343,8 @@ func dinic(g *graph.Network, r *residual, level, iter []int) Result {
 	const inf = int64(1) << 62
 	for bfs() {
 		res.Ops.Phases++
-		for i := range iter {
-			iter[i] = 0
+		for v := range iter {
+			iter[v] = int(r.off[v])
 		}
 		for {
 			got := dfs(g.Source, inf)
@@ -344,7 +374,7 @@ func LayeredNetwork(g *graph.Network) []int {
 	for len(queue) > 0 {
 		v := queue[0]
 		queue = queue[1:]
-		for _, id := range r.head[v] {
+		for _, id := range r.arcs(v) {
 			w := r.to[id]
 			if r.cap[id] > 0 && level[w] < 0 {
 				level[w] = level[v] + 1

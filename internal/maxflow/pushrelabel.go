@@ -35,7 +35,7 @@ func PushRelabel(g *graph.Network) Result {
 	}
 
 	// Saturate every arc out of the source.
-	for _, id := range r.head[s] {
+	for _, id := range r.arcs(s) {
 		amt := r.cap[id]
 		if amt <= 0 {
 			continue
@@ -51,7 +51,7 @@ func PushRelabel(g *graph.Network) Result {
 		res.Ops.NodeVisits++
 		old := height[v]
 		min := 2*n - 1
-		for _, id := range r.head[v] {
+		for _, id := range r.arcs(v) {
 			res.Ops.ArcScans++
 			if r.cap[id] > 0 && height[r.to[id]]+1 < min {
 				min = height[r.to[id]] + 1
@@ -87,7 +87,7 @@ func PushRelabel(g *graph.Network) Result {
 		// Discharge v completely.
 		for excess[v] > 0 {
 			pushed := false
-			for _, id := range r.head[v] {
+			for _, id := range r.arcs(v) {
 				res.Ops.ArcScans++
 				w := r.to[id]
 				if r.cap[id] > 0 && height[v] == height[w]+1 {

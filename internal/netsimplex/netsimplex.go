@@ -58,7 +58,16 @@ type simplex struct {
 	parentArc []int // arc connecting node to parent
 	depth     []int
 	pi        []int64 // node potentials
-	treeAdj   [][]int
+
+	// Static incidence CSR over the frozen arc array: node v's incident
+	// arc indices (either endpoint) are inc[incOff[v]:incOff[v+1]].
+	// Built once per arc set by counting sort — the arc structure never
+	// changes between pivots, only states do — so each rebuildTree walks
+	// contiguous int32 runs filtered by state==inTree instead of
+	// reassembling per-node []int adjacency from scratch every pivot.
+	incOff  []int32
+	inc     []int32
+	incArcs int // len(arcs) the incidence was built for (0 = unbuilt)
 }
 
 // init sizes the tree scratch for a node count (root = total-1).
@@ -69,22 +78,51 @@ func (sx *simplex) init(total int) {
 	sx.parentArc = make([]int, total)
 	sx.depth = make([]int, total)
 	sx.pi = make([]int64, total)
-	sx.treeAdj = make([][]int, total)
+	sx.incOff = make([]int32, total+1)
+	sx.incArcs = 0
+}
+
+// ensureIncidence (re)builds the incidence CSR when the arc array has
+// been (re)assigned since the last build.
+func (sx *simplex) ensureIncidence() {
+	if sx.incArcs == len(sx.arcs) && sx.inc != nil {
+		return
+	}
+	sx.incArcs = len(sx.arcs)
+	for i := range sx.incOff {
+		sx.incOff[i] = 0
+	}
+	for i := range sx.arcs {
+		sx.incOff[sx.arcs[i].from+1]++
+		sx.incOff[sx.arcs[i].to+1]++
+	}
+	for v := 0; v < sx.total; v++ {
+		sx.incOff[v+1] += sx.incOff[v]
+	}
+	m := 2 * len(sx.arcs)
+	if cap(sx.inc) < m {
+		sx.inc = make([]int32, m)
+	} else {
+		sx.inc = sx.inc[:m]
+	}
+	for i := range sx.arcs {
+		sx.inc[sx.incOff[sx.arcs[i].from]] = int32(i)
+		sx.incOff[sx.arcs[i].from]++
+		sx.inc[sx.incOff[sx.arcs[i].to]] = int32(i)
+		sx.incOff[sx.arcs[i].to]++
+	}
+	for v := sx.total; v > 0; v-- {
+		sx.incOff[v] = sx.incOff[v-1]
+	}
+	sx.incOff[0] = 0
 }
 
 // rebuildTree recomputes parent/depth/potentials from the arcs marked
-// inTree by BFS from the root. O(n + m); called once per pivot, which is
-// acceptable at MRSIN scale and keeps the invariants trivially correct.
+// inTree by BFS from the root over the incidence CSR. O(n + m) per
+// pivot, which is acceptable at MRSIN scale and keeps the invariants
+// trivially correct.
 func (sx *simplex) rebuildTree() error {
-	for v := range sx.treeAdj {
-		sx.treeAdj[v] = sx.treeAdj[v][:0]
-	}
-	for i := range sx.arcs {
-		if sx.arcs[i].state == inTree {
-			sx.treeAdj[sx.arcs[i].from] = append(sx.treeAdj[sx.arcs[i].from], i)
-			sx.treeAdj[sx.arcs[i].to] = append(sx.treeAdj[sx.arcs[i].to], i)
-		}
-	}
+	sx.ensureIncidence()
 	for v := range sx.parent {
 		sx.parent[v] = -2
 	}
@@ -98,8 +136,12 @@ func (sx *simplex) rebuildTree() error {
 	for len(queue) > 0 {
 		v := queue[0]
 		queue = queue[1:]
-		for _, ai := range sx.treeAdj[v] {
+		for _, ai32 := range sx.inc[sx.incOff[v]:sx.incOff[v+1]] {
+			ai := int(ai32)
 			a := &sx.arcs[ai]
+			if a.state != inTree {
+				continue
+			}
 			w := a.from + a.to - v
 			if sx.parent[w] != -2 {
 				continue

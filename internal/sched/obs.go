@@ -61,6 +61,7 @@ type schedObs struct {
 	coldSolves  *obs.Counter // cycles that rebuilt the flow network cold
 	warmArcs    *obs.Counter // arena arcs toggled by warm delta syncs
 	retractions *obs.Counter // standing-circuit units walked back
+	fastPaths   *obs.Counter // grants via the combinatorial routing fast path
 
 	free   *obs.Gauge
 	usable *obs.Gauge
@@ -112,6 +113,7 @@ func newSchedObs(reg *obs.Registry) schedObs {
 		coldSolves:     reg.Counter("rsin_solver_cold_solves_total"),
 		warmArcs:       reg.Counter("rsin_solver_warm_arcs_touched_total"),
 		retractions:    reg.Counter("rsin_solver_warm_retractions_total"),
+		fastPaths:      reg.Counter("rsin_solver_fast_paths_total"),
 		free:           reg.Gauge("rsin_sched_free_resources"),
 		usable:         reg.Gauge("rsin_sched_usable_resources"),
 		submitGrantMS:  reg.Histogram("rsin_sched_submit_to_grant_ms", latencyBuckets()),

@@ -125,6 +125,7 @@ func TestObsEndToEnd(t *testing.T) {
 		"rsin_sched_usable_resources":     int64(st.Usable),
 		"rsin_solver_augmentations_total": int64(st.Ops.Augmentations),
 		"rsin_solver_arc_scans_total":     int64(st.Ops.ArcScans),
+		"rsin_solver_fast_paths_total":    st.FastPaths,
 	} {
 		if got := promValue(t, text, name); got != want {
 			t.Errorf("/metrics %s = %d, Stats says %d", name, got, want)

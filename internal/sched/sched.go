@@ -166,6 +166,7 @@ type Stats struct {
 	ColdSolves  int64 // cycles that built the flow network from scratch
 	ArcsTouched int64 // arena arcs toggled by warm delta syncs
 	Retractions int64 // standing-circuit units walked back (releases, severs)
+	FastPaths   int64 // grants resolved by the combinatorial routing fast path
 
 	Free   int // free resources after each shard's latest epoch
 	Usable int // degraded-capacity gauge: schedulable resources surviving faults
@@ -569,6 +570,7 @@ func (s *Scheduler) Stats() Stats {
 		tot.ColdSolves += st.ColdSolves
 		tot.ArcsTouched += st.ArcsTouched
 		tot.Retractions += st.Retractions
+		tot.FastPaths += st.FastPaths
 		tot.Free += st.Free
 		tot.Usable += st.Usable
 		tot.Ops.Add(st.Ops)
@@ -691,6 +693,7 @@ func (s *Scheduler) publish(sh *shard, epoch *Stats) {
 	sh.stats.ColdSolves += epoch.ColdSolves
 	sh.stats.ArcsTouched += epoch.ArcsTouched
 	sh.stats.Retractions += epoch.Retractions
+	sh.stats.FastPaths += epoch.FastPaths
 	sh.stats.Free = free
 	sh.stats.Ops.Add(epoch.Ops)
 	sh.mu.Unlock()
@@ -716,6 +719,7 @@ func (s *Scheduler) publish(sh *shard, epoch *Stats) {
 		s.o.coldSolves.Add(epoch.ColdSolves)
 		s.o.warmArcs.Add(epoch.ArcsTouched)
 		s.o.retractions.Add(epoch.Retractions)
+		s.o.fastPaths.Add(epoch.FastPaths)
 		s.o.free.Add(int64(free - sh.lastFree))
 		sh.lastFree = free
 	}
@@ -886,6 +890,7 @@ func (s *Scheduler) flush(sh *shard, buf []op) []op {
 			}
 			epoch.ArcsTouched += int64(r.Mapping.Solve.ArcsTouched)
 			epoch.Retractions += int64(r.Mapping.Solve.Retractions)
+			epoch.FastPaths += int64(r.Mapping.Solve.FastPaths)
 			if r.Granted == 0 {
 				break
 			}

@@ -145,23 +145,25 @@ func TestFailResourceLatentForProvisioned(t *testing.T) {
 	if got := s.Holding(id2); len(got) != 1 || got[0] == r0 {
 		t.Fatalf("faulted resource granted: %v", got)
 	}
-	// ...until repaired.
+	// ...until repaired. Occupy every remaining healthy resource first, so
+	// the post-repair request can only be satisfied by r0 itself — which
+	// pins reuse regardless of which optimal assignment the solver picks.
+	for p := 2; p < 4; p++ {
+		mustSubmit(t, s, Task{Proc: p})
+	}
+	cycle(t, s)
+	for p := 2; p < 4; p++ {
+		if err := s.EndTransmission(p); err != nil {
+			t.Fatal(err)
+		}
+	}
 	if err := s.RepairResource(r0); err != nil {
 		t.Fatal(err)
 	}
-	ids := map[TaskID]bool{}
-	for p := 2; p < 4; p++ {
-		ids[mustSubmit(t, s, Task{Proc: p})] = true
-	}
+	id3 := mustSubmit(t, s, Task{Proc: 0})
 	cycle(t, s)
-	granted := map[int]bool{}
-	for id := range ids {
-		for _, r := range s.Holding(id) {
-			granted[r] = true
-		}
-	}
-	if !granted[r0] {
-		t.Fatalf("repaired resource not reused: granted %v", granted)
+	if got := s.Holding(id3); len(got) != 1 || got[0] != r0 {
+		t.Fatalf("repaired resource not reused: holding %v, want [%d]", got, r0)
 	}
 }
 

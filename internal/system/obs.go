@@ -37,6 +37,7 @@ type sysObs struct {
 	coldSolves  *obs.Counter // cycles that built the flow network cold
 	arcsTouched *obs.Counter // arena arcs toggled by warm delta syncs
 	retractions *obs.Counter // standing-circuit units walked back
+	fastPaths   *obs.Counter // grants via the combinatorial routing fast path
 
 	cycleMS *obs.Histogram // solve wall time per cycle, milliseconds
 
@@ -66,6 +67,7 @@ func newSysObs(reg *obs.Registry, shard int) sysObs {
 		coldSolves:  reg.Counter("rsin_system_cold_solves_total"),
 		arcsTouched: reg.Counter("rsin_system_warm_arcs_touched_total"),
 		retractions: reg.Counter("rsin_system_warm_retractions_total"),
+		fastPaths:   reg.Counter("rsin_system_fast_paths_total"),
 
 		cycleMS: reg.Histogram("rsin_system_cycle_ms", obs.ExpBuckets(0.001, 2, 20)),
 		trace:   reg.Trace(),

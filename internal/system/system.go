@@ -465,6 +465,7 @@ func (s *System) Cycle() (*CycleResult, error) {
 			}
 			s.o.arcsTouched.Add(int64(res.Mapping.Solve.ArcsTouched))
 			s.o.retractions.Add(int64(res.Mapping.Solve.Retractions))
+			s.o.fastPaths.Add(int64(res.Mapping.Solve.FastPaths))
 		}
 		s.event(evCycle, 0, int64(res.Granted), "")
 	}
