@@ -16,12 +16,13 @@ build:
 test:
 	$(GO) test -shuffle=on ./...
 
-# The scheduling service and the system facade are the two packages with
-# concurrency (or concurrent callers); their stress tests — including the
-# priority differential traces and the preemption chaos stress — must
+# The scheduling service, the system facade and the HTTP front door are
+# the packages with concurrency (or concurrent callers); their stress
+# tests — including the priority differential traces, the preemption
+# chaos stress and the 64-client overload+chaos front-door stress — must
 # stay race-clean.
 race:
-	$(GO) test -race -shuffle=on ./internal/sched ./internal/system ./internal/obs
+	$(GO) test -race -shuffle=on ./internal/sched ./internal/system ./internal/obs ./internal/server
 
 # Warm-solver pivot ratchet plus the three-engine min-cost cross-check:
 # the warm network simplex must pivot strictly less than cold on the
@@ -42,10 +43,10 @@ allocguard:
 	$(GO) test -run 'TestDisabledObsAllocFree|TestNilInstruments|TestLiveInstrumentsAllocFree' ./internal/sched ./internal/obs
 
 # Machine-readable scheduling-service benchmark (see EXPERIMENTS.md for
-# the BENCH_sched.json format), with the warm-start, tier-0 QoS and
-# solver-cost gates.
+# the BENCH_sched.json format), with the warm-start, tier-0 QoS,
+# solver-cost and open-loop overload-shedding gates.
 schedbench:
-	$(GO) run ./cmd/rsinbench -sched -gatewarm -gatetier -gateops -json BENCH_sched.json
+	$(GO) run ./cmd/rsinbench -sched -openloop -gatewarm -gatetier -gateops -gateshed -json BENCH_sched.json
 
 # lint/vuln need staticcheck / govulncheck on PATH (CI installs them);
 # they are not part of `all` so an offline checkout still builds.
@@ -58,7 +59,8 @@ vuln:
 bench:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
 
-# Short smoke-fuzz of the life-cycle and parser fuzzers.
+# Short smoke-fuzz of the life-cycle, parser and front-door fuzzers.
 fuzz:
 	$(GO) test -fuzz FuzzSubmitCycle -fuzztime 30s ./internal/system
 	$(GO) test -fuzz FuzzParse -fuzztime 30s ./internal/dimacs
+	$(GO) test -fuzz FuzzHTTPSubmitDecode -fuzztime 30s ./internal/server

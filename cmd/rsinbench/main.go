@@ -28,11 +28,13 @@ func main() {
 		gateWarm = flag.Bool("gatewarm", false, "with -sched: fail unless the warm-start solver does no more work than the cold solver")
 		gateTier = flag.Bool("gatetier", false, "with -sched: fail unless tier-0 p99 beats the untiered baseline p99 on the contended comparison load")
 		gateOps  = flag.Bool("gateops", false, "with -sched: fail if arc scans per granted task on the pinned ops-gate trace regress >10% over the recorded baseline")
+		openLoop = flag.Bool("openloop", false, "with -sched: run the open-loop overload sweep through the HTTP front door (Poisson arrivals over a rate grid past the knee)")
+		gateShed = flag.Bool("gateshed", false, "with -sched: fail unless the open-loop sweep sheds correctly under 2x overload (implies -openloop; see gateShedCheck)")
 	)
 	flag.Parse()
 
 	if *schedRun {
-		if err := runSchedBench(*seed, *smoke, *gateWarm, *gateTier, *gateOps, *jsonOut); err != nil {
+		if err := runSchedBench(*seed, *smoke, *gateWarm, *gateTier, *gateOps, *openLoop, *gateShed, *jsonOut); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}

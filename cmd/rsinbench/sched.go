@@ -25,8 +25,11 @@ import (
 // v4 fixed the measured window (warmup barrier, chaos off the timing
 // goroutine), made empty tiered percentiles null instead of zero, and
 // added ops_per_task plus the deterministic ops_gate section that the
-// -gateops ratchet enforces.
-const schedBenchSchema = "rsin-bench-sched/v4"
+// -gateops ratchet enforces. v5 added the optional openloop section —
+// the Poisson offered-load sweep through the internal/server front door
+// (knee rate, per-multiplier goodput/latency/shed/timeout curves) that
+// the -gateshed overload check enforces.
+const schedBenchSchema = "rsin-bench-sched/v5"
 
 // The ops gate solves one pinned warm-cold trace — pure computation on a
 // seeded RNG, so its counters are bit-identical on every machine and the
@@ -94,7 +97,10 @@ type schedBenchReport struct {
 	// untiered (baseline) and tiered (min-cost + preemption), per-tier
 	// latency percentiles side by side (see cmd/rsinbench/tiered.go).
 	Tiered tieredReport `json:"tiered"`
-	Obs    obs.Snapshot `json:"obs"`
+	// OpenLoop is the offered-load overload sweep through the HTTP front
+	// door (cmd/rsinbench/openloop.go); present only on -openloop runs.
+	OpenLoop *openLoopReport `json:"openloop,omitempty"`
+	Obs      obs.Snapshot    `json:"obs"`
 }
 
 // runSchedBench drives the batched scheduling service at load — including
@@ -113,7 +119,11 @@ type schedBenchReport struct {
 //   - gateOps: arc scans per granted task on the pinned ops-gate trace
 //     must stay within 10% of the recorded baseline, with the routing
 //     fast path still carrying grants.
-func runSchedBench(seed int64, smoke, gateWarm, gateTier, gateOps bool, jsonPath string) error {
+//   - gateShed (implies openLoop): the overload sweep must shed past the
+//     knee with Retry-After on every shed, keep tier-0 goodput at 2x
+//     within 90% of its knee value, bound the admitted tier-0 p99 and
+//     the queue depth, and keep /healthz responsive (gateShedCheck).
+func runSchedBench(seed int64, smoke, gateWarm, gateTier, gateOps, openLoop, gateShed bool, jsonPath string) error {
 	cfg := schedBenchConfig{
 		Topology: "omega", N: 64, Shards: 2,
 		Clients: 64, Tasks: 200, Warmup: 20, Need: 1, Faults: 16,
@@ -221,6 +231,14 @@ func runSchedBench(seed int64, smoke, gateWarm, gateTier, gateOps bool, jsonPath
 	if err != nil {
 		return fmt.Errorf("tiered comparison: %w", err)
 	}
+	var openLoopRep *openLoopReport
+	if openLoop || gateShed {
+		olr, err := runOpenLoop(seed, smoke)
+		if err != nil {
+			return fmt.Errorf("open-loop sweep: %w", err)
+		}
+		openLoopRep = &olr
+	}
 
 	var all []float64
 	for _, lat := range latencies {
@@ -247,6 +265,7 @@ func runSchedBench(seed int64, smoke, gateWarm, gateTier, gateOps bool, jsonPath
 		WarmCold:   wc,
 		OpsGate:    og,
 		Tiered:     tiered,
+		OpenLoop:   openLoopRep,
 		Obs:        reg.Snapshot(),
 	}
 
@@ -262,6 +281,14 @@ func runSchedBench(seed int64, smoke, gateWarm, gateTier, gateOps bool, jsonPath
 		tiered.Procs, tiered.Ress, tiered.Clients, tiered.Tiers,
 		ms(tiered.PerTier[0].P99), ms(tiered.BaselineP99),
 		tiered.Tiers-1, ms(tiered.PerTier[tiered.Tiers-1].P99), tiered.Preempts)
+	if openLoopRep != nil {
+		fmt.Printf("open loop     omega(%d) front door: knee %.0f req/s\n", openLoopRep.Config.N, openLoopRep.KneePerS)
+		for _, p := range openLoopRep.Points {
+			fmt.Printf("  %.2fx       offered %.0f/s: goodput %.0f/s (tier0 %.0f/s), shed %.1f%%, timeouts %d, p99=%s tier0-p99=%s health-p99=%s overflow=%d\n",
+				p.Multiplier, p.OfferedRate, p.GoodputPerS, p.Tier0GoodputPerS,
+				100*p.ShedRate, p.Timeouts, ms(p.P99MS), ms(p.Tier0P99MS), ms(p.HealthP99MS), p.Overflow)
+		}
+	}
 	if jsonPath != "" {
 		data, err := json.MarshalIndent(rep, "", "  ")
 		if err != nil {
@@ -296,6 +323,11 @@ func runSchedBench(seed int64, smoke, gateWarm, gateTier, gateOps bool, jsonPath
 		}
 		if og.FastPaths == 0 {
 			return fmt.Errorf("ops gate: the routing fast path carried no grants on the pinned trace (%d granted)", og.Granted)
+		}
+	}
+	if gateShed {
+		if err := gateShedCheck(*openLoopRep); err != nil {
+			return err
 		}
 	}
 	return nil

@@ -33,7 +33,15 @@
 // rsinserve shuts down gracefully on SIGINT/SIGTERM: clients stop
 // admitting new tasks, in-flight tasks drain (bounded by -drain), and the
 // full statistics report is printed for whatever portion of the run
-// completed.
+// completed. The chaos injector is always stopped (and its last fault
+// healed) before the drain deadline can close the scheduler.
+//
+// The -serve flag replaces the closed-loop clients with the
+// internal/server HTTP front door: POST /v1/tasks (HTTP/1.1 and h2c)
+// with admission control and load shedding, until a signal drains it:
+//
+//	go run ./cmd/rsinserve -serve :8080                  # front-door mode
+//	go run ./cmd/rsinserve -serve :8080 -linkfault 5ms   # with hardware chaos
 package main
 
 import (
@@ -54,6 +62,7 @@ import (
 	"rsin/internal/faultinject"
 	"rsin/internal/obs"
 	"rsin/internal/sched"
+	"rsin/internal/server"
 	"rsin/internal/stats"
 	"rsin/internal/system"
 	"rsin/internal/topology"
@@ -86,6 +95,112 @@ func sleepCtx(ctx context.Context, d time.Duration) bool {
 	}
 }
 
+// startChaos launches the fail→heal hardware-chaos goroutine and returns
+// a stop function that cancels it and waits for the final heal. period 0
+// disables chaos (the stop function is still safe to call, repeatedly).
+func startChaos(ctx context.Context, s *sched.Scheduler, shards, nLinks int, period time.Duration, seed int64) func() {
+	chaosCtx, chaosCancel := context.WithCancel(ctx)
+	if period <= 0 {
+		chaosCancel()
+		return func() {}
+	}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		rng := rand.New(rand.NewSource(seed)) // reproducible via the logged -seed
+		half := period / 2
+		for {
+			shard, link := rng.Intn(shards), rng.Intn(nLinks)
+			if err := s.FailLink(shard, link); err != nil {
+				if !sleepCtx(chaosCtx, period) {
+					return
+				}
+				continue
+			}
+			ok := sleepCtx(chaosCtx, half)
+			s.RepairLink(shard, link) // always heal, even on the way out
+			if !ok || !sleepCtx(chaosCtx, half) {
+				return
+			}
+		}
+	}()
+	return func() {
+		chaosCancel()
+		wg.Wait() // chaos heals its last fault before shutdown proceeds
+	}
+}
+
+// drainClients waits for the client goroutines to finish. On a signal it
+// stops the chaos injector FIRST — the injector must heal its last fault
+// and exit before any drain-deadline closeSched runs, otherwise a
+// RepairLink races shutdown and the run can end with a link left failed
+// (and a spurious ErrClosed) — then bounds the drain wait and abandons
+// stragglers via closeSched. Returns whether the run was interrupted.
+func drainClients(ctx context.Context, clientsDone <-chan struct{}, drain time.Duration, stopChaos, closeSched func()) bool {
+	interrupted := false
+	select {
+	case <-clientsDone:
+		stopChaos()
+	case <-ctx.Done():
+		interrupted = true
+		stopChaos() // before draining: chaos must not race shutdown
+		fmt.Fprintln(os.Stderr, "rsinserve: signal received, draining in-flight tasks ...")
+		select {
+		case <-clientsDone:
+		case <-time.After(drain):
+			fmt.Fprintln(os.Stderr, "rsinserve: drain deadline exceeded, abandoning in-flight tasks")
+			closeSched()
+			<-clientsDone
+		}
+	}
+	return interrupted
+}
+
+// runServe is the -serve mode: instead of driving the closed loop, expose
+// the scheduler through the internal/server front door (POST /v1/tasks
+// over HTTP/1.1 + h2c, /healthz) until a signal arrives, then shut down
+// in the documented order — chaos stops and heals, the admission gate
+// sheds new work as "draining", in-flight streams finish (bounded by
+// drain), and only then does the scheduler close.
+func runServe(ctx context.Context, s *sched.Scheduler, reg *obs.Registry, addr string, drain time.Duration, stopChaos func()) {
+	sv, err := server.New(server.Config{Sched: s, Obs: reg})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	srv := sv.HTTPServer()
+	fmt.Fprintf(os.Stderr, "rsinserve: front door on http://%s/v1/tasks (h2c; POST tasks, %s header for deadlines)\n",
+		ln.Addr(), server.DeadlineHeader)
+	go srv.Serve(ln)
+
+	<-ctx.Done()
+	stopChaos() // before draining: chaos must not race shutdown
+	fmt.Fprintln(os.Stderr, "rsinserve: signal received, draining the front door ...")
+	sv.Drain()
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), drain)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		fmt.Fprintln(os.Stderr, "rsinserve: drain deadline exceeded, abandoning in-flight requests")
+	}
+	s.Close()
+	st := s.Stats()
+	fmt.Printf("service       epochs=%d granted=%d serviced=%d canceled=%d failed=%d\n",
+		st.Epochs, st.Granted, st.Serviced, st.Canceled, st.Failed)
+	adm := sv.Admission().State()
+	fmt.Printf("admission     inflight=%d queued=%d peak-queued=%d shed-by-tier=%v\n",
+		adm.Inflight, adm.Queued, adm.PeakQueued, adm.ShedByTier)
+	if st.Submitted != st.Serviced+st.Canceled+st.Failed {
+		fmt.Printf("FAILED        accounting identity broken: %+v\n", st)
+		os.Exit(1)
+	}
+}
+
 func main() {
 	var (
 		topo      = flag.String("topo", "omega", "fabric per shard: omega | benes | cube | baseline | crossbar")
@@ -105,6 +220,7 @@ func main() {
 		linkfault = flag.Duration("linkfault", 0, "hardware chaos: fail then heal one random link per period (0 = off)")
 		seed      = flag.Int64("seed", 0, "chaos/injection RNG seed (0 = derive from the clock; logged for reproducibility)")
 		httpAddr  = flag.String("http", "", "serve /metrics, /metrics.json, /trace and /debug/pprof on this address (e.g. :9090)")
+		serveAddr = flag.String("serve", "", "serve the HTTP front door (POST /v1/tasks over h2c, /healthz) on this address instead of running the closed-loop clients; drains on SIGINT")
 		drain     = flag.Duration("drain", 10*time.Second, "in-flight drain deadline after SIGINT/SIGTERM")
 	)
 	flag.Parse()
@@ -197,30 +313,11 @@ func main() {
 	// random shard, lets the fabric run degraded for half the period, then
 	// repairs it. Severed circuits, degraded admission and capacity
 	// recovery are all exercised continuously under live load.
-	chaosCtx, chaosStop := context.WithCancel(ctx)
-	var chaosWg sync.WaitGroup
-	if *linkfault > 0 {
-		nLinks := len(cfg.Shards[0].Net.Links)
-		chaosWg.Add(1)
-		go func() {
-			defer chaosWg.Done()
-			rng := rand.New(rand.NewSource(chaosSeed)) // reproducible via the logged -seed
-			half := *linkfault / 2
-			for {
-				shard, link := rng.Intn(*shards), rng.Intn(nLinks)
-				if err := s.FailLink(shard, link); err != nil {
-					if !sleepCtx(chaosCtx, *linkfault) {
-						return
-					}
-					continue
-				}
-				ok := sleepCtx(chaosCtx, half)
-				s.RepairLink(shard, link) // always heal, even on the way out
-				if !ok || !sleepCtx(chaosCtx, half) {
-					return
-				}
-			}
-		}()
+	stopChaos := startChaos(ctx, s, *shards, len(cfg.Shards[0].Net.Links), *linkfault, chaosSeed)
+
+	if *serveAddr != "" {
+		runServe(ctx, s, reg, *serveAddr, *drain, stopChaos)
+		return
 	}
 
 	total := *clients * *tasks
@@ -306,22 +403,7 @@ func main() {
 	// with ErrClosed, unblocking them).
 	clientsDone := make(chan struct{})
 	go func() { wg.Wait(); close(clientsDone) }()
-	interrupted := false
-	select {
-	case <-clientsDone:
-	case <-ctx.Done():
-		interrupted = true
-		fmt.Fprintln(os.Stderr, "rsinserve: signal received, draining in-flight tasks ...")
-		select {
-		case <-clientsDone:
-		case <-time.After(*drain):
-			fmt.Fprintln(os.Stderr, "rsinserve: drain deadline exceeded, abandoning in-flight tasks")
-			s.Close()
-			<-clientsDone
-		}
-	}
-	chaosStop()
-	chaosWg.Wait() // chaos heals its last fault before stats are read
+	interrupted := drainClients(ctx, clientsDone, *drain, stopChaos, func() { s.Close() })
 	elapsed := time.Since(start)
 	st := s.Stats()
 	s.Close()

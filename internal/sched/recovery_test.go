@@ -244,25 +244,50 @@ func TestSubmitCtxCancelFreesQueueHead(t *testing.T) {
 	}
 }
 
-// TestSubmitCtxExpired: an already-dead context never reaches a shard.
+// TestSubmitCtxExpired: an already-dead context never reaches a shard —
+// no handle, no Submitted increment, no queue-head slot consumed, and
+// the exactly-once accounting identity still holds at quiescence. The
+// front door leans on this: a client whose deadline elapsed before the
+// request reached Submit must not occupy scheduler state.
 func TestSubmitCtxExpired(t *testing.T) {
 	s := newScheduler(t, Config{Shards: []system.Config{{Net: topology.Omega(4)}}})
-	ctx, cancel := context.WithCancel(context.Background())
+	canceled, cancel := context.WithCancel(context.Background())
 	cancel()
-	if _, err := s.SubmitCtx(ctx, 0, system.Task{Proc: 0}); !errors.Is(err, ErrTaskCanceled) {
-		t.Fatalf("SubmitCtx on dead ctx = %v, want ErrTaskCanceled", err)
+	expired, cancel2 := context.WithDeadline(context.Background(), time.Now().Add(-time.Hour))
+	defer cancel2()
+	for name, ctx := range map[string]context.Context{"canceled": canceled, "deadline past": expired} {
+		h, err := s.SubmitCtx(ctx, 0, system.Task{Proc: 0})
+		if !errors.Is(err, ErrTaskCanceled) {
+			t.Fatalf("SubmitCtx on %s ctx = %v, want ErrTaskCanceled", name, err)
+		}
+		if h != nil {
+			t.Fatalf("SubmitCtx on %s ctx returned a handle", name)
+		}
 	}
-	// A live context behaves exactly like Submit.
-	h, err := s.SubmitCtx(context.Background(), 0, system.Task{Proc: 1})
+	// Nothing was accepted: no Submitted increment, no Canceled tally
+	// (the task never existed), and the pool is untouched.
+	if st := s.Stats(); st.Submitted != 0 || st.Canceled != 0 || st.Free != 4 {
+		t.Fatalf("expired submits moved the counters: %+v", st)
+	}
+	// The queue head was not consumed: a full-capacity task on the same
+	// processor provisions immediately (a leaked slot would starve it).
+	h, err := s.SubmitCtx(context.Background(), 0, system.Task{Proc: 0, Need: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
-	waitDone(t, h, "SubmitCtx with live ctx")
+	waitDone(t, h, "full-capacity task after expired submits")
 	if h.Err() != nil {
 		t.Fatal(h.Err())
 	}
 	if err := s.EndService(h); err != nil {
 		t.Fatal(err)
+	}
+	st := s.Stats()
+	if st.Submitted != 1 || st.Serviced != 1 {
+		t.Fatalf("stats after the live task: %+v", st)
+	}
+	if st.Submitted != st.Serviced+st.Canceled+st.Failed {
+		t.Fatalf("accounting identity broken at quiescence: %+v", st)
 	}
 }
 

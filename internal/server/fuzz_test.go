@@ -1,0 +1,47 @@
+package server
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// FuzzHTTPSubmitDecode fuzzes the front door's request decoder and the
+// deadline-header parser: no input may panic, every accepted body must
+// satisfy the validation invariants the handler relies on, and an
+// accepted request must survive a re-encode round trip unchanged.
+func FuzzHTTPSubmitDecode(f *testing.F) {
+	f.Add([]byte(`{}`), "")
+	f.Add([]byte(`{"proc": 3, "tier": 2, "need": 4, "hold_us": 100}`), "250ms")
+	f.Add([]byte(`{"shard": 1, "prefs": [3, -1, 2], "stream": true}`), "2s")
+	f.Add([]byte(`{"proc": -1}`), "0")
+	f.Add([]byte(`{"tir": 2}`), "soon")
+	f.Add([]byte(`{"proc": 1} trailing`), "-5ms")
+	f.Add([]byte(`[1, 2]`), "1h")
+	f.Add([]byte(`{"priority": 9223372036854775807}`), "1ns")
+	f.Fuzz(func(t *testing.T, body []byte, deadline string) {
+		req, err := decodeSubmit(body)
+		if err == nil {
+			if req.Shard < 0 || req.Proc < 0 || req.Need < 0 || req.HoldUS < 0 {
+				t.Fatalf("decoder accepted negative fields: %+v", req)
+			}
+			// Round trip: what the decoder accepts, the encoder preserves.
+			out, err := json.Marshal(req)
+			if err != nil {
+				t.Fatalf("re-encoding accepted request %+v: %v", req, err)
+			}
+			again, err := decodeSubmit(out)
+			if err != nil {
+				t.Fatalf("re-decoding %s: %v", out, err)
+			}
+			if req.Shard != again.Shard || req.Proc != again.Proc || req.Need != again.Need ||
+				req.Tier != again.Tier || req.Priority != again.Priority || req.Type != again.Type ||
+				req.HoldUS != again.HoldUS || req.Stream != again.Stream || len(req.Prefs) != len(again.Prefs) {
+				t.Fatalf("round trip drifted: %+v -> %+v", req, again)
+			}
+		}
+		d, err := parseDeadline(deadline)
+		if err == nil && d < 0 {
+			t.Fatalf("deadline parser accepted negative duration %v from %q", d, deadline)
+		}
+	})
+}

@@ -1,0 +1,524 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"rsin/internal/obs"
+	"rsin/internal/sched"
+	"rsin/internal/system"
+)
+
+// DeadlineHeader carries the per-request deadline as a Go duration
+// string ("250ms", "2s"). The server derives a context.WithTimeout from
+// it, so a request that cannot be provisioned in time is withdrawn from
+// the scheduler (releasing its queue slot) and answered 504. Absent or
+// "0" means no deadline beyond the client's own connection.
+const DeadlineHeader = "Rsin-Deadline"
+
+// maxBodyBytes bounds the /v1/tasks request body. A submit request is a
+// handful of integers plus an optional per-resource preference vector;
+// 64 KiB covers fabrics three orders of magnitude past the test sizes.
+const maxBodyBytes = 64 << 10
+
+// SubmitRequest is the JSON body of POST /v1/tasks. The zero value of
+// every field is valid: an untyped, untier'd single-resource task on
+// processor 0 of shard 0, serviced and released immediately on grant.
+type SubmitRequest struct {
+	Shard    int     `json:"shard"`
+	Proc     int     `json:"proc"`
+	Need     int     `json:"need"`     // resources required; 0 means 1
+	Tier     int     `json:"tier"`     // priority class, 0 most urgent
+	Priority int64   `json:"priority"` // fine-grain priority within the tier
+	Prefs    []int64 `json:"prefs,omitempty"`
+	Type     int     `json:"type"`
+	// HoldUS holds the granted resources for this many microseconds
+	// before the server releases them — the simulated service time.
+	HoldUS int64 `json:"hold_us"`
+	// Stream switches the response to an ndjson event stream (admitted,
+	// granted, serviced / failed) flushed as the task progresses, instead
+	// of a single JSON document after release. Accept:
+	// application/x-ndjson selects it too.
+	Stream bool `json:"stream"`
+}
+
+// decodeSubmit parses and validates a /v1/tasks body. It is strict —
+// unknown fields and trailing garbage are errors, so a client typo
+// ("tir": 2) sheds loudly instead of silently submitting the default —
+// and pure, which is what FuzzHTTPSubmitDecode needs.
+func decodeSubmit(body []byte) (SubmitRequest, error) {
+	var req SubmitRequest
+	dec := json.NewDecoder(bytes.NewReader(body))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		return SubmitRequest{}, fmt.Errorf("decoding task: %w", err)
+	}
+	if dec.More() {
+		return SubmitRequest{}, fmt.Errorf("decoding task: trailing data after the JSON document")
+	}
+	if req.Shard < 0 {
+		return SubmitRequest{}, fmt.Errorf("shard %d must be non-negative", req.Shard)
+	}
+	if req.Proc < 0 {
+		return SubmitRequest{}, fmt.Errorf("proc %d must be non-negative", req.Proc)
+	}
+	if req.Need < 0 {
+		return SubmitRequest{}, fmt.Errorf("need %d must be non-negative", req.Need)
+	}
+	if req.HoldUS < 0 {
+		return SubmitRequest{}, fmt.Errorf("hold_us %d must be non-negative", req.HoldUS)
+	}
+	// Tier, Priority and Prefs bounds are the scheduler's contract
+	// (system.ValidateTask, typed ErrBadTask); the decoder only rejects
+	// what could never be valid so the two layers cannot disagree.
+	return req, nil
+}
+
+// parseDeadline parses the DeadlineHeader value. Empty and "0" mean no
+// deadline; anything else must be a positive Go duration.
+func parseDeadline(h string) (time.Duration, error) {
+	if h == "" || h == "0" {
+		return 0, nil
+	}
+	d, err := time.ParseDuration(h)
+	if err != nil {
+		return 0, fmt.Errorf("parsing %s: %w", DeadlineHeader, err)
+	}
+	if d <= 0 {
+		return 0, fmt.Errorf("%s %q must be positive", DeadlineHeader, h)
+	}
+	return d, nil
+}
+
+// TaskEvent is one line of the ndjson event stream (and the body of the
+// single-document response, Event "serviced"). Cause labels terminal
+// failures: "timeout" (the per-request deadline expired), "disconnect"
+// (the client went away), "severed" (the task exhausted its sever-retry
+// budget under hardware faults), "shard-down", "unsat", "closed".
+type TaskEvent struct {
+	Event        string  `json:"event"` // admitted | granted | serviced | failed
+	Resources    []int   `json:"resources,omitempty"`
+	QueueMS      float64 `json:"queue_ms,omitempty"`   // admitted -> granted
+	ServiceMS    float64 `json:"service_ms,omitempty"` // granted -> released
+	Cause        string  `json:"cause,omitempty"`
+	Error        string  `json:"error,omitempty"`
+	RetryAfterMS int64   `json:"retry_after_ms,omitempty"`
+}
+
+// Config parameterizes a Server.
+type Config struct {
+	// Sched is the scheduling service behind the front door. Required;
+	// the server does not own it (Close it separately, after Drain).
+	Sched *sched.Scheduler
+	// Admission tunes the admission controller built for the server.
+	Admission AdmissionConfig
+	// MaxHold caps SubmitRequest.HoldUS; longer holds are rejected with
+	// 400 (a client must not pin fabric resources indefinitely).
+	// Default 5s.
+	MaxHold time.Duration
+	// Obs, when non-nil, receives the server instruments (request and
+	// outcome counters, request latency histogram) and is threaded into
+	// the admission controller unless Admission.Obs is already set.
+	Obs *obs.Registry
+}
+
+// serverObs holds the front door's resolved instruments; the zero value
+// (nil registry) is the disabled state, every method a nil-safe no-op.
+type serverObs struct {
+	requests    *obs.Counter
+	serviced    *obs.Counter
+	timeouts    *obs.Counter
+	disconnects *obs.Counter
+	failed      *obs.Counter
+	badRequests *obs.Counter
+	requestMS   *obs.Histogram
+}
+
+// Server is the HTTP front door. Build one with New, mount Handler on a
+// listener (HTTPServer returns one pre-configured for h2c), and Drain it
+// before closing the scheduler.
+type Server struct {
+	s   *sched.Scheduler
+	adm *Admission
+	cfg Config
+	o   serverObs
+	mux *http.ServeMux
+
+	drainCh chan struct{} // closed by Drain; draining() reports it
+}
+
+// New validates the configuration and builds the front door.
+func New(cfg Config) (*Server, error) {
+	if cfg.Sched == nil {
+		return nil, fmt.Errorf("server: a scheduler is required")
+	}
+	if cfg.MaxHold <= 0 {
+		cfg.MaxHold = 5 * time.Second
+	}
+	if cfg.Admission.Obs == nil {
+		cfg.Admission.Obs = cfg.Obs
+	}
+	adm, err := NewAdmission(cfg.Admission)
+	if err != nil {
+		return nil, err
+	}
+	sv := &Server{s: cfg.Sched, adm: adm, cfg: cfg, drainCh: make(chan struct{})}
+	if reg := cfg.Obs; reg != nil {
+		sv.o = serverObs{
+			requests:    reg.Counter("rsin_server_requests_total"),
+			serviced:    reg.Counter("rsin_server_serviced_total"),
+			timeouts:    reg.Counter("rsin_server_timeouts_total"),
+			disconnects: reg.Counter("rsin_server_disconnects_total"),
+			failed:      reg.Counter("rsin_server_failed_total"),
+			badRequests: reg.Counter("rsin_server_bad_requests_total"),
+			requestMS:   reg.Histogram("rsin_server_request_ms", obs.ExpBuckets(0.01, 2, 18)),
+		}
+	}
+	sv.mux = http.NewServeMux()
+	sv.mux.HandleFunc("/v1/tasks", sv.handleTasks)
+	sv.mux.HandleFunc("/healthz", sv.handleHealthz)
+	return sv, nil
+}
+
+// Admission exposes the server's admission controller (census snapshots
+// for harnesses and ops endpoints).
+func (sv *Server) Admission() *Admission { return sv.adm }
+
+// Handler returns the front door's HTTP handler.
+func (sv *Server) Handler() http.Handler { return sv.mux }
+
+// HTTPServer returns an *http.Server for the front door speaking both
+// HTTP/1.1 and unencrypted HTTP/2 (h2c, prior knowledge) on plain TCP —
+// curl and browsers arrive over HTTP/1.1, streaming clients multiplex
+// requests over h2c.
+func (sv *Server) HTTPServer() *http.Server {
+	p := new(http.Protocols)
+	p.SetHTTP1(true)
+	p.SetUnencryptedHTTP2(true)
+	return &http.Server{Handler: sv.mux, Protocols: p}
+}
+
+// Drain moves the server into shutdown: every subsequent /v1/tasks
+// request sheds with 503 (reason "draining") while in-flight requests
+// run to completion. Call it before http.Server.Shutdown so streams
+// already admitted can finish, and close the scheduler only after.
+// Idempotent.
+func (sv *Server) Drain() {
+	select {
+	case <-sv.drainCh:
+	default:
+		close(sv.drainCh)
+	}
+}
+
+func (sv *Server) draining() bool {
+	select {
+	case <-sv.drainCh:
+		return true
+	default:
+		return false
+	}
+}
+
+// handleHealthz serves the liveness/responsiveness probe: the admission
+// census as JSON. It stays cheap and lock-bounded so it answers even
+// when every worker is saturated — the open-loop harness uses its
+// latency as the "process stays responsive under overload" check.
+func (sv *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	state := struct {
+		AdmissionState
+		Draining bool `json:"draining"`
+	}{sv.adm.State(), sv.draining()}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(state)
+}
+
+// writeShed answers a shed request: 503, Retry-After in whole seconds
+// (rounded up — the header's unit), and a JSON body carrying the exact
+// hint in milliseconds plus the policy that shed.
+func writeShed(w http.ResponseWriter, tier int, reason string, retry time.Duration) {
+	secs := int64((retry + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusServiceUnavailable)
+	_ = json.NewEncoder(w).Encode(struct {
+		Error        string `json:"error"`
+		Reason       string `json:"reason"`
+		Tier         int    `json:"tier"`
+		RetryAfterMS int64  `json:"retry_after_ms"`
+	}{"overload", reason, tier, retry.Milliseconds()})
+}
+
+func writeError(w http.ResponseWriter, code int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(struct {
+		Error string `json:"error"`
+	}{err.Error()})
+}
+
+// failCause maps a terminal scheduler error to the API's cause label and
+// HTTP status. Retryable conditions (overloadish: shard restart, sever
+// budget, shutdown) get 503 so clients back off and resubmit; permanent
+// ones (unsatisfiable demand) get 422.
+func failCause(err error) (string, int) {
+	switch {
+	case errors.Is(err, system.ErrCircuitSevered):
+		return "severed", http.StatusServiceUnavailable
+	case errors.Is(err, sched.ErrShardDown):
+		return "shard-down", http.StatusServiceUnavailable
+	case errors.Is(err, sched.ErrClosed):
+		return "closed", http.StatusServiceUnavailable
+	case errors.Is(err, system.ErrUnsatisfiable):
+		return "unsat", http.StatusUnprocessableEntity
+	default:
+		return "error", http.StatusInternalServerError
+	}
+}
+
+// handleTasks is POST /v1/tasks: decode, admit, submit with the request
+// context (disconnect + deadline header), stream or report the outcome,
+// and always release what was acquired — the admission slot via the
+// ticket, the granted resources via EndService.
+func (sv *Server) handleTasks(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("use POST"))
+		return
+	}
+	t0 := time.Now()
+	sv.o.requests.Inc()
+	defer func() { sv.o.requestMS.Observe(time.Since(t0).Seconds() * 1e3) }()
+
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	if err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			sv.o.badRequests.Inc()
+			writeError(w, http.StatusRequestEntityTooLarge, fmt.Errorf("body exceeds %d bytes", maxBodyBytes))
+			return
+		}
+		// A client that vanished mid-body was never admitted; anything
+		// else is a malformed request.
+		if r.Context().Err() != nil {
+			return
+		}
+		sv.o.badRequests.Inc()
+		writeError(w, http.StatusBadRequest, fmt.Errorf("reading body: %w", err))
+		return
+	}
+	req, err := decodeSubmit(body)
+	if err != nil {
+		sv.o.badRequests.Inc()
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	deadline, err := parseDeadline(r.Header.Get(DeadlineHeader))
+	if err != nil {
+		sv.o.badRequests.Inc()
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	hold := time.Duration(req.HoldUS) * time.Microsecond
+	if hold > sv.cfg.MaxHold {
+		sv.o.badRequests.Inc()
+		writeError(w, http.StatusBadRequest, fmt.Errorf("hold_us %d exceeds the %v cap", req.HoldUS, sv.cfg.MaxHold))
+		return
+	}
+	stream := req.Stream || strings.Contains(r.Header.Get("Accept"), "application/x-ndjson")
+
+	// Admission: the drain gate first (a draining server sheds uniformly),
+	// then the controller's threshold + proportional-fair policies.
+	if sv.draining() {
+		writeShed(w, req.Tier, ShedDraining, sv.adm.RetryAfter())
+		return
+	}
+	ticket, err := sv.adm.Admit(req.Tier)
+	if err != nil {
+		var oe *OverloadError
+		if errors.As(err, &oe) {
+			writeShed(w, oe.Tier, oe.Reason, oe.RetryAfter)
+			return
+		}
+		sv.o.badRequests.Inc()
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	defer ticket.Finish()
+
+	// The request context carries the client disconnect; the deadline
+	// header tightens it. Either one expiring withdraws the task from
+	// its shard, releasing the queue slot (sched.SubmitCtx semantics).
+	ctx := r.Context()
+	if deadline > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, deadline)
+		defer cancel()
+	}
+	task := system.Task{
+		Proc: req.Proc, Need: req.Need, Tier: req.Tier,
+		Priority: req.Priority, Prefs: req.Prefs, Type: req.Type,
+	}
+
+	var es *eventStream
+	if stream {
+		es = newEventStream(w)
+		es.send(TaskEvent{Event: "admitted"})
+	}
+
+	h, err := sv.s.SubmitCtx(ctx, req.Shard, task)
+	if err != nil {
+		sv.respondSubmitError(w, es, ctx, err)
+		return
+	}
+	<-h.Done()
+	if err := h.Err(); err != nil {
+		sv.respondTaskError(w, r, es, ctx, err)
+		return
+	}
+	ticket.Grant()
+	granted := time.Now()
+	queueMS := granted.Sub(t0).Seconds() * 1e3
+	res := h.Resources()
+	if es != nil {
+		es.send(TaskEvent{Event: "granted", Resources: res, QueueMS: queueMS})
+	}
+	if hold > 0 {
+		// Hold through the simulated service time. A dying context does
+		// not skip EndService: once granted, the resources are held and
+		// must be released on every path.
+		t := time.NewTimer(hold)
+		select {
+		case <-ctx.Done():
+			t.Stop()
+		case <-t.C:
+		}
+	}
+	serviceMS := time.Since(granted).Seconds() * 1e3
+	if err := sv.s.EndService(h); err != nil {
+		// The grants were lost (shard restart between grant and release):
+		// the task is terminal either way, but tell the client the truth.
+		sv.o.failed.Inc()
+		ev := TaskEvent{Event: "failed", Cause: "shard-down", Error: err.Error()}
+		if es != nil {
+			es.send(ev)
+			return
+		}
+		writeJSONStatus(w, http.StatusServiceUnavailable, ev)
+		return
+	}
+	sv.o.serviced.Inc()
+	ev := TaskEvent{Event: "serviced", Resources: res, QueueMS: queueMS, ServiceMS: serviceMS}
+	if es != nil {
+		es.send(ev)
+		return
+	}
+	writeJSONStatus(w, http.StatusOK, ev)
+}
+
+// respondSubmitError answers a Submit that failed before the task was
+// accepted (validation, capacity, closed).
+func (sv *Server) respondSubmitError(w http.ResponseWriter, es *eventStream, ctx context.Context, err error) {
+	switch {
+	case errors.Is(err, sched.ErrTaskCanceled):
+		sv.respondCanceled(w, es, ctx, err)
+	case errors.Is(err, system.ErrUnsatisfiable),
+		errors.Is(err, sched.ErrClosed),
+		errors.Is(err, sched.ErrShardDown):
+		cause, code := failCause(err)
+		sv.o.failed.Inc()
+		sv.fail(w, es, cause, code, err)
+	default:
+		// Everything else Submit reports synchronously is validation — a
+		// malformed tier or preference vector (ErrBadTask), a shard or
+		// processor index off the fabric. The request, not the server.
+		sv.o.badRequests.Inc()
+		sv.fail(w, es, "bad-task", http.StatusBadRequest, err)
+	}
+}
+
+// respondTaskError answers a handle that closed with an error after the
+// task was admitted to a shard.
+func (sv *Server) respondTaskError(w http.ResponseWriter, r *http.Request, es *eventStream, ctx context.Context, err error) {
+	if errors.Is(err, sched.ErrTaskCanceled) {
+		sv.respondCanceled(w, es, ctx, err)
+		return
+	}
+	cause, code := failCause(err)
+	sv.o.failed.Inc()
+	sv.fail(w, es, cause, code, err)
+}
+
+// respondCanceled distinguishes the two ways a task context dies: the
+// deadline header expired (504, the client is still listening) or the
+// client disconnected (the response is moot, but the counters are not).
+func (sv *Server) respondCanceled(w http.ResponseWriter, es *eventStream, ctx context.Context, err error) {
+	if errors.Is(ctx.Err(), context.DeadlineExceeded) {
+		sv.o.timeouts.Inc()
+		sv.fail(w, es, "timeout", http.StatusGatewayTimeout, err)
+		return
+	}
+	sv.o.disconnects.Inc()
+	sv.fail(w, es, "disconnect", http.StatusServiceUnavailable, err)
+}
+
+func (sv *Server) fail(w http.ResponseWriter, es *eventStream, cause string, code int, err error) {
+	ev := TaskEvent{Event: "failed", Cause: cause, Error: err.Error()}
+	if code == http.StatusServiceUnavailable || code == http.StatusGatewayTimeout {
+		ev.RetryAfterMS = sv.adm.RetryAfter().Milliseconds()
+	}
+	if es != nil {
+		es.send(ev)
+		return
+	}
+	if ev.RetryAfterMS > 0 {
+		secs := (ev.RetryAfterMS + 999) / 1000
+		w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
+	}
+	writeJSONStatus(w, code, ev)
+}
+
+func writeJSONStatus(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// eventStream writes ndjson task events, flushing each line so the
+// client sees progress while the task is still queued (h2c multiplexes
+// many such streams over one connection).
+type eventStream struct {
+	w     http.ResponseWriter
+	flush http.Flusher
+	enc   *json.Encoder
+}
+
+func newEventStream(w http.ResponseWriter) *eventStream {
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	es := &eventStream{w: w, enc: json.NewEncoder(w)}
+	if f, ok := w.(http.Flusher); ok {
+		es.flush = f
+	}
+	return es
+}
+
+func (es *eventStream) send(ev TaskEvent) {
+	if err := es.enc.Encode(ev); err != nil {
+		return // client gone; the context cancellation does the cleanup
+	}
+	if es.flush != nil {
+		es.flush.Flush()
+	}
+}

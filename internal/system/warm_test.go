@@ -1,7 +1,9 @@
 package system
 
 import (
+	"errors"
 	"math/rand"
+	"sort"
 	"testing"
 
 	"rsin/internal/core"
@@ -44,9 +46,13 @@ func TestWarmSolveMatchesOracle(t *testing.T) {
 					_ = s.RepairLink(rng.Intn(len(net.Links)))
 					_ = s.RepairResource(rng.Intn(net.Ress))
 				}
-				// New single-resource tasks on random processors.
+				// New single-resource tasks on random processors. Random
+				// churn can legitimately fault every resource at once, in
+				// which case Submit's admission check correctly refuses the
+				// task — skip it and let a later repair reopen the fabric.
 				for i := 0; i < 1+rng.Intn(3); i++ {
-					if _, err := s.Submit(Task{Proc: rng.Intn(net.Procs)}); err != nil {
+					if _, err := s.Submit(Task{Proc: rng.Intn(net.Procs)}); err != nil &&
+						!errors.Is(err, ErrUnsatisfiable) {
 						t.Fatalf("step %d: submit: %v", step, err)
 					}
 				}
@@ -93,15 +99,29 @@ func TestWarmSolveMatchesOracle(t *testing.T) {
 				}
 
 				// Random transmission completions and service completions.
-				for p, id := range transmitting {
+				// Iterate in sorted key order: ranging over the maps directly
+				// while drawing from rng would consume random values in map
+				// iteration order, making the "seeded" trace different every
+				// run.
+				procs := make([]int, 0, len(transmitting))
+				for p := range transmitting {
+					procs = append(procs, p)
+				}
+				sort.Ints(procs)
+				for _, p := range procs {
 					if rng.Intn(2) == 0 {
 						if err := s.EndTransmission(p); err == nil {
-							acquired[id] = true
+							acquired[transmitting[p]] = true
 						}
 						delete(transmitting, p)
 					}
 				}
+				ids := make([]TaskID, 0, len(acquired))
 				for id := range acquired {
+					ids = append(ids, id)
+				}
+				sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+				for _, id := range ids {
 					if rng.Intn(3) == 0 {
 						if err := s.EndService(id); err != nil {
 							t.Fatalf("step %d: end service %d: %v", step, id, err)
