@@ -30,12 +30,14 @@ race:
 # ratchet holds arc scans per granted task on the pinned warm-cold trace
 # within 10% of the recorded baseline (the counters are deterministic,
 # so the threshold is absolute), and the parity test pins the counting
-# convention itself.
+# convention itself. The -gategang smoke run holds the gang workload's
+# invariants: zero partial grants, intact accounting identity.
 ratchet:
 	$(GO) test -run 'TestWarmSimplexPivotRatchet|TestMinCostIncremental' ./internal/core
 	$(GO) test -run 'TestQuickCrossSolver|TestNegativeCostRegressions' ./internal/netsimplex
 	$(GO) test -run 'TestOpsCounterParity' ./internal/maxflow
 	$(GO) test -run 'TestOpsGateRatchet' ./cmd/rsinbench
+	$(GO) run ./cmd/rsinbench -sched -smoke -gategang
 
 # The instrumentation hot path must not allocate (disabled or enabled);
 # CI runs the same guard.
@@ -44,9 +46,9 @@ allocguard:
 
 # Machine-readable scheduling-service benchmark (see EXPERIMENTS.md for
 # the BENCH_sched.json format), with the warm-start, tier-0 QoS,
-# solver-cost and open-loop overload-shedding gates.
+# solver-cost, open-loop overload-shedding and gang all-or-nothing gates.
 schedbench:
-	$(GO) run ./cmd/rsinbench -sched -openloop -gatewarm -gatetier -gateops -gateshed -json BENCH_sched.json
+	$(GO) run ./cmd/rsinbench -sched -openloop -gatewarm -gatetier -gateops -gateshed -gategang -json BENCH_sched.json
 
 # lint/vuln need staticcheck / govulncheck on PATH (CI installs them);
 # they are not part of `all` so an offline checkout still builds.
@@ -62,5 +64,6 @@ bench:
 # Short smoke-fuzz of the life-cycle, parser and front-door fuzzers.
 fuzz:
 	$(GO) test -fuzz FuzzSubmitCycle -fuzztime 30s ./internal/system
+	$(GO) test -fuzz FuzzGangSubmit -fuzztime 30s ./internal/system
 	$(GO) test -fuzz FuzzParse -fuzztime 30s ./internal/dimacs
 	$(GO) test -fuzz FuzzHTTPSubmitDecode -fuzztime 30s ./internal/server

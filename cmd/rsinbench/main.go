@@ -30,11 +30,12 @@ func main() {
 		gateOps  = flag.Bool("gateops", false, "with -sched: fail if arc scans per granted task on the pinned ops-gate trace regress >10% over the recorded baseline")
 		openLoop = flag.Bool("openloop", false, "with -sched: run the open-loop overload sweep through the HTTP front door (Poisson arrivals over a rate grid past the knee)")
 		gateShed = flag.Bool("gateshed", false, "with -sched: fail unless the open-loop sweep sheds correctly under 2x overload (implies -openloop; see gateShedCheck)")
+		gateGang = flag.Bool("gategang", false, "with -sched: fail unless the gang workload shows zero partial grants, an intact accounting identity, and serviced gangs from both families (see gateGangCheck)")
 	)
 	flag.Parse()
 
 	if *schedRun {
-		if err := runSchedBench(*seed, *smoke, *gateWarm, *gateTier, *gateOps, *openLoop, *gateShed, *jsonOut); err != nil {
+		if err := runSchedBench(*seed, *smoke, *gateWarm, *gateTier, *gateOps, *openLoop, *gateShed, *gateGang, *jsonOut); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}

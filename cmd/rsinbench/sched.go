@@ -28,8 +28,12 @@ import (
 // -gateops ratchet enforces. v5 added the optional openloop section —
 // the Poisson offered-load sweep through the internal/server front door
 // (knee rate, per-multiplier goodput/latency/shed/timeout curves) that
-// the -gateshed overload check enforces.
-const schedBenchSchema = "rsin-bench-sched/v5"
+// the -gateshed overload check enforces. v6 added the gang section —
+// concurrent ring-allreduce collectives and explicit all-or-nothing
+// gangs under link chaos (partial-grant census, gang sever counters,
+// gang queue latency) that the -gategang invariant check enforces — and
+// the Gangs* / GangSevers counters inside sched_stats.
+const schedBenchSchema = "rsin-bench-sched/v6"
 
 // The ops gate solves one pinned warm-cold trace — pure computation on a
 // seeded RNG, so its counters are bit-identical on every machine and the
@@ -100,7 +104,10 @@ type schedBenchReport struct {
 	// OpenLoop is the offered-load overload sweep through the HTTP front
 	// door (cmd/rsinbench/openloop.go); present only on -openloop runs.
 	OpenLoop *openLoopReport `json:"openloop,omitempty"`
-	Obs      obs.Snapshot    `json:"obs"`
+	// Gang is the all-or-nothing gang + collective workload under link
+	// chaos (cmd/rsinbench/gang.go) whose invariants -gategang enforces.
+	Gang gangBenchReport `json:"gang"`
+	Obs  obs.Snapshot    `json:"obs"`
 }
 
 // runSchedBench drives the batched scheduling service at load — including
@@ -123,7 +130,10 @@ type schedBenchReport struct {
 //     knee with Retry-After on every shed, keep tier-0 goodput at 2x
 //     within 90% of its knee value, bound the admitted tier-0 p99 and
 //     the queue depth, and keep /healthz responsive (gateShedCheck).
-func runSchedBench(seed int64, smoke, gateWarm, gateTier, gateOps, openLoop, gateShed bool, jsonPath string) error {
+//   - gateGang: the gang workload must show zero partial grants, an
+//     intact member-wise accounting identity, and serviced gangs from
+//     both the collective and explicit families (gateGangCheck).
+func runSchedBench(seed int64, smoke, gateWarm, gateTier, gateOps, openLoop, gateShed, gateGang bool, jsonPath string) error {
 	cfg := schedBenchConfig{
 		Topology: "omega", N: 64, Shards: 2,
 		Clients: 64, Tasks: 200, Warmup: 20, Need: 1, Faults: 16,
@@ -239,6 +249,10 @@ func runSchedBench(seed int64, smoke, gateWarm, gateTier, gateOps, openLoop, gat
 		}
 		openLoopRep = &olr
 	}
+	gang, err := runGangBench(seed, smoke)
+	if err != nil {
+		return fmt.Errorf("gang workload: %w", err)
+	}
 
 	var all []float64
 	for _, lat := range latencies {
@@ -266,6 +280,7 @@ func runSchedBench(seed int64, smoke, gateWarm, gateTier, gateOps, openLoop, gat
 		OpsGate:    og,
 		Tiered:     tiered,
 		OpenLoop:   openLoopRep,
+		Gang:       gang,
 		Obs:        reg.Snapshot(),
 	}
 
@@ -281,6 +296,10 @@ func runSchedBench(seed int64, smoke, gateWarm, gateTier, gateOps, openLoop, gat
 		tiered.Procs, tiered.Ress, tiered.Clients, tiered.Tiers,
 		ms(tiered.PerTier[0].P99), ms(tiered.BaselineP99),
 		tiered.Tiers-1, ms(tiered.PerTier[tiered.Tiers-1].P99), tiered.Preempts)
+	fmt.Printf("gang          omega(%d) %d collectives x %d rounds + %d gang clients: collectives ok=%d phases=%d, gangs ok=%d failed=%d, severs=%d, partial-grants=%d, gang p99=%.3fms\n",
+		gang.Config.N, gang.Config.Collectives, gang.Config.Rounds, gang.Config.Explicit,
+		gang.CollectivesOK, gang.PhasesServiced, gang.GangsOK, gang.GangsFailed,
+		gang.Severs, gang.PartialGrants, gang.GangQueueMS["p99"])
 	if openLoopRep != nil {
 		fmt.Printf("open loop     omega(%d) front door: knee %.0f req/s\n", openLoopRep.Config.N, openLoopRep.KneePerS)
 		for _, p := range openLoopRep.Points {
@@ -327,6 +346,11 @@ func runSchedBench(seed int64, smoke, gateWarm, gateTier, gateOps, openLoop, gat
 	}
 	if gateShed {
 		if err := gateShedCheck(*openLoopRep); err != nil {
+			return err
+		}
+	}
+	if gateGang {
+		if err := gateGangCheck(gang); err != nil {
 			return err
 		}
 	}

@@ -42,6 +42,11 @@
 //
 //	go run ./cmd/rsinserve -serve :8080                  # front-door mode
 //	go run ./cmd/rsinserve -serve :8080 -linkfault 5ms   # with hardware chaos
+//	go run ./cmd/rsinserve -serve :8080 -gangs           # + POST /v1/gangs
+//
+// With -gangs the front door also mounts POST /v1/gangs: all-or-nothing
+// gangs (explicit member lists) and ring collectives (allreduce,
+// reduce-scatter) lowered onto phase chains of gangs.
 package main
 
 import (
@@ -163,8 +168,8 @@ func drainClients(ctx context.Context, clientsDone <-chan struct{}, drain time.D
 // in the documented order — chaos stops and heals, the admission gate
 // sheds new work as "draining", in-flight streams finish (bounded by
 // drain), and only then does the scheduler close.
-func runServe(ctx context.Context, s *sched.Scheduler, reg *obs.Registry, addr string, drain time.Duration, stopChaos func()) {
-	sv, err := server.New(server.Config{Sched: s, Obs: reg})
+func runServe(ctx context.Context, s *sched.Scheduler, reg *obs.Registry, addr string, gangs bool, drain time.Duration, stopChaos func()) {
+	sv, err := server.New(server.Config{Sched: s, Obs: reg, Gangs: gangs})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
@@ -177,6 +182,10 @@ func runServe(ctx context.Context, s *sched.Scheduler, reg *obs.Registry, addr s
 	srv := sv.HTTPServer()
 	fmt.Fprintf(os.Stderr, "rsinserve: front door on http://%s/v1/tasks (h2c; POST tasks, %s header for deadlines)\n",
 		ln.Addr(), server.DeadlineHeader)
+	if gangs {
+		fmt.Fprintf(os.Stderr, "rsinserve: gang endpoint on http://%s/v1/gangs (all-or-nothing gangs, allreduce | reduce-scatter collectives)\n",
+			ln.Addr())
+	}
 	go srv.Serve(ln)
 
 	<-ctx.Done()
@@ -221,6 +230,7 @@ func main() {
 		seed      = flag.Int64("seed", 0, "chaos/injection RNG seed (0 = derive from the clock; logged for reproducibility)")
 		httpAddr  = flag.String("http", "", "serve /metrics, /metrics.json, /trace and /debug/pprof on this address (e.g. :9090)")
 		serveAddr = flag.String("serve", "", "serve the HTTP front door (POST /v1/tasks over h2c, /healthz) on this address instead of running the closed-loop clients; drains on SIGINT")
+		gangs     = flag.Bool("gangs", false, "with -serve: also mount POST /v1/gangs (all-or-nothing gangs and ring collectives)")
 		drain     = flag.Duration("drain", 10*time.Second, "in-flight drain deadline after SIGINT/SIGTERM")
 	)
 	flag.Parse()
@@ -315,8 +325,12 @@ func main() {
 	// recovery are all exercised continuously under live load.
 	stopChaos := startChaos(ctx, s, *shards, len(cfg.Shards[0].Net.Links), *linkfault, chaosSeed)
 
+	if *gangs && *serveAddr == "" {
+		fmt.Fprintln(os.Stderr, "-gangs requires -serve (the gang endpoint is part of the front door)")
+		os.Exit(2)
+	}
 	if *serveAddr != "" {
-		runServe(ctx, s, reg, *serveAddr, *drain, stopChaos)
+		runServe(ctx, s, reg, *serveAddr, *gangs, *drain, stopChaos)
 		return
 	}
 

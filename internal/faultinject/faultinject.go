@@ -26,6 +26,18 @@
 //	cycle:p=0.001:fail-res=0   hardware: fail resource 0, p=0.001 per Cycle
 //	cycle:3,cycle:9,endtransmission:%50
 //
+// A hardware action may be a +-joined compound: every operation in the
+// batch fires on the same trigger, in one fault event —
+//
+//	cycle:5:fail-link=3+fail-res=0   correlated fault: link 3 AND resource
+//	                                 0 die at the 5th Cycle, atomically
+//
+// which is how correlated failures (a cable cut taking a link and the
+// resource behind it, a power domain dropping several boxes) are
+// scripted. The system applies the batch before rescheduling, so victims
+// are severed once by the combined event, not once per component — the
+// sever-budget accounting the sched layer relies on.
+//
 // Probability triggers draw from a deterministically seeded generator
 // (override with Seed), so "random" soak runs replay exactly. Point names
 // are validated against the system's fault points, and hardware actions
@@ -61,13 +73,14 @@ type rule struct {
 	prob  float64      // additionally fail with this probability; 0 = off
 }
 
-// hwEvent is one scripted hardware fault: the trigger (exactly one of
-// nth/every/prob is set) and the operation to apply when it fires.
+// hwEvent is one scripted hardware fault event: the trigger (exactly one
+// of nth/every/prob is set) and the operations to apply — as one batch —
+// when it fires.
 type hwEvent struct {
 	nth   int
 	every int
 	prob  float64
-	op    system.FaultOp
+	ops   []system.FaultOp
 }
 
 // Injector scripts which calls at which fault points fail, and which
@@ -133,30 +146,32 @@ func (in *Injector) FailProb(point string, p float64) *Injector {
 	return in
 }
 
-// HardwareAt scripts op to fire on the nth (1-based) HardwareHook call at
-// point. It returns the Injector for chaining.
-func (in *Injector) HardwareAt(point string, nth int, op system.FaultOp) *Injector {
+// HardwareAt scripts ops to fire — as one correlated batch — on the nth
+// (1-based) HardwareHook call at point. It returns the Injector for
+// chaining.
+func (in *Injector) HardwareAt(point string, nth int, ops ...system.FaultOp) *Injector {
 	in.mu.Lock()
 	defer in.mu.Unlock()
-	in.hw[point] = append(in.hw[point], &hwEvent{nth: nth, op: op})
+	in.hw[point] = append(in.hw[point], &hwEvent{nth: nth, ops: ops})
 	return in
 }
 
-// HardwareEvery scripts op to fire on every nth HardwareHook call at
-// point. It returns the Injector for chaining.
-func (in *Injector) HardwareEvery(point string, nth int, op system.FaultOp) *Injector {
+// HardwareEvery scripts ops to fire — as one correlated batch — on every
+// nth HardwareHook call at point. It returns the Injector for chaining.
+func (in *Injector) HardwareEvery(point string, nth int, ops ...system.FaultOp) *Injector {
 	in.mu.Lock()
 	defer in.mu.Unlock()
-	in.hw[point] = append(in.hw[point], &hwEvent{every: nth, op: op})
+	in.hw[point] = append(in.hw[point], &hwEvent{every: nth, ops: ops})
 	return in
 }
 
-// HardwareProb scripts op to fire on each HardwareHook call at point
-// independently with probability p. It returns the Injector for chaining.
-func (in *Injector) HardwareProb(point string, p float64, op system.FaultOp) *Injector {
+// HardwareProb scripts ops to fire — as one correlated batch — on each
+// HardwareHook call at point independently with probability p. It returns
+// the Injector for chaining.
+func (in *Injector) HardwareProb(point string, p float64, ops ...system.FaultOp) *Injector {
 	in.mu.Lock()
 	defer in.mu.Unlock()
-	in.hw[point] = append(in.hw[point], &hwEvent{prob: p, op: op})
+	in.hw[point] = append(in.hw[point], &hwEvent{prob: p, ops: ops})
 	return in
 }
 
@@ -225,7 +240,7 @@ func Parse(spec string) (*Injector, error) {
 			continue
 		}
 
-		op, err := parseAction(action)
+		ops, err := parseActions(action)
 		if err != nil {
 			return nil, fmt.Errorf("faultinject: %q: %w", field, err)
 		}
@@ -234,17 +249,32 @@ func Parse(spec string) (*Injector, error) {
 		}
 		switch {
 		case every > 0:
-			in.HardwareEvery(point, every, op)
+			in.HardwareEvery(point, every, ops...)
 		case prob > 0:
-			in.HardwareProb(point, prob, op)
+			in.HardwareProb(point, prob, ops...)
 		default:
-			in.HardwareAt(point, nth, op)
+			in.HardwareAt(point, nth, ops...)
 		}
 	}
 	return in, nil
 }
 
-// parseAction decodes a hardware action of the form
+// parseActions decodes a hardware action — possibly a +-joined compound,
+// one correlated batch — into its FaultOps, in script order.
+func parseActions(action string) ([]system.FaultOp, error) {
+	parts := strings.Split(action, "+")
+	ops := make([]system.FaultOp, 0, len(parts))
+	for _, part := range parts {
+		op, err := parseAction(strings.TrimSpace(part))
+		if err != nil {
+			return nil, err
+		}
+		ops = append(ops, op)
+	}
+	return ops, nil
+}
+
+// parseAction decodes one hardware action of the form
 // (fail|repair)-(link|box|res)=INDEX into a FaultOp.
 func parseAction(action string) (system.FaultOp, error) {
 	var op system.FaultOp
@@ -314,8 +344,10 @@ func (in *Injector) HardwareHook(point string) []system.FaultOp {
 		case ev.nth > 0 && ev.nth == n,
 			ev.every > 0 && n%ev.every == 0,
 			ev.prob > 0 && in.rng.Float64() < ev.prob:
-			ops = append(ops, ev.op)
-			in.hwFired++
+			// A compound event's whole batch fires together — the system
+			// applies every op before rescheduling, one correlated fault.
+			ops = append(ops, ev.ops...)
+			in.hwFired += len(ev.ops)
 		}
 	}
 	return ops

@@ -77,12 +77,14 @@ func TestParseRejectsMalformed(t *testing.T) {
 		"cycle", "cycle:", ":3", "cycle:zero", "cycle:0", "cycle:%0", "cycle:-1",
 		"bogus:3",                             // unknown fault point
 		"cycle:p=0", "cycle:p=2", "cycle:p=x", // probability out of range / not a number
-		"endtransmission:3:fail-link=1", // hardware action at a point without HardwareHook
-		"cycle:3:fail-link",             // action missing =index
-		"cycle:3:faillink=1",            // action missing verb-target dash
-		"cycle:3:explode-link=1",        // unknown verb
-		"cycle:3:fail-widget=1",         // unknown target
-		"cycle:3:fail-link=-1",          // negative index
+		"endtransmission:3:fail-link=1",     // hardware action at a point without HardwareHook
+		"cycle:3:fail-link",                 // action missing =index
+		"cycle:3:faillink=1",                // action missing verb-target dash
+		"cycle:3:explode-link=1",            // unknown verb
+		"cycle:3:fail-widget=1",             // unknown target
+		"cycle:3:fail-link=-1",              // negative index
+		"cycle:3:fail-link=1+",              // dangling compound separator
+		"cycle:3:fail-link=1+explode-res=0", // bad op inside a compound
 	} {
 		if _, err := Parse(bad); err == nil {
 			t.Fatalf("spec %q accepted", bad)
@@ -143,6 +145,34 @@ func TestHardwareScript(t *testing.T) {
 		if (err != nil) != (n == 5) {
 			t.Fatalf("Hook call %d: err=%v", n, err)
 		}
+	}
+}
+
+// TestHardwareCompound: a +-joined action is one correlated fault event —
+// every op in the batch emitted together, on the same HardwareHook call.
+func TestHardwareCompound(t *testing.T) {
+	in, err := Parse("cycle:2:fail-link=3+fail-res=0, cycle:4:repair-link=3+repair-res=0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[int][]system.FaultOp{
+		2: {
+			{Target: system.FaultTargetLink, Index: 3},
+			{Target: system.FaultTargetResource, Index: 0},
+		},
+		4: {
+			{Repair: true, Target: system.FaultTargetLink, Index: 3},
+			{Repair: true, Target: system.FaultTargetResource, Index: 0},
+		},
+	}
+	for n := 1; n <= 4; n++ {
+		got := in.HardwareHook("cycle")
+		if !reflect.DeepEqual(got, want[n]) {
+			t.Fatalf("call %d: ops %v, want %v", n, got, want[n])
+		}
+	}
+	if in.HardwareFired() != 4 {
+		t.Fatalf("HardwareFired=%d, want 4 (two 2-op batches)", in.HardwareFired())
 	}
 }
 

@@ -22,6 +22,13 @@ const (
 	evReject  = "reject"  // Submit rejected the task before admission
 	evPreempt = "preempt" // unit revoked from a lower tier; Task = victim, Val = resource
 
+	evGangSubmit  = "gangsubmit"  // gang accepted into a shard system; Task = gang ID
+	evGangGrant   = "ganggrant"   // every member provisioned; Task = gang ID, Val = members
+	evGangService = "gangservice" // EndGang released the gang's resources; Task = gang ID
+	evGangCancel  = "gangcancel"  // SubmitGangCtx withdrew the gang; Task = gang ID
+	evGangFailed  = "gangfailed"  // gang terminated with an error; Result labels why
+	evGangSever   = "gangsever"   // atomic gang sever charged; Task = gang ID, Val = severs
+
 	resShardDown   = "shard-down"   // in-flight at a supervisor restart
 	resSeverBudget = "sever-budget" // units severed more than SeverRetries times
 	resUnsat       = "unsat"        // demand no longer fits surviving capacity
@@ -63,12 +70,21 @@ type schedObs struct {
 	retractions *obs.Counter // standing-circuit units walked back
 	fastPaths   *obs.Counter // grants via the combinatorial routing fast path
 
+	gangsSubmitted *obs.Counter // gangs accepted into shard systems
+	gangsActivated *obs.Counter // gangs admitted by the banker's gate
+	gangsGranted   *obs.Counter // gangs fully provisioned (all-or-nothing)
+	gangsServiced  *obs.Counter // gangs released whole by EndGang
+	gangsCanceled  *obs.Counter // gangs withdrawn before full provision
+	gangsFailed    *obs.Counter // gangs terminated with an error
+	gangSevers     *obs.Counter // atomic gang sever events charged
+
 	free   *obs.Gauge
 	usable *obs.Gauge
 
-	submitGrantMS  *obs.Histogram // Submit accepted -> handle provisioned
-	grantReleaseMS *obs.Histogram // provisioned -> EndService released
-	epochSolveMS   *obs.Histogram // wall time of one epoch's cycle loop
+	submitGrantMS     *obs.Histogram // Submit accepted -> handle provisioned
+	grantReleaseMS    *obs.Histogram // provisioned -> EndService released
+	epochSolveMS      *obs.Histogram // wall time of one epoch's cycle loop
+	gangSubmitGrantMS *obs.Histogram // SubmitGang accepted -> whole gang provisioned
 
 	// Per-tier QoS instruments, indexed by Task.Tier. The band is small
 	// and fixed (system.MaxTier+1 classes), so each tier gets its own
@@ -90,36 +106,44 @@ func newSchedObs(reg *obs.Registry) schedObs {
 		return schedObs{}
 	}
 	o := schedObs{
-		enabled:        true,
-		submitted:      reg.Counter("rsin_sched_submitted_total"),
-		granted:        reg.Counter("rsin_sched_granted_total"),
-		serviced:       reg.Counter("rsin_sched_serviced_total"),
-		canceled:       reg.Counter("rsin_sched_canceled_total"),
-		failed:         reg.Counter("rsin_sched_failed_total"),
-		rejected:       reg.Counter("rsin_sched_rejected_total"),
-		epochs:         reg.Counter("rsin_sched_epochs_total"),
-		cycles:         reg.Counter("rsin_sched_cycles_total"),
-		deferred:       reg.Counter("rsin_sched_deferred_total"),
-		restarts:       reg.Counter("rsin_sched_restarts_total"),
-		faultOps:       reg.Counter("rsin_sched_fault_ops_total"),
-		repairOps:      reg.Counter("rsin_sched_repair_ops_total"),
-		severed:        reg.Counter("rsin_sched_severed_total"),
-		preempts:       reg.Counter("rsin_sched_preempts_total"),
-		augmentations:  reg.Counter("rsin_solver_augmentations_total"),
-		phases:         reg.Counter("rsin_solver_phases_total"),
-		arcScans:       reg.Counter("rsin_solver_arc_scans_total"),
-		nodeVisits:     reg.Counter("rsin_solver_node_visits_total"),
-		warmSolves:     reg.Counter("rsin_solver_warm_solves_total"),
-		coldSolves:     reg.Counter("rsin_solver_cold_solves_total"),
-		warmArcs:       reg.Counter("rsin_solver_warm_arcs_touched_total"),
-		retractions:    reg.Counter("rsin_solver_warm_retractions_total"),
-		fastPaths:      reg.Counter("rsin_solver_fast_paths_total"),
-		free:           reg.Gauge("rsin_sched_free_resources"),
-		usable:         reg.Gauge("rsin_sched_usable_resources"),
-		submitGrantMS:  reg.Histogram("rsin_sched_submit_to_grant_ms", latencyBuckets()),
-		grantReleaseMS: reg.Histogram("rsin_sched_grant_to_release_ms", latencyBuckets()),
-		epochSolveMS:   reg.Histogram("rsin_sched_epoch_solve_ms", latencyBuckets()),
-		trace:          reg.Trace(),
+		enabled:           true,
+		submitted:         reg.Counter("rsin_sched_submitted_total"),
+		granted:           reg.Counter("rsin_sched_granted_total"),
+		serviced:          reg.Counter("rsin_sched_serviced_total"),
+		canceled:          reg.Counter("rsin_sched_canceled_total"),
+		failed:            reg.Counter("rsin_sched_failed_total"),
+		rejected:          reg.Counter("rsin_sched_rejected_total"),
+		epochs:            reg.Counter("rsin_sched_epochs_total"),
+		cycles:            reg.Counter("rsin_sched_cycles_total"),
+		deferred:          reg.Counter("rsin_sched_deferred_total"),
+		restarts:          reg.Counter("rsin_sched_restarts_total"),
+		faultOps:          reg.Counter("rsin_sched_fault_ops_total"),
+		repairOps:         reg.Counter("rsin_sched_repair_ops_total"),
+		severed:           reg.Counter("rsin_sched_severed_total"),
+		preempts:          reg.Counter("rsin_sched_preempts_total"),
+		augmentations:     reg.Counter("rsin_solver_augmentations_total"),
+		phases:            reg.Counter("rsin_solver_phases_total"),
+		arcScans:          reg.Counter("rsin_solver_arc_scans_total"),
+		nodeVisits:        reg.Counter("rsin_solver_node_visits_total"),
+		warmSolves:        reg.Counter("rsin_solver_warm_solves_total"),
+		coldSolves:        reg.Counter("rsin_solver_cold_solves_total"),
+		warmArcs:          reg.Counter("rsin_solver_warm_arcs_touched_total"),
+		retractions:       reg.Counter("rsin_solver_warm_retractions_total"),
+		fastPaths:         reg.Counter("rsin_solver_fast_paths_total"),
+		gangsSubmitted:    reg.Counter("rsin_sched_gangs_submitted_total"),
+		gangsActivated:    reg.Counter("rsin_sched_gangs_activated_total"),
+		gangsGranted:      reg.Counter("rsin_sched_gangs_granted_total"),
+		gangsServiced:     reg.Counter("rsin_sched_gangs_serviced_total"),
+		gangsCanceled:     reg.Counter("rsin_sched_gangs_canceled_total"),
+		gangsFailed:       reg.Counter("rsin_sched_gangs_failed_total"),
+		gangSevers:        reg.Counter("rsin_sched_gang_severs_total"),
+		free:              reg.Gauge("rsin_sched_free_resources"),
+		usable:            reg.Gauge("rsin_sched_usable_resources"),
+		submitGrantMS:     reg.Histogram("rsin_sched_submit_to_grant_ms", latencyBuckets()),
+		grantReleaseMS:    reg.Histogram("rsin_sched_grant_to_release_ms", latencyBuckets()),
+		epochSolveMS:      reg.Histogram("rsin_sched_epoch_solve_ms", latencyBuckets()),
+		gangSubmitGrantMS: reg.Histogram("rsin_sched_gang_submit_to_grant_ms", latencyBuckets()),
+		trace:             reg.Trace(),
 	}
 	for t := 0; t <= system.MaxTier; t++ {
 		o.grantedTier[t] = reg.Counter(fmt.Sprintf("rsin_sched_granted_tier%d_total", t))

@@ -160,6 +160,17 @@ type Stats struct {
 	Repairs    int64 // component repairs applied
 	Preempts   int64 // units revoked from lower-tier holders (Config.Preempt)
 
+	// Gang counters. Gangs also count member-wise in the terminal
+	// counters above (a gang of k contributes k to Submitted and k to
+	// exactly one of Serviced/Canceled/Failed), so the terminal identity
+	// holds unchanged with gangs in the mix.
+	GangsSubmitted int64 // gangs accepted into a shard system
+	GangsActivated int64 // gangs admitted by the banker's activation gate
+	GangsServiced  int64 // gangs released whole by EndGang
+	GangsCanceled  int64 // gangs withdrawn by SubmitGangCtx cancellation
+	GangsFailed    int64 // gangs terminated by the service with an error
+	GangSevers     int64 // atomic gang sever events (one per gang per fault event)
+
 	// Warm-start solver counters (MaxFlow discipline only; zero for the
 	// others and with Config.ColdSolve).
 	WarmSolves  int64 // cycles served from the persistent warm-start arena
@@ -222,15 +233,20 @@ const (
 	opEnd
 	opCancel
 	opFault
+	opSubmitGang
+	opEndGang
+	opCancelGang
 )
 
 type op struct {
-	kind  opKind
-	task  system.Task
-	h     *Handle
-	reply chan error     // opEnd/opFault: the outcome of the System call
-	cause error          // opCancel: the context's Err at cancellation
-	fault system.FaultOp // opFault: the hardware event to apply
+	kind    opKind
+	task    system.Task
+	h       *Handle
+	reply   chan error       // opEnd/opEndGang/opFault: the outcome of the System call
+	cause   error            // opCancel/opCancelGang: the context's Err at cancellation
+	faults  []system.FaultOp // opFault: one correlated hardware event (one sever charge)
+	gang    *GangHandle      // gang ops
+	members []system.Task    // opSubmitGang: the validated member tasks
 }
 
 // shard owns one System. Only the shard's goroutine touches sys, tracked
@@ -244,9 +260,14 @@ type shard struct {
 	typeCount map[int]int // resources per configured type; nil without Types
 	ops       chan op
 	tracked   map[system.TaskID]*Handle // provisioning not yet complete
-	gen       int                       // bumped by every supervisor restart
-	capEpoch  uint64                    // fault epoch the usable census was computed at
-	capOK     bool                      // false forces a recompute (restart, first flush)
+	// Gang tracking: gangs by ID until their atomic grant completes, and
+	// the member-task index the fault path uses to charge a gang's sever
+	// budget once per event. Members never appear in tracked.
+	gangs     map[system.GangID]*GangHandle
+	gangTasks map[system.TaskID]*GangHandle
+	gen       int    // bumped by every supervisor restart
+	capEpoch  uint64 // fault epoch the usable census was computed at
+	capOK     bool   // false forces a recompute (restart, first flush)
 
 	// Observability bookkeeping, shard-goroutine only.
 	cycleCount int64 // cumulative cycles, stamps trace events
@@ -323,13 +344,15 @@ func New(cfg Config) (*Scheduler, error) {
 			return nil, fmt.Errorf("sched: shard %d: %w", i, err)
 		}
 		sh := &shard{
-			idx:     i,
-			sys:     sys,
-			sysCfg:  sc,
-			procs:   sc.Net.Procs,
-			ress:    sc.Net.Ress,
-			ops:     make(chan op, 2*cfg.BatchSize),
-			tracked: make(map[system.TaskID]*Handle),
+			idx:       i,
+			sys:       sys,
+			sysCfg:    sc,
+			procs:     sc.Net.Procs,
+			ress:      sc.Net.Ress,
+			ops:       make(chan op, 2*cfg.BatchSize),
+			tracked:   make(map[system.TaskID]*Handle),
+			gangs:     make(map[system.GangID]*GangHandle),
+			gangTasks: make(map[system.TaskID]*GangHandle),
 		}
 		if sc.Types != nil {
 			sh.typeCount = make(map[int]int)
@@ -508,11 +531,25 @@ func (s *Scheduler) RepairResource(shard, res int) error {
 // application is serialized with scheduling exactly like every other
 // state change — and waits for the applying epoch.
 func (s *Scheduler) fault(shard int, fop system.FaultOp) error {
+	return s.ApplyFaults(shard, []system.FaultOp{fop})
+}
+
+// ApplyFaults applies a batch of hardware operations to a shard as one
+// correlated fault event — a switchbox dying with its attached resources,
+// a power domain dropping several links at once. The whole batch charges
+// each affected task's (or gang's) sever-retry budget exactly once:
+// losing two units to one physical event is one retry, not two. The call
+// blocks until the shard has applied every operation and recomputed its
+// degraded capacity.
+func (s *Scheduler) ApplyFaults(shard int, fops []system.FaultOp) error {
 	if shard < 0 || shard >= len(s.shards) {
 		return fmt.Errorf("sched: shard %d out of range [0,%d)", shard, len(s.shards))
 	}
+	if len(fops) == 0 {
+		return nil
+	}
 	reply := make(chan error, 1)
-	if err := s.send(s.shards[shard], op{kind: opFault, fault: fop, reply: reply}); err != nil {
+	if err := s.send(s.shards[shard], op{kind: opFault, faults: fops, reply: reply}); err != nil {
 		return err
 	}
 	return <-reply
@@ -566,6 +603,12 @@ func (s *Scheduler) Stats() Stats {
 		tot.Severed += st.Severed
 		tot.Repairs += st.Repairs
 		tot.Preempts += st.Preempts
+		tot.GangsSubmitted += st.GangsSubmitted
+		tot.GangsActivated += st.GangsActivated
+		tot.GangsServiced += st.GangsServiced
+		tot.GangsCanceled += st.GangsCanceled
+		tot.GangsFailed += st.GangsFailed
+		tot.GangSevers += st.GangSevers
 		tot.WarmSolves += st.WarmSolves
 		tot.ColdSolves += st.ColdSolves
 		tot.ArcsTouched += st.ArcsTouched
@@ -648,7 +691,7 @@ func (s *Scheduler) run(sh *shard) {
 // handle the service could not provision. Abandoned tasks are terminal:
 // each counts once in Stats.Failed.
 func (s *Scheduler) shutdown(sh *shard, buf []op) {
-	if len(buf) > 0 || len(sh.tracked) > 0 {
+	if len(buf) > 0 || len(sh.tracked) > 0 || len(sh.gangs) > 0 {
 		s.flush(sh, buf)
 	}
 	var closed Stats
@@ -659,6 +702,15 @@ func (s *Scheduler) shutdown(sh *shard, buf []op) {
 		delete(sh.tracked, id)
 		closed.Failed++
 		s.event(sh, evFailed, int64(id), 0, resClosed)
+	}
+	for gid, gh := range sh.gangs {
+		gh.err = ErrClosed
+		gh.finished = true
+		close(gh.done)
+		s.dropGang(sh, gh)
+		closed.Failed += int64(len(gh.memberIDs))
+		closed.GangsFailed++
+		s.event(sh, evGangFailed, int64(gid), 0, resClosed)
 	}
 	if closed.Failed > 0 {
 		s.publish(sh, &closed)
@@ -689,6 +741,12 @@ func (s *Scheduler) publish(sh *shard, epoch *Stats) {
 	sh.stats.Severed += epoch.Severed
 	sh.stats.Repairs += epoch.Repairs
 	sh.stats.Preempts += epoch.Preempts
+	sh.stats.GangsSubmitted += epoch.GangsSubmitted
+	sh.stats.GangsActivated += epoch.GangsActivated
+	sh.stats.GangsServiced += epoch.GangsServiced
+	sh.stats.GangsCanceled += epoch.GangsCanceled
+	sh.stats.GangsFailed += epoch.GangsFailed
+	sh.stats.GangSevers += epoch.GangSevers
 	sh.stats.WarmSolves += epoch.WarmSolves
 	sh.stats.ColdSolves += epoch.ColdSolves
 	sh.stats.ArcsTouched += epoch.ArcsTouched
@@ -711,6 +769,12 @@ func (s *Scheduler) publish(sh *shard, epoch *Stats) {
 		s.o.repairOps.Add(epoch.Repairs)
 		s.o.severed.Add(epoch.Severed)
 		s.o.preempts.Add(epoch.Preempts)
+		s.o.gangsSubmitted.Add(epoch.GangsSubmitted)
+		s.o.gangsActivated.Add(epoch.GangsActivated)
+		s.o.gangsServiced.Add(epoch.GangsServiced)
+		s.o.gangsCanceled.Add(epoch.GangsCanceled)
+		s.o.gangsFailed.Add(epoch.GangsFailed)
+		s.o.gangSevers.Add(epoch.GangSevers)
 		s.o.augmentations.Add(int64(epoch.Ops.Augmentations))
 		s.o.phases.Add(int64(epoch.Ops.Phases))
 		s.o.arcScans.Add(int64(epoch.Ops.ArcScans))
@@ -822,17 +886,49 @@ func (s *Scheduler) flush(sh *shard, buf []op) []op {
 				o.reply <- sh.dead
 				continue
 			}
-			severed, err := sh.sys.ApplyFault(o.fault)
-			if err == nil {
-				if o.fault.Repair {
+			// The batch is one correlated hardware event. Severed counts
+			// every unit lost, but the retry budget is charged on the
+			// deduplicated task set: a task that lost several units to the
+			// one event pays one retry — not one per unit, the over-charge
+			// this path used to have. Gangs likewise: the member index maps
+			// any number of severed members to one charge against their
+			// gang.
+			var all []system.TaskID
+			var err error
+			applied := 0
+			for _, f := range o.faults {
+				affected, ferr := sh.sys.ApplyFault(f)
+				if ferr != nil {
+					err = ferr
+					break
+				}
+				applied++
+				epoch.Severed += int64(len(affected))
+				all = append(all, affected...)
+				if f.Repair {
 					epoch.Repairs++
-					s.event(sh, evRepair, 0, int64(o.fault.Index), "")
+					s.event(sh, evRepair, 0, int64(f.Index), "")
 				} else {
 					epoch.LinkFaults++
-					s.event(sh, evFault, 0, int64(o.fault.Index), "")
+					s.event(sh, evFault, 0, int64(f.Index), "")
 				}
-				epoch.Severed += int64(len(severed))
-				for _, id := range severed {
+			}
+			if applied > 0 {
+				var chargedGangs map[*GangHandle]bool
+				for _, id := range system.DedupeTasks(all) {
+					if gh := sh.gangTasks[id]; gh != nil {
+						if chargedGangs[gh] {
+							continue // exactly-once: the gang already paid for this event
+						}
+						if chargedGangs == nil {
+							chargedGangs = map[*GangHandle]bool{}
+						}
+						chargedGangs[gh] = true
+						if !s.chargeGangSever(sh, gh, &epoch) {
+							break
+						}
+						continue
+					}
 					h := sh.tracked[id]
 					if h == nil {
 						continue // a multi-unit holder published in an earlier epoch
@@ -847,6 +943,86 @@ func (s *Scheduler) flush(sh *shard, buf []op) []op {
 			}
 			s.publish(sh, &epoch)
 			o.reply <- err
+		case opSubmitGang:
+			gh := o.gang
+			if sh.dead != nil {
+				gh.err = sh.dead
+				close(gh.done)
+				continue
+			}
+			gid, ids, err := sh.sys.SubmitGang(o.members)
+			if err != nil {
+				// Admission raced a capacity drop; the gang never entered
+				// the system, so it counts as rejected, not failed.
+				s.o.rejected.Inc()
+				gh.err = err
+				close(gh.done)
+				continue
+			}
+			gh.gid = gid
+			gh.gen = sh.gen
+			gh.memberIDs = ids
+			sh.gangs[gid] = gh
+			for _, id := range ids {
+				sh.gangTasks[id] = gh
+			}
+			epoch.Submitted += int64(len(ids))
+			epoch.GangsSubmitted++
+			s.event(sh, evGangSubmit, int64(gid), int64(len(ids)), "")
+		case opEndGang:
+			gh := o.gang
+			var err error
+			switch {
+			case sh.dead != nil:
+				err = sh.dead
+				if !gh.finished {
+					gh.finished = true
+					epoch.Failed += int64(len(gh.memberIDs))
+					epoch.GangsFailed++
+					s.event(sh, evGangFailed, int64(gh.gid), 0, resDead)
+				}
+			case gh.gen != sh.gen:
+				err = fmt.Errorf("sched: shard %d: gang grants lost to restart: %w", sh.idx, ErrShardDown)
+				if !gh.finished {
+					gh.finished = true
+					epoch.Failed += int64(len(gh.memberIDs))
+					epoch.GangsFailed++
+					s.event(sh, evGangFailed, int64(gh.gid), 0, resRestartLost)
+				}
+			default:
+				err = sh.sys.EndGangService(gh.gid)
+				if err == nil {
+					gh.finished = true
+					epoch.Serviced += int64(len(gh.memberIDs))
+					epoch.GangsServiced++
+					if s.o.enabled && gh.grantNano != 0 {
+						s.o.grantReleaseMS.Observe(float64(nowNano()-gh.grantNano) / 1e6)
+					}
+					s.event(sh, evGangService, int64(gh.gid), int64(len(gh.memberIDs)), "")
+				}
+			}
+			s.publish(sh, &epoch)
+			o.reply <- err
+		case opCancelGang:
+			gh := o.gang
+			if gh.gen != sh.gen {
+				continue // already failed by the restart that bumped gen
+			}
+			if _, ok := sh.gangs[gh.gid]; !ok {
+				continue // provisioned or failed before the cancel drained
+			}
+			if err := sh.sys.CancelGang(gh.gid); err != nil {
+				s.failShard(sh, fmt.Errorf("canceling gang %d: %w", gh.gid, err), &epoch)
+				continue
+			}
+			s.dropGang(sh, gh)
+			gh.err = fmt.Errorf("sched: shard %d: %w: %w", sh.idx, ErrTaskCanceled, o.cause)
+			gh.finished = true
+			epoch.Canceled += int64(len(gh.memberIDs))
+			epoch.GangsCanceled++
+			s.event(sh, evGangCancel, int64(gh.gid), 0, "")
+			s.publish(sh, &epoch)
+			close(gh.done)
 		}
 	}
 
@@ -865,7 +1041,7 @@ func (s *Scheduler) flush(sh *shard, buf []op) []op {
 	// churning a victim's sever budget within one epoch.
 	rounds := len(sh.tracked)
 	for {
-		for sh.dead == nil && len(sh.tracked) > 0 {
+		for sh.dead == nil && (len(sh.tracked) > 0 || len(sh.gangs) > 0) {
 			r, err := sh.sys.Cycle()
 			if err != nil {
 				s.failShard(sh, err, &epoch)
@@ -876,6 +1052,7 @@ func (s *Scheduler) flush(sh *shard, buf []op) []op {
 			epoch.Cycles++
 			epoch.Granted += int64(r.Granted)
 			epoch.Deferred += int64(r.Deferred)
+			epoch.GangsActivated += int64(r.GangsActivated)
 			epoch.Ops.Add(maxflow.Counters{
 				Augmentations: r.Mapping.Ops.Augmentations,
 				Phases:        r.Mapping.Ops.Phases,
@@ -931,6 +1108,32 @@ func (s *Scheduler) flush(sh *shard, buf []op) []op {
 	// Make the epoch's grants and cycle counters visible before any
 	// handle's Done fires below.
 	s.publish(sh, &epoch)
+
+	// Publish gangs whose atomic grant completed: every member fully
+	// provisioned, resources recorded per member before Done fires — a
+	// client can never observe a partially granted gang through the
+	// handle. Provisioned gangs leave the tracking maps (like granted
+	// singletons); the system layer keeps them immune to resets.
+	for gid, gh := range sh.gangs {
+		if !sh.sys.GangProvisioned(gid) {
+			continue
+		}
+		res := make([][]int, len(gh.memberIDs))
+		for i, id := range gh.memberIDs {
+			res[i] = sh.sys.Holding(id)
+		}
+		gh.res = res
+		if s.o.enabled {
+			gh.grantNano = nowNano()
+			s.o.gangsGranted.Inc()
+			if gh.submitNano != 0 {
+				s.o.gangSubmitGrantMS.Observe(float64(gh.grantNano-gh.submitNano) / 1e6)
+			}
+		}
+		s.event(sh, evGangGrant, int64(gid), int64(len(gh.memberIDs)), "")
+		close(gh.done)
+		s.dropGang(sh, gh)
+	}
 
 	// Publish tasks that finished acquiring.
 	for id, h := range sh.tracked {
@@ -1089,6 +1292,38 @@ func (s *Scheduler) refreshCapacity(sh *shard, epoch *Stats) {
 			close(h.done)
 		}
 	}
+	// Gangs hold their units together, so the whole combined demand must
+	// still fit — a gang that no longer does would wait forever at the
+	// activation gate (or worse, churn resets against capacity it can
+	// never reassemble).
+	for gid, gh := range sh.gangs {
+		exceeds := false
+		if sh.typeCount != nil {
+			for ty, n := range gh.needByType {
+				if n > usable[ty] {
+					exceeds = true
+					break
+				}
+			}
+		} else if gh.needTotal > total {
+			exceeds = true
+		}
+		if !exceeds {
+			continue
+		}
+		if err := sh.sys.CancelGang(gid); err != nil {
+			s.failShard(sh, fmt.Errorf("withdrawing unsatisfiable gang %d: %w", gid, err), epoch)
+			return
+		}
+		s.dropGang(sh, gh)
+		gh.err = fmt.Errorf("sched: shard %d: gang needs %d resources together, surviving fabric has %d usable: %w",
+			sh.idx, gh.needTotal, total, system.ErrUnsatisfiable)
+		gh.finished = true
+		epoch.Failed += int64(len(gh.memberIDs))
+		epoch.GangsFailed++
+		s.event(sh, evGangFailed, int64(gid), int64(gh.needTotal), resUnsat)
+		close(gh.done)
+	}
 }
 
 // failShard is the shard supervisor. The System reported an internal
@@ -1106,6 +1341,15 @@ func (s *Scheduler) failShard(sh *shard, cause error, epoch *Stats) {
 		s.event(sh, evFailed, int64(id), 0, resShardDown)
 		close(h.done)
 		delete(sh.tracked, id)
+	}
+	for gid, gh := range sh.gangs {
+		gh.err = down
+		gh.finished = true
+		epoch.Failed += int64(len(gh.memberIDs))
+		epoch.GangsFailed++
+		s.event(sh, evGangFailed, int64(gid), 0, resShardDown)
+		close(gh.done)
+		s.dropGang(sh, gh)
 	}
 	sys, err := system.New(sh.sysCfg)
 	if err != nil {

@@ -104,6 +104,11 @@ type AdmissionConfig struct {
 	// hint scales up to 2x as the queue fills (an overloaded server asks
 	// clients to stay away longer). Default 1s.
 	RetryAfter time.Duration
+	// MaxRetryAfter caps the scaled hint. Without a cap a generous base
+	// silently doubled under load into multi-minute backoff headers that
+	// well-behaved clients obeyed, parking them long after the overload
+	// cleared. Default 30s.
+	MaxRetryAfter time.Duration
 	// Obs, when non-nil, receives the admission instruments: per-tier
 	// shed counters, admitted/shed totals, inflight and queued gauges.
 	// Nil disables them (nil-safe no-ops, like the rest of the stack).
@@ -136,12 +141,12 @@ type Admission struct {
 	shedByTier []int64
 
 	// Instruments (nil-safe when cfg.Obs is nil).
-	admitted     *obs.Counter
-	shedTotal    *obs.Counter
-	shedTier     []*obs.Counter
-	inflightG    *obs.Gauge
-	queuedG      *obs.Gauge
-	admissionMS  *obs.Histogram
+	admitted    *obs.Counter
+	shedTotal   *obs.Counter
+	shedTier    []*obs.Counter
+	inflightG   *obs.Gauge
+	queuedG     *obs.Gauge
+	admissionMS *obs.Histogram
 }
 
 // NewAdmission validates the configuration and builds the controller.
@@ -160,6 +165,9 @@ func NewAdmission(cfg AdmissionConfig) (*Admission, error) {
 	}
 	if cfg.RetryAfter <= 0 {
 		cfg.RetryAfter = time.Second
+	}
+	if cfg.MaxRetryAfter <= 0 {
+		cfg.MaxRetryAfter = 30 * time.Second
 	}
 	if cfg.Weights == nil {
 		cfg.Weights = make([]int64, system.MaxTier+1)
@@ -264,15 +272,20 @@ func (a *Admission) Admit(tier int) (*Ticket, error) {
 	return &Ticket{a: a, tier: tier}, nil
 }
 
-// retryAfterLocked scales the base backoff hint with the queue fill: an
-// emptier queue asks for the base, a full one for twice it. Called with
-// a.mu held.
+// retryAfterLocked scales the base backoff hint with the queue fill — an
+// emptier queue asks for the base, a full one for twice it — then clamps
+// the result to MaxRetryAfter so the header never exiles a client past
+// the configured ceiling. Called with a.mu held.
 func (a *Admission) retryAfterLocked() time.Duration {
 	load := float64(a.queued) / float64(a.cfg.MaxQueue)
 	if load > 1 {
 		load = 1
 	}
-	return time.Duration(float64(a.cfg.RetryAfter) * (1 + load))
+	d := time.Duration(float64(a.cfg.RetryAfter) * (1 + load))
+	if d > a.cfg.MaxRetryAfter {
+		d = a.cfg.MaxRetryAfter
+	}
+	return d
 }
 
 // RetryAfter reports the current backoff hint (used by the drain path,

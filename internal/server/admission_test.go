@@ -179,6 +179,62 @@ func TestAdmissionAllTiersSaturated(t *testing.T) {
 	}
 }
 
+// TestRetryAfterClamp is the regression for the unclamped backoff hint.
+// The hint is base * (1 + queue fill); before the clamp a generous base
+// doubled under load into arbitrarily long Retry-After headers (45m base
+// -> 90m at saturation) that obedient clients honored long after the
+// overload cleared. The hint must never exceed MaxRetryAfter, at every
+// fill level and exactly at the boundary.
+func TestRetryAfterClamp(t *testing.T) {
+	cases := []struct {
+		name      string
+		base, max time.Duration
+		fill      int // queued entries out of MaxQueue=10
+		want      time.Duration
+	}{
+		{"generous base idle", 45 * time.Minute, 0, 0, 30 * time.Second},
+		{"generous base saturated", 45 * time.Minute, 0, 10, 30 * time.Second},
+		{"small base unaffected", time.Second, 0, 10, 2 * time.Second},
+		{"boundary exact", 15 * time.Second, 30 * time.Second, 10, 30 * time.Second},
+		{"boundary crossed", 20 * time.Second, 30 * time.Second, 10, 30 * time.Second},
+		{"under boundary", 20 * time.Second, 30 * time.Second, 0, 20 * time.Second},
+		{"custom cap", time.Minute, 90 * time.Second, 10, 90 * time.Second},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			a, err := NewAdmission(AdmissionConfig{
+				MaxInflight: 100, MaxQueue: 10, Weights: []int64{1},
+				RetryAfter: tc.base, MaxRetryAfter: tc.max,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			admit(t, a, 0, tc.fill)
+			if got := a.RetryAfter(); got != tc.want {
+				t.Errorf("base %v cap %v fill %d/10: Retry-After %v, want %v",
+					tc.base, tc.max, tc.fill, got, tc.want)
+			}
+		})
+	}
+	// The shed path carries the clamped hint too: saturate the queue and
+	// read the hint off the OverloadError itself.
+	a, err := NewAdmission(AdmissionConfig{
+		MaxInflight: 100, MaxQueue: 10, Weights: []int64{1}, RetryAfter: 45 * time.Minute,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	admit(t, a, 0, 10)
+	_, err = a.Admit(0)
+	var oe *OverloadError
+	if !errors.As(err, &oe) {
+		t.Fatalf("saturated Admit: got %v, want overload", err)
+	}
+	if oe.RetryAfter != 30*time.Second {
+		t.Errorf("shed Retry-After %v, want the 30s default clamp", oe.RetryAfter)
+	}
+}
+
 // TestTicketLifecycle pins the census bookkeeping: Grant leaves the
 // queue only, Finish leaves everything, both idempotent, and a ticket
 // finished without granting releases its queue slot too.

@@ -3,6 +3,7 @@ package server
 import (
 	"encoding/json"
 	"testing"
+	"time"
 )
 
 // FuzzHTTPSubmitDecode fuzzes the front door's request decoder and the
@@ -18,6 +19,8 @@ func FuzzHTTPSubmitDecode(f *testing.F) {
 	f.Add([]byte(`{"proc": 1} trailing`), "-5ms")
 	f.Add([]byte(`[1, 2]`), "1h")
 	f.Add([]byte(`{"priority": 9223372036854775807}`), "1ns")
+	f.Add([]byte(`{}`), "2026-08-08T12:00:00Z")
+	f.Add([]byte(`{}`), "1999-01-01T00:00:00+07:00")
 	f.Fuzz(func(t *testing.T, body []byte, deadline string) {
 		req, err := decodeSubmit(body)
 		if err == nil {
@@ -39,9 +42,12 @@ func FuzzHTTPSubmitDecode(f *testing.F) {
 				t.Fatalf("round trip drifted: %+v -> %+v", req, again)
 			}
 		}
-		d, err := parseDeadline(deadline)
+		d, err := parseDeadline(deadline, time.Now())
 		if err == nil && d < 0 {
 			t.Fatalf("deadline parser accepted negative duration %v from %q", d, deadline)
+		}
+		if err == nil && deadline != "" && deadline != "0" && d == 0 {
+			t.Fatalf("deadline parser accepted %q as no-deadline", deadline)
 		}
 	})
 }

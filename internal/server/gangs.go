@@ -1,0 +1,352 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"rsin/internal/core"
+	"rsin/internal/sched"
+	"rsin/internal/system"
+)
+
+// POST /v1/gangs submits an all-or-nothing gang — either an explicit
+// member list or a named collective pattern lowered onto a phase chain of
+// gangs. The whole gang rides ONE admission ticket, charged at the most
+// urgent member's tier: admission-wise a gang is one client intent, not
+// len(members) independent requests, so a shedding front door cannot
+// admit half a gang (which would hold a slot while the scheduler's
+// all-or-nothing gate keeps it waiting for siblings that were shed).
+//
+// The route is mounted only when Config.Gangs is set (rsinserve -gangs).
+
+// GangMember is one member task of an explicit gang.
+type GangMember struct {
+	Proc int `json:"proc"`
+	Need int `json:"need"` // resources required; 0 means 1
+	Type int `json:"type"`
+	Tier int `json:"tier"`
+}
+
+// GangRequest is the JSON body of POST /v1/gangs. Exactly one of Members
+// and Collective must be set. A collective names a pattern ("allreduce"
+// or "reduce-scatter") over the ranks in Procs; Need/Type/Tier then apply
+// per sender per phase, and HoldUS is the per-phase transfer time. For an
+// explicit gang HoldUS is the whole gang's service time.
+type GangRequest struct {
+	Shard   int          `json:"shard"`
+	Members []GangMember `json:"members,omitempty"`
+
+	Collective string `json:"collective,omitempty"`
+	Procs      []int  `json:"procs,omitempty"` // Procs[rank] = processor
+	Need       int    `json:"need"`
+	Type       int    `json:"type"`
+	Tier       int    `json:"tier"`
+
+	HoldUS int64  `json:"hold_us"`
+	Label  string `json:"label,omitempty"`
+}
+
+// GangEvent is the body of a /v1/gangs response.
+type GangEvent struct {
+	Event        string  `json:"event"` // serviced | failed
+	Members      int     `json:"members,omitempty"`
+	Phases       int     `json:"phases,omitempty"` // collective only
+	Severs       int     `json:"severs,omitempty"` // atomic gang sever events absorbed
+	Resources    [][]int `json:"resources,omitempty"`
+	QueueMS      float64 `json:"queue_ms,omitempty"`
+	ServiceMS    float64 `json:"service_ms,omitempty"`
+	Cause        string  `json:"cause,omitempty"`
+	Error        string  `json:"error,omitempty"`
+	RetryAfterMS int64   `json:"retry_after_ms,omitempty"`
+}
+
+// collectivePattern maps the wire names onto core's patterns.
+func collectivePattern(name string) (core.Collective, error) {
+	switch name {
+	case "allreduce", "ring-allreduce":
+		return core.RingAllReduce, nil
+	case "reduce-scatter":
+		return core.RingReduceScatter, nil
+	}
+	return 0, fmt.Errorf("unknown collective %q (allreduce | reduce-scatter)", name)
+}
+
+// decodeGang parses and validates a /v1/gangs body with the same strict
+// decoding discipline as decodeSubmit.
+func decodeGang(body []byte) (GangRequest, error) {
+	var req GangRequest
+	if err := decodeStrict(body, &req); err != nil {
+		return GangRequest{}, fmt.Errorf("decoding gang: %w", err)
+	}
+	if req.Shard < 0 {
+		return GangRequest{}, fmt.Errorf("shard %d must be non-negative", req.Shard)
+	}
+	if req.HoldUS < 0 {
+		return GangRequest{}, fmt.Errorf("hold_us %d must be non-negative", req.HoldUS)
+	}
+	if req.Need < 0 {
+		return GangRequest{}, fmt.Errorf("need %d must be non-negative", req.Need)
+	}
+	switch {
+	case len(req.Members) > 0 && req.Collective != "":
+		return GangRequest{}, fmt.Errorf("members and collective are mutually exclusive")
+	case len(req.Members) > 0:
+		for i, m := range req.Members {
+			if m.Proc < 0 || m.Need < 0 {
+				return GangRequest{}, fmt.Errorf("member %d: proc and need must be non-negative", i)
+			}
+		}
+	case req.Collective != "":
+		if _, err := collectivePattern(req.Collective); err != nil {
+			return GangRequest{}, err
+		}
+		if len(req.Procs) < 2 {
+			return GangRequest{}, fmt.Errorf("a collective needs at least 2 ranks in procs, got %d", len(req.Procs))
+		}
+		for i, p := range req.Procs {
+			if p < 0 {
+				return GangRequest{}, fmt.Errorf("procs[%d] = %d must be non-negative", i, p)
+			}
+		}
+	default:
+		return GangRequest{}, fmt.Errorf("a gang needs members or a collective")
+	}
+	return req, nil
+}
+
+// gangTier is the admission tier the gang is charged at: the most urgent
+// member's (a gang is as urgent as its most urgent member, and charging
+// the single ticket lower would let bulk tiers smuggle urgent work past
+// the proportional-fair shedder — and vice versa).
+func gangTier(req GangRequest) int {
+	if req.Collective != "" {
+		return req.Tier
+	}
+	tier := system.MaxTier + 1
+	for _, m := range req.Members {
+		if m.Tier < tier {
+			tier = m.Tier
+		}
+	}
+	return tier
+}
+
+// handleGangs is POST /v1/gangs: decode, admit once at the gang's most
+// urgent tier, run the gang (or the collective's phase chain) under the
+// request context + deadline header, and answer with the gang outcome.
+func (sv *Server) handleGangs(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("use POST"))
+		return
+	}
+	t0 := time.Now()
+	sv.o.requests.Inc()
+	defer func() { sv.o.requestMS.Observe(time.Since(t0).Seconds() * 1e3) }()
+
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	if err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			sv.o.badRequests.Inc()
+			writeError(w, http.StatusRequestEntityTooLarge, fmt.Errorf("body exceeds %d bytes", maxBodyBytes))
+			return
+		}
+		if r.Context().Err() != nil {
+			return
+		}
+		sv.o.badRequests.Inc()
+		writeError(w, http.StatusBadRequest, fmt.Errorf("reading body: %w", err))
+		return
+	}
+	req, err := decodeGang(body)
+	if err != nil {
+		sv.o.badRequests.Inc()
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	deadline, err := parseDeadline(r.Header.Get(DeadlineHeader), t0)
+	if err != nil {
+		sv.o.badRequests.Inc()
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	hold := time.Duration(req.HoldUS) * time.Microsecond
+	if hold > sv.cfg.MaxHold {
+		sv.o.badRequests.Inc()
+		writeError(w, http.StatusBadRequest, fmt.Errorf("hold_us %d exceeds the %v cap", req.HoldUS, sv.cfg.MaxHold))
+		return
+	}
+
+	if sv.draining() {
+		writeShed(w, gangTier(req), ShedDraining, sv.adm.RetryAfter())
+		return
+	}
+	ticket, err := sv.adm.Admit(gangTier(req))
+	if err != nil {
+		var oe *OverloadError
+		if errors.As(err, &oe) {
+			writeShed(w, oe.Tier, oe.Reason, oe.RetryAfter)
+			return
+		}
+		sv.o.badRequests.Inc()
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	defer ticket.Finish()
+
+	ctx := r.Context()
+	if deadline > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, deadline)
+		defer cancel()
+	}
+
+	if req.Collective != "" {
+		sv.runCollectiveGang(w, ctx, t0, req, hold, ticket)
+		return
+	}
+	sv.runExplicitGang(w, ctx, t0, req, hold, ticket)
+}
+
+// runExplicitGang runs a member-list gang: one all-or-nothing grant, one
+// hold, one atomic release.
+func (sv *Server) runExplicitGang(w http.ResponseWriter, ctx context.Context, t0 time.Time, req GangRequest, hold time.Duration, ticket *Ticket) {
+	spec := sched.GangSpec{Members: make([]system.Task, len(req.Members)), Label: req.Label}
+	for i, m := range req.Members {
+		spec.Members[i] = system.Task{Proc: m.Proc, Need: m.Need, Type: m.Type, Tier: m.Tier}
+	}
+	gh, err := sv.s.SubmitGangCtx(ctx, req.Shard, spec)
+	if err != nil {
+		sv.respondGangSubmitError(w, ctx, err)
+		return
+	}
+	<-gh.Done()
+	if err := gh.Err(); err != nil {
+		sv.respondGangError(w, ctx, err)
+		return
+	}
+	ticket.Grant()
+	granted := time.Now()
+	queueMS := granted.Sub(t0).Seconds() * 1e3
+	res := gh.Resources()
+	if hold > 0 {
+		tm := time.NewTimer(hold)
+		select {
+		case <-ctx.Done():
+			tm.Stop()
+		case <-tm.C:
+		}
+	}
+	serviceMS := time.Since(granted).Seconds() * 1e3
+	if err := sv.s.EndGang(gh); err != nil {
+		sv.o.failed.Inc()
+		writeJSONStatus(w, http.StatusServiceUnavailable,
+			GangEvent{Event: "failed", Cause: "shard-down", Error: err.Error()})
+		return
+	}
+	sv.o.serviced.Inc()
+	writeJSONStatus(w, http.StatusOK, GangEvent{
+		Event: "serviced", Members: len(res), Resources: res,
+		QueueMS: queueMS, ServiceMS: serviceMS,
+	})
+}
+
+// runCollectiveGang lowers and runs a collective's phase chain; the
+// response reports the phases completed and the severs absorbed.
+func (sv *Server) runCollectiveGang(w http.ResponseWriter, ctx context.Context, t0 time.Time, req GangRequest, hold time.Duration, ticket *Ticket) {
+	pattern, err := collectivePattern(req.Collective) // validated in decodeGang
+	if err != nil {
+		sv.o.badRequests.Inc()
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	// The admission slot covers the whole phase chain; the ticket counts
+	// as granted once the first phase is (approximated here as Grant on
+	// success or failure after submit — RunCollective owns the handles).
+	ticket.Grant()
+	res, err := sv.s.RunCollective(ctx, req.Shard, sched.CollectiveSpec{
+		Pattern: pattern, Procs: req.Procs,
+		Type: req.Type, Need: req.Need, Tier: req.Tier,
+		Label: req.Label, PhaseHold: hold,
+	})
+	elapsed := time.Since(t0).Seconds() * 1e3
+	if err != nil {
+		ev := sv.gangFailEvent(ctx, err)
+		ev.Phases = res.Phases
+		ev.Severs = res.Severs
+		_, code := failCauseGang(ctx, err)
+		if code == http.StatusServiceUnavailable || code == http.StatusGatewayTimeout {
+			ev.RetryAfterMS = sv.adm.RetryAfter().Milliseconds()
+		}
+		writeJSONStatus(w, code, ev)
+		return
+	}
+	sv.o.serviced.Inc()
+	writeJSONStatus(w, http.StatusOK, GangEvent{
+		Event: "serviced", Members: len(req.Procs),
+		Phases: res.Phases, Severs: res.Severs, ServiceMS: elapsed,
+	})
+}
+
+// failCauseGang maps a terminal gang error to its cause label and HTTP
+// status, distinguishing context deaths the way respondCanceled does.
+func failCauseGang(ctx context.Context, err error) (string, int) {
+	if errors.Is(err, sched.ErrTaskCanceled) {
+		if errors.Is(ctx.Err(), context.DeadlineExceeded) {
+			return "timeout", http.StatusGatewayTimeout
+		}
+		return "disconnect", http.StatusServiceUnavailable
+	}
+	return failCause(err)
+}
+
+func (sv *Server) gangFailEvent(ctx context.Context, err error) GangEvent {
+	cause, _ := failCauseGang(ctx, err)
+	switch cause {
+	case "timeout":
+		sv.o.timeouts.Inc()
+	case "disconnect":
+		sv.o.disconnects.Inc()
+	default:
+		sv.o.failed.Inc()
+	}
+	return GangEvent{Event: "failed", Cause: cause, Error: err.Error()}
+}
+
+// respondGangSubmitError answers a SubmitGang that failed synchronously:
+// validation and capacity errors are the request's fault, the rest the
+// fabric's.
+func (sv *Server) respondGangSubmitError(w http.ResponseWriter, ctx context.Context, err error) {
+	switch {
+	case errors.Is(err, sched.ErrTaskCanceled),
+		errors.Is(err, system.ErrUnsatisfiable),
+		errors.Is(err, sched.ErrClosed),
+		errors.Is(err, sched.ErrShardDown):
+		sv.respondGangError(w, ctx, err)
+	default:
+		sv.o.badRequests.Inc()
+		writeJSONStatus(w, http.StatusBadRequest, GangEvent{Event: "failed", Cause: "bad-gang", Error: err.Error()})
+	}
+}
+
+// respondGangError answers a gang that died after submission (or on a
+// capacity/lifecycle error) with the mapped status and a retry hint on
+// the retryable ones.
+func (sv *Server) respondGangError(w http.ResponseWriter, ctx context.Context, err error) {
+	ev := sv.gangFailEvent(ctx, err)
+	_, code := failCauseGang(ctx, err)
+	if code == http.StatusServiceUnavailable || code == http.StatusGatewayTimeout {
+		ev.RetryAfterMS = sv.adm.RetryAfter().Milliseconds()
+		secs := (ev.RetryAfterMS + 999) / 1000
+		if secs < 1 {
+			secs = 1
+		}
+		w.Header().Set("Retry-After", fmt.Sprintf("%d", secs))
+	}
+	writeJSONStatus(w, code, ev)
+}

@@ -17,10 +17,14 @@ import (
 	"rsin/internal/system"
 )
 
-// DeadlineHeader carries the per-request deadline as a Go duration
-// string ("250ms", "2s"). The server derives a context.WithTimeout from
-// it, so a request that cannot be provisioned in time is withdrawn from
-// the scheduler (releasing its queue slot) and answered 504. Absent or
+// DeadlineHeader carries the per-request deadline, either as a Go
+// duration string ("250ms", "2s") relative to arrival or as an absolute
+// RFC 3339 timestamp ("2026-08-08T12:00:00Z"). The server derives a
+// context.WithTimeout from it, so a request that cannot be provisioned
+// in time is withdrawn from the scheduler (releasing its queue slot) and
+// answered 504. An absolute timestamp already in the past is rejected
+// with 400 before the request touches admission — a dead-on-arrival
+// request must not consume a slot another client could use. Absent or
 // "0" means no deadline beyond the client's own connection.
 const DeadlineHeader = "Rsin-Deadline"
 
@@ -56,13 +60,8 @@ type SubmitRequest struct {
 // and pure, which is what FuzzHTTPSubmitDecode needs.
 func decodeSubmit(body []byte) (SubmitRequest, error) {
 	var req SubmitRequest
-	dec := json.NewDecoder(bytes.NewReader(body))
-	dec.DisallowUnknownFields()
-	if err := dec.Decode(&req); err != nil {
+	if err := decodeStrict(body, &req); err != nil {
 		return SubmitRequest{}, fmt.Errorf("decoding task: %w", err)
-	}
-	if dec.More() {
-		return SubmitRequest{}, fmt.Errorf("decoding task: trailing data after the JSON document")
 	}
 	if req.Shard < 0 {
 		return SubmitRequest{}, fmt.Errorf("shard %d must be non-negative", req.Shard)
@@ -82,18 +81,43 @@ func decodeSubmit(body []byte) (SubmitRequest, error) {
 	return req, nil
 }
 
-// parseDeadline parses the DeadlineHeader value. Empty and "0" mean no
-// deadline; anything else must be a positive Go duration.
-func parseDeadline(h string) (time.Duration, error) {
+// decodeStrict decodes one JSON document into v, rejecting unknown
+// fields and trailing garbage (shared by the /v1/tasks and /v1/gangs
+// decoders).
+func decodeStrict(body []byte, v any) error {
+	dec := json.NewDecoder(bytes.NewReader(body))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return err
+	}
+	if dec.More() {
+		return fmt.Errorf("trailing data after the JSON document")
+	}
+	return nil
+}
+
+// parseDeadline parses the DeadlineHeader value at time now. Empty and
+// "0" mean no deadline; anything else must be a positive Go duration or
+// an RFC 3339 timestamp strictly in the future — an absolute deadline
+// that has already expired is an error, so the handler rejects it with
+// 400 before the request consumes an admission slot.
+func parseDeadline(h string, now time.Time) (time.Duration, error) {
 	if h == "" || h == "0" {
 		return 0, nil
 	}
-	d, err := time.ParseDuration(h)
-	if err != nil {
-		return 0, fmt.Errorf("parsing %s: %w", DeadlineHeader, err)
+	if d, err := time.ParseDuration(h); err == nil {
+		if d <= 0 {
+			return 0, fmt.Errorf("%s %q must be positive", DeadlineHeader, h)
+		}
+		return d, nil
 	}
+	at, err := time.Parse(time.RFC3339, h)
+	if err != nil {
+		return 0, fmt.Errorf("parsing %s: %q is neither a duration nor an RFC 3339 time", DeadlineHeader, h)
+	}
+	d := at.Sub(now)
 	if d <= 0 {
-		return 0, fmt.Errorf("%s %q must be positive", DeadlineHeader, h)
+		return 0, fmt.Errorf("%s %q already expired %v ago", DeadlineHeader, h, -d)
 	}
 	return d, nil
 }
@@ -128,6 +152,11 @@ type Config struct {
 	// outcome counters, request latency histogram) and is threaded into
 	// the admission controller unless Admission.Obs is already set.
 	Obs *obs.Registry
+	// Gangs mounts POST /v1/gangs (all-or-nothing gangs and lowered
+	// collectives; see gangs.go). Off by default — gang requests pin
+	// several circuits at once, so the operator opts the front door in
+	// (rsinserve -gangs).
+	Gangs bool
 }
 
 // serverObs holds the front door's resolved instruments; the zero value
@@ -184,6 +213,9 @@ func New(cfg Config) (*Server, error) {
 	}
 	sv.mux = http.NewServeMux()
 	sv.mux.HandleFunc("/v1/tasks", sv.handleTasks)
+	if cfg.Gangs {
+		sv.mux.HandleFunc("/v1/gangs", sv.handleGangs)
+	}
 	sv.mux.HandleFunc("/healthz", sv.handleHealthz)
 	return sv, nil
 }
@@ -324,7 +356,7 @@ func (sv *Server) handleTasks(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	deadline, err := parseDeadline(r.Header.Get(DeadlineHeader))
+	deadline, err := parseDeadline(r.Header.Get(DeadlineHeader), t0)
 	if err != nil {
 		sv.o.badRequests.Inc()
 		writeError(w, http.StatusBadRequest, err)

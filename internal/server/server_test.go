@@ -150,6 +150,33 @@ func TestDeadlineHeader(t *testing.T) {
 	}
 }
 
+// TestAbsoluteDeadline pins the RFC 3339 form of the deadline header: a
+// future timestamp behaves like the equivalent duration (the task is
+// serviced well inside it), and an already-expired one is rejected with
+// 400 *before admission* — the regression here is a dead-on-arrival
+// request consuming an inflight/queue slot (and a scheduler submit) only
+// to time out instantly, which under a burst of stale-clock clients shed
+// live traffic for nothing.
+func TestAbsoluteDeadline(t *testing.T) {
+	sv, _ := newTestServer(t, AdmissionConfig{})
+	future := time.Now().Add(time.Minute).UTC().Format(time.RFC3339)
+	w := postTask(t, sv.Handler(), `{"proc": 2}`, map[string]string{DeadlineHeader: future})
+	if w.Code != http.StatusOK {
+		t.Fatalf("future absolute deadline: status %d, body %s", w.Code, w.Body)
+	}
+
+	past := time.Now().Add(-time.Minute).UTC().Format(time.RFC3339)
+	before := sv.Admission().State()
+	w = postTask(t, sv.Handler(), `{"proc": 2}`, map[string]string{DeadlineHeader: past})
+	if w.Code != http.StatusBadRequest {
+		t.Fatalf("expired absolute deadline: status %d, want 400; body %s", w.Code, w.Body)
+	}
+	after := sv.Admission().State()
+	if after.PeakQueued != before.PeakQueued || after.Inflight != 0 || after.Queued != 0 {
+		t.Errorf("expired deadline touched admission: before %+v, after %+v", before, after)
+	}
+}
+
 // TestBadRequests tables the 4xx surface of the decoder and validators.
 func TestBadRequests(t *testing.T) {
 	sv, _ := newTestServer(t, AdmissionConfig{})
@@ -171,6 +198,8 @@ func TestBadRequests(t *testing.T) {
 		{"hold over cap", `{"hold_us": 60000000}`, nil, http.StatusBadRequest},
 		{"bad deadline", `{}`, map[string]string{DeadlineHeader: "soon"}, http.StatusBadRequest},
 		{"negative deadline", `{}`, map[string]string{DeadlineHeader: "-1s"}, http.StatusBadRequest},
+		{"expired absolute deadline", `{}`, map[string]string{DeadlineHeader: "1999-01-01T00:00:00Z"}, http.StatusBadRequest},
+		{"garbled absolute deadline", `{}`, map[string]string{DeadlineHeader: "2026-13-45T99:00:00Z"}, http.StatusBadRequest},
 		{"need over capacity", `{"need": 999}`, nil, http.StatusUnprocessableEntity},
 		{"body too large", `{"prefs": [` + strings.Repeat("1,", 40000) + `1]}`, nil, http.StatusRequestEntityTooLarge},
 	}

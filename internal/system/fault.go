@@ -25,7 +25,7 @@ func (s *System) FailLink(id int) ([]TaskID, error) {
 	if err := s.net.FailLink(id); err != nil {
 		return nil, err
 	}
-	return s.severBroken(), nil
+	return s.resetGangsOf(s.severBroken()), nil
 }
 
 // RepairLink clears a link fault.
@@ -37,7 +37,7 @@ func (s *System) FailBox(id int) ([]TaskID, error) {
 	if err := s.net.FailBox(id); err != nil {
 		return nil, err
 	}
-	return s.severBroken(), nil
+	return s.resetGangsOf(s.severBroken()), nil
 }
 
 // RepairBox clears a switchbox fault.
@@ -56,7 +56,9 @@ func (s *System) FailResource(r int) ([]TaskID, error) {
 	}
 	affected := s.severBroken()
 	if id := s.resHolder[r]; id != -1 {
-		if t := s.tasks[id]; t != nil && t.remaining() > 0 {
+		// Still-acquiring is gang-granular: a member's unit is only safe
+		// once the whole gang holds its complete set.
+		if t := s.tasks[id]; t != nil && (t.remaining() > 0 || s.gangAcquiring(id)) {
 			s.revokeUnit(t, r)
 			affected = append(affected, id)
 			if s.o.enabled {
@@ -65,7 +67,7 @@ func (s *System) FailResource(r int) ([]TaskID, error) {
 			}
 		}
 	}
-	return affected, nil
+	return s.resetGangsOf(affected), nil
 }
 
 // RepairResource clears a resource fault, returning the resource to the
@@ -108,6 +110,41 @@ func (s *System) applyFault(op FaultOp) ([]TaskID, error) {
 		return s.FailResource(op.Index)
 	}
 	return nil, fmt.Errorf("system: unknown fault target %v", op.Target)
+}
+
+// ApplyFaults applies a batch of fault operations as one correlated
+// hardware event (a switchbox taking its attached resources down with it,
+// a power domain dropping several links at once) and returns the union of
+// affected task IDs, deduplicated and sorted. Layered services charge the
+// whole batch as a single sever event per task — losing two units to one
+// physical failure is one retry, not two (see sched's sever budget).
+func (s *System) ApplyFaults(ops []FaultOp) ([]TaskID, error) {
+	var all []TaskID
+	for _, op := range ops {
+		affected, err := s.ApplyFault(op)
+		all = append(all, affected...)
+		if err != nil {
+			return DedupeTasks(all), err
+		}
+	}
+	return DedupeTasks(all), nil
+}
+
+// DedupeTasks sorts and deduplicates a task-ID list in place. Fault
+// batches use it to turn per-unit affected lists into the per-task set a
+// single sever event charges.
+func DedupeTasks(ids []TaskID) []TaskID {
+	if len(ids) < 2 {
+		return ids
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	out := ids[:1]
+	for _, id := range ids[1:] {
+		if id != out[len(out)-1] {
+			out = append(out, id)
+		}
+	}
+	return out
 }
 
 // FaultEpoch reports the fabric's fault generation counter; it advances

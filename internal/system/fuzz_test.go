@@ -118,6 +118,120 @@ func FuzzSubmitCycle(f *testing.F) {
 	})
 }
 
+// FuzzGangSubmit fuzzes the gang life cycle — SubmitGang, Cycle,
+// EndTransmission, EndGangService, CancelGang — interleaved with
+// singleton traffic and hardware faults, asserting the all-or-nothing
+// contract after every step:
+//
+//   - a gang that has not been activated (or was reset by a fault) holds
+//     nothing on any member;
+//   - a provisioned gang's members each hold their full set;
+//   - the singleton invariants (unique holders, balanced free census)
+//     hold across the mixed population.
+//
+// Operation errors (member already serviced, cancel of an unknown gang,
+// a severed transmission, ...) are legal outcomes; invariant violations
+// and cycle failures are not.
+func FuzzGangSubmit(f *testing.F) {
+	f.Add([]byte{0x00, 0x01, 0x02, 0x0a, 0x12, 0x1a, 0x01, 0x03})
+	f.Add([]byte{0x08, 0x01, 0x01, 0x02, 0x0a, 0x03, 0x04, 0x01})
+	// Sever-mid-gang seed: submit a gang, cycle, fail a resource, cycle,
+	// repair, cycle, end service.
+	f.Add([]byte{0x00, 0x01, 0x06, 0x01, 0x0e, 0x01, 0x02, 0x0a, 0x12, 0x1a, 0x03})
+	f.Add([]byte{0x07, 0x27, 0x00, 0x38, 0x01, 0x01, 0x04, 0x05, 0x01, 0x02, 0x03, 0x04})
+	f.Fuzz(func(t *testing.T, ops []byte) {
+		if len(ops) > 1<<12 {
+			return
+		}
+		avoid := AvoidanceNone
+		if len(ops) > 0 && ops[0]&1 == 1 {
+			avoid = AvoidanceBankers
+		}
+		net := topology.Omega(4)
+		s, err := New(Config{Net: net, Avoidance: avoid})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var ids []TaskID
+		var gids []GangID
+		for _, b := range ops {
+			switch b & 0x07 {
+			case 0: // SubmitGang: 2 or 3 members on consecutive processors
+				k := 2 + int(b>>3)&1
+				base := int(b>>4) & 0x03
+				members := make([]Task, k)
+				for i := range members {
+					members[i] = Task{Proc: (base + i) % net.Procs, Need: 1 + int(b>>6)&1}
+				}
+				if gid, mids, err := s.SubmitGang(members); err == nil {
+					gids = append(gids, gid)
+					ids = append(ids, mids...)
+				}
+			case 1: // Cycle
+				if _, err := s.Cycle(); err != nil {
+					t.Fatalf("cycle: %v", err)
+				}
+			case 2: // EndTransmission(proc)
+				_ = s.EndTransmission(int(b>>3) & 0x03)
+			case 3: // EndGangService on a fuzzer-chosen gang
+				if len(gids) > 0 {
+					_ = s.EndGangService(gids[int(b>>3)%len(gids)])
+				}
+			case 4: // CancelGang on a fuzzer-chosen gang
+				if len(gids) > 0 {
+					_ = s.CancelGang(gids[int(b>>3)%len(gids)])
+				}
+			case 5: // fail or repair a link
+				lid := int(b>>4) % len(net.Links)
+				if b&0x08 != 0 {
+					_ = s.RepairLink(lid)
+				} else if _, err := s.FailLink(lid); err != nil {
+					t.Fatalf("fail link %d: %v", lid, err)
+				}
+			case 6: // fail or repair a resource
+				r := int(b>>4) % net.Ress
+				if b&0x08 != 0 {
+					_ = s.RepairResource(r)
+				} else if _, err := s.FailResource(r); err != nil {
+					t.Fatalf("fail resource %d: %v", r, err)
+				}
+			case 7: // singleton traffic rides along
+				if id, err := s.Submit(Task{Proc: int(b>>3) & 0x03, Need: 1 + int(b>>5)&1}); err == nil {
+					ids = append(ids, id)
+				}
+			}
+			checkInvariants(t, s, net, ids)
+			checkGangInvariants(t, s, gids)
+		}
+	})
+}
+
+// checkGangInvariants audits the all-or-nothing observables of every
+// still-known gang.
+func checkGangInvariants(t *testing.T, s *System, gids []GangID) {
+	t.Helper()
+	for _, gid := range gids {
+		members := s.GangMembers(gid)
+		if members == nil {
+			continue // serviced or canceled
+		}
+		if !s.GangActive(gid) {
+			for _, id := range members {
+				if held := s.Holding(id); len(held) != 0 {
+					t.Fatalf("gated gang %d member %d holds %v", gid, id, held)
+				}
+			}
+		}
+		if s.GangProvisioned(gid) {
+			for _, id := range members {
+				if rem := s.Remaining(id); rem != 0 {
+					t.Fatalf("provisioned gang %d member %d still needs %d", gid, id, rem)
+				}
+			}
+		}
+	}
+}
+
 // checkInvariants audits the externally observable state of the system.
 func checkInvariants(t *testing.T, s *System, net *topology.Network, ids []TaskID) {
 	t.Helper()

@@ -1,0 +1,394 @@
+package system
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Gang tasks: the all-or-nothing collective extension. A gang is a set of
+// member tasks on distinct processors that must hold their circuits
+// together — the fabric-level shape of a collective step (every rank of a
+// ring-allreduce phase transmits at once, see internal/core's collective
+// lowering). The contract has two halves:
+//
+//   - Atomic grant. Members are queued gated: none of them requests a
+//     resource until the whole gang passes a banker's safety check against
+//     the current allocation (activateGangs, run at the top of every
+//     cycle). Activation is strict-FIFO across gangs, so a large gang is
+//     never starved by smaller ones slipping past it, and the check admits
+//     the gang only when some completion order lets every committed holder
+//     and every member finish — concurrent gangs cannot deadlock the
+//     fabric on units.
+//   - Atomic sever. A hardware fault that costs any member a unit resets
+//     the whole gang exactly once: every member's circuits are torn down,
+//     every held unit returns to the pool, and the gang re-enters the
+//     pending queue (at the front — it already held its activation slot)
+//     to be re-planned on the surviving fabric. A fully provisioned gang
+//     is immune, mirroring the provisioned-singleton rule.
+//
+// Members of an active gang are first-class banker's citizens: they are
+// committed in the hypothetical state even while holding nothing, so
+// singleton admission under AvoidanceBankers cannot grant away the units
+// a gang's completion order depends on.
+
+// GangID identifies a gang submitted via SubmitGang.
+type GangID int
+
+type gangState struct {
+	id      GangID
+	members []TaskID
+	active  bool
+}
+
+// SubmitGang queues a gang of member tasks, all-or-nothing: no member
+// requests a resource until the whole gang is activated by the banker's
+// admission gate. Members must use distinct processors (each holds its
+// port for the gang's duration) and each must pass the ordinary task
+// validation; the gang's combined demand must fit the usable-capacity
+// census (per type when Config.Types is set) or SubmitGang fails with an
+// error wrapping ErrUnsatisfiable. Returns the gang ID and the member
+// task IDs, in member order.
+func (s *System) SubmitGang(members []Task) (GangID, []TaskID, error) {
+	if len(members) < 2 {
+		return 0, nil, fmt.Errorf("system: a gang needs at least 2 members, got %d", len(members))
+	}
+	seenProc := make(map[int]bool, len(members))
+	needByType := map[int]int{}
+	norm := make([]Task, len(members))
+	for i, t := range members {
+		if t.Proc < 0 || t.Proc >= s.net.Procs {
+			return 0, nil, fmt.Errorf("system: gang member %d: processor %d out of range", i, t.Proc)
+		}
+		if err := ValidateTask(t, s.net.Ress); err != nil {
+			return 0, nil, fmt.Errorf("system: gang member %d: %w", i, err)
+		}
+		if t.Need <= 0 {
+			t.Need = 1
+		}
+		if seenProc[t.Proc] {
+			return 0, nil, fmt.Errorf("system: gang members must use distinct processors (processor %d repeated)", t.Proc)
+		}
+		seenProc[t.Proc] = true
+		needByType[t.Type] += t.Need
+		norm[i] = t
+	}
+	// Gang admission: the combined demand must fit the usable census —
+	// members hold their units together, so the whole sum must be
+	// simultaneously satisfiable on the surviving fabric.
+	usable := s.usableResources()
+	if s.typeCount == nil {
+		tot, need := 0, 0
+		for _, c := range usable {
+			tot += c
+		}
+		for _, n := range needByType {
+			need += n
+		}
+		if need > tot {
+			s.o.unsat.Inc()
+			s.event(evUnsat, 0, int64(need), "")
+			return 0, nil, fmt.Errorf("system: gang needs %d resources together, fabric has %d usable: %w",
+				need, tot, ErrUnsatisfiable)
+		}
+	} else {
+		for ty, need := range needByType {
+			if need > usable[ty] {
+				s.o.unsat.Inc()
+				s.event(evUnsat, 0, int64(need), "")
+				return 0, nil, fmt.Errorf("system: gang needs %d resources of type %d together, fabric has %d usable: %w",
+					need, ty, usable[ty], ErrUnsatisfiable)
+			}
+		}
+	}
+	s.nextGang++
+	gid := s.nextGang
+	g := &gangState{id: gid, members: make([]TaskID, len(norm))}
+	for i, t := range norm {
+		s.nextID++
+		id := s.nextID
+		s.tasks[id] = &taskState{id: id, task: t}
+		s.queues[t.Proc] = append(s.queues[t.Proc], id)
+		s.gangOf[id] = gid
+		g.members[i] = id
+	}
+	s.gangs[gid] = g
+	s.gangPending = append(s.gangPending, gid)
+	if s.o.enabled {
+		s.o.gangsSubmitted.Inc()
+		s.event(evGangSubmit, 0, int64(gid), "")
+	}
+	return gid, g.members, nil
+}
+
+// activateGangs runs the all-or-nothing admission gate at the top of a
+// cycle: pending gangs activate in strict FIFO order, each only when the
+// banker's condition holds with every member committed at its full
+// demand. The first gang that cannot be safely admitted stops the scan —
+// later gangs must not starve it. Returns how many gangs activated.
+func (s *System) activateGangs() int {
+	activated := 0
+	for len(s.gangPending) > 0 {
+		gid := s.gangPending[0]
+		g := s.gangs[gid]
+		if g == nil {
+			s.gangPending = s.gangPending[1:] // canceled while pending
+			continue
+		}
+		// The candidate joins the hypothetical world as one composite
+		// entity: its members' demand must be finishable together, since
+		// none of them releases a unit until the whole gang completes.
+		hypo := s.hypothetical()
+		cand := newHypoEntity()
+		for _, id := range g.members {
+			t := s.tasks[id]
+			cand.rem[t.task.Type] += t.remaining()
+			cand.held[t.task.Type] += len(t.held)
+		}
+		hypo.entities = append(hypo.entities, cand)
+		if !hypo.safe() {
+			break
+		}
+		g.active = true
+		s.gangPending = s.gangPending[1:]
+		activated++
+		if s.o.enabled {
+			s.o.gangsActivated.Inc()
+			s.event(evGangActivate, 0, int64(gid), "")
+		}
+	}
+	return activated
+}
+
+// gangMemberGated reports whether a task is a member of a gang that has
+// not been activated yet (it must not request resources).
+func (s *System) gangMemberGated(id TaskID) bool {
+	gid, ok := s.gangOf[id]
+	if !ok {
+		return false
+	}
+	g := s.gangs[gid]
+	return g != nil && !g.active
+}
+
+// gangAcquiring reports whether a task belongs to an active gang that is
+// not yet fully provisioned. FailResource uses it to extend the
+// still-acquiring revocation rule to gang granularity: a member's unit is
+// only safe from revocation once the whole gang holds its complete set.
+func (s *System) gangAcquiring(id TaskID) bool {
+	gid, ok := s.gangOf[id]
+	if !ok {
+		return false
+	}
+	g := s.gangs[gid]
+	if g == nil || !g.active {
+		return false
+	}
+	return !s.gangProvisioned(g)
+}
+
+func (s *System) gangProvisioned(g *gangState) bool {
+	for _, id := range g.members {
+		t := s.tasks[id]
+		if t == nil || t.remaining() > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// GangProvisioned reports whether every member of a gang holds its full
+// resource set (the gang's atomic grant is complete).
+func (s *System) GangProvisioned(gid GangID) bool {
+	g := s.gangs[gid]
+	return g != nil && s.gangProvisioned(g)
+}
+
+// GangMembers reports a gang's member task IDs, or nil if unknown.
+func (s *System) GangMembers(gid GangID) []TaskID {
+	g := s.gangs[gid]
+	if g == nil {
+		return nil
+	}
+	return append([]TaskID(nil), g.members...)
+}
+
+// GangActive reports whether a gang passed the activation gate (its
+// members compete for resources).
+func (s *System) GangActive(gid GangID) bool {
+	g := s.gangs[gid]
+	return g != nil && g.active
+}
+
+// PendingGangs counts gangs still gated before activation.
+func (s *System) PendingGangs() int { return len(s.gangPending) }
+
+// resetGang is the atomic-sever half of the gang contract: tear down every
+// member's circuits, return every held unit to the pool, and send the gang
+// back through the activation gate (front of the pending queue — it
+// already held its FIFO slot once). Members that had fully provisioned and
+// left their queues re-enter at the back; gated members never block
+// capacity, and any task queued behind one holds nothing, so the banker's
+// completion orders stay physically realizable. Returns the member IDs.
+func (s *System) resetGang(g *gangState) []TaskID {
+	affected := make([]TaskID, 0, len(g.members))
+	for _, id := range g.members {
+		t := s.tasks[id]
+		if t == nil {
+			continue
+		}
+		p := t.task.Proc
+		for _, c := range s.circuits[id] {
+			s.net.ForceRelease(c)
+			s.broken++
+			if s.o.enabled {
+				s.o.severed.Inc()
+				s.event(evSever, id, int64(c.Res), "")
+			}
+		}
+		delete(s.circuits, id)
+		if s.transmitting[p] == id {
+			s.transmitting[p] = -1
+			s.severedProc[p] = true
+		}
+		for _, r := range t.held {
+			if s.resHolder[r] == id {
+				s.resHolder[r] = -1
+			}
+		}
+		t.held = t.held[:0]
+		// Re-enqueue members that left their queue when they provisioned.
+		// Queue membership is the test — not remaining()==0 — because the
+		// fault path revokes units before the reset runs: a provisioned
+		// member whose unit was just revoked already has remaining()>0 but
+		// is in no queue, and skipping it would strand the gang active
+		// forever with a member no cycle can ever grant to.
+		inQueue := false
+		for _, qid := range s.queues[p] {
+			if qid == id {
+				inQueue = true
+				break
+			}
+		}
+		if !inQueue {
+			s.queues[p] = append(s.queues[p], id)
+		}
+		affected = append(affected, id)
+	}
+	g.active = false
+	s.gangPending = append([]GangID{g.id}, s.gangPending...)
+	if s.o.enabled {
+		s.o.gangResets.Inc()
+		s.event(evGangReset, 0, int64(g.id), "")
+	}
+	return affected
+}
+
+// resetGangsOf applies the atomic-sever rule after a hardware fault: every
+// gang that lost a unit through any of the affected tasks is reset exactly
+// once (fully provisioned gangs are immune — their acquisition contract is
+// complete, like provisioned singletons). Returns the affected set merged
+// with the reset members, deduplicated and sorted.
+func (s *System) resetGangsOf(affected []TaskID) []TaskID {
+	var extra []TaskID
+	var seen map[GangID]bool
+	for _, id := range affected {
+		gid, ok := s.gangOf[id]
+		if !ok {
+			continue
+		}
+		if seen[gid] {
+			continue
+		}
+		if seen == nil {
+			seen = map[GangID]bool{}
+		}
+		seen[gid] = true
+		g := s.gangs[gid]
+		if g == nil || !g.active || s.gangProvisioned(g) {
+			continue
+		}
+		extra = append(extra, s.resetGang(g)...)
+	}
+	if len(extra) == 0 {
+		return affected
+	}
+	set := make(map[TaskID]bool, len(affected)+len(extra))
+	for _, id := range affected {
+		set[id] = true
+	}
+	for _, id := range extra {
+		set[id] = true
+	}
+	out := make([]TaskID, 0, len(set))
+	for id := range set {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// CancelGang withdraws a whole gang at any point before EndGangService:
+// every member leaves its queue, in-flight circuits are torn down and held
+// units return to the pool. Members cannot be canceled individually
+// (Cancel rejects them) — the gang is the unit of withdrawal, exactly as
+// it is the unit of grant and sever.
+func (s *System) CancelGang(gid GangID) error {
+	g := s.gangs[gid]
+	if g == nil {
+		return fmt.Errorf("system: unknown gang %d", gid)
+	}
+	for _, id := range g.members {
+		if _, ok := s.tasks[id]; !ok {
+			continue
+		}
+		if err := s.cancelTask(id); err != nil {
+			return fmt.Errorf("system: canceling gang %d: %w", gid, err)
+		}
+	}
+	for i, p := range s.gangPending {
+		if p == gid {
+			s.gangPending = append(s.gangPending[:i], s.gangPending[i+1:]...)
+			break
+		}
+	}
+	for _, id := range g.members {
+		delete(s.gangOf, id)
+	}
+	delete(s.gangs, gid)
+	return nil
+}
+
+// EndGangService completes a gang: every member must be fully provisioned
+// and idle, and all their resources return to the pool together. Members
+// cannot be released individually (EndService rejects them).
+func (s *System) EndGangService(gid GangID) error {
+	g := s.gangs[gid]
+	if g == nil {
+		return fmt.Errorf("system: unknown gang %d", gid)
+	}
+	for _, id := range g.members {
+		t := s.tasks[id]
+		if t == nil {
+			return fmt.Errorf("system: gang %d: unknown member task %d", gid, id)
+		}
+		if t.remaining() != 0 {
+			return fmt.Errorf("system: gang %d: member task %d still needs %d resources", gid, id, t.remaining())
+		}
+		if s.transmitting[t.task.Proc] == id {
+			return fmt.Errorf("system: gang %d: member task %d is still transmitting", gid, id)
+		}
+	}
+	for _, id := range g.members {
+		t := s.tasks[id]
+		for _, r := range t.held {
+			if s.resHolder[r] == id {
+				s.resHolder[r] = -1
+			}
+		}
+		delete(s.tasks, id)
+		delete(s.circuits, id)
+		delete(s.gangOf, id)
+	}
+	delete(s.gangs, gid)
+	return nil
+}

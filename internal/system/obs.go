@@ -14,6 +14,10 @@ const (
 	evUnsat    = "unsat"    // admission rejected a task; Val = its Need
 	evHwFault  = "hwfault"  // a component failed; Val = index, Result = class
 	evHwRepair = "hwrepair" // a component was repaired; Val = index, Result = class
+
+	evGangSubmit   = "gangsubmit"   // a gang entered the pending queue; Val = gang ID
+	evGangActivate = "gangactivate" // the banker's gate admitted a gang; Val = gang ID
+	evGangReset    = "gangreset"    // atomic sever re-planned a gang; Val = gang ID
 )
 
 // sysObs holds the system's resolved instruments. The zero value (every
@@ -32,6 +36,10 @@ type sysObs struct {
 	preempts  *obs.Counter
 	faultOps  *obs.Counter
 	repairOps *obs.Counter
+
+	gangsSubmitted *obs.Counter // gangs accepted into the pending queue
+	gangsActivated *obs.Counter // gangs admitted by the banker's gate
+	gangResets     *obs.Counter // gangs atomically severed and re-planned
 
 	warmSolves  *obs.Counter // cycles served by the warm-start arena
 	coldSolves  *obs.Counter // cycles that built the flow network cold
@@ -62,6 +70,10 @@ func newSysObs(reg *obs.Registry, shard int) sysObs {
 		preempts:  reg.Counter("rsin_system_preempts_total"),
 		faultOps:  reg.Counter("rsin_system_fault_ops_total"),
 		repairOps: reg.Counter("rsin_system_repair_ops_total"),
+
+		gangsSubmitted: reg.Counter("rsin_system_gangs_submitted_total"),
+		gangsActivated: reg.Counter("rsin_system_gangs_activated_total"),
+		gangResets:     reg.Counter("rsin_system_gang_resets_total"),
 
 		warmSolves:  reg.Counter("rsin_system_warm_solves_total"),
 		coldSolves:  reg.Counter("rsin_system_cold_solves_total"),

@@ -18,7 +18,6 @@ package system
 import (
 	"errors"
 	"fmt"
-	"sort"
 	"time"
 
 	"rsin/internal/core"
@@ -191,6 +190,10 @@ type CycleResult struct {
 	Broken   int // circuits severed by hardware faults since the previous cycle
 	Clocks   int // token-architecture clock periods (TokenArch only)
 
+	// GangsActivated counts gangs admitted by the banker's activation gate
+	// at the top of this cycle (their members start competing now).
+	GangsActivated int
+
 	// Elapsed is the wall-clock time of the cycle — hooks, discipline
 	// solve and circuit establishment — the per-cycle monitor cost in
 	// real units alongside the Mapping's primitive-operation counters.
@@ -216,6 +219,13 @@ type System struct {
 	// broken accumulates severed circuits for the next CycleResult.
 	severedProc []bool
 	broken      int
+
+	// Gang bookkeeping (see gang.go): gangs by ID, membership index, and
+	// the FIFO of gangs still gated before banker's activation.
+	gangs       map[GangID]*gangState
+	gangOf      map[TaskID]GangID
+	gangPending []GangID
+	nextGang    GangID
 
 	// Degraded-capacity census cached per fault epoch.
 	usableCache      map[int]int
@@ -250,6 +260,8 @@ func New(cfg Config) (*System, error) {
 		transmitting: make([]TaskID, cfg.Net.Procs),
 		circuits:     make(map[TaskID][]topology.Circuit),
 		severedProc:  make([]bool, cfg.Net.Procs),
+		gangs:        make(map[GangID]*gangState),
+		gangOf:       make(map[TaskID]GangID),
 	}
 	for i := range s.resHolder {
 		s.resHolder[i] = -1
@@ -346,7 +358,9 @@ func (s *System) headTask(p int) *taskState {
 func (t *taskState) remaining() int { return t.task.Need - len(t.held) }
 
 // wantsResource reports whether the processor's head task should request
-// this cycle: it needs more resources and is not mid-transmission.
+// this cycle: it needs more resources, is not mid-transmission, and is not
+// a gang member still gated before activation (the all-or-nothing grant
+// means no member requests until the whole gang is admitted).
 func (s *System) wantsResource(p int) *taskState {
 	if s.transmitting[p] != -1 {
 		return nil
@@ -355,24 +369,80 @@ func (s *System) wantsResource(p int) *taskState {
 	if t == nil || t.remaining() <= 0 {
 		return nil
 	}
+	if s.gangMemberGated(t.id) {
+		return nil
+	}
 	return t
+}
+
+// requestCandidate picks the task a processor requests for this cycle,
+// running the banker's admission when hypo is non-nil. The queue head is
+// always first in line; behind a head the banker defers (or a head still
+// gated before its gang's activation), members of ACTIVE gangs may bypass
+// it. Activation admitted the gang into the acquiring set — the per-proc
+// FIFO governs entry into that set, not ordering within it — and without
+// the bypass a deferred head wedges the fabric: the banker's promised
+// completion order can require exactly the buried member's grant (see
+// TestGangDifferentialTraces' liveness drain). Without gangs the scan
+// degenerates to the head-only discipline.
+func (s *System) requestCandidate(p int, hypo *hypoState, res *CycleResult) *taskState {
+	if s.transmitting[p] != -1 {
+		return nil
+	}
+	for qi, id := range s.queues[p] {
+		t := s.tasks[id]
+		if t == nil || t.remaining() <= 0 {
+			continue
+		}
+		if s.gangMemberGated(id) {
+			continue
+		}
+		if qi > 0 && !s.gangActiveMember(id) {
+			// Singletons never bypass: their FIFO contract is
+			// position-for-position, and holding nothing while queued they
+			// cannot wedge anyone. The scan continues past them — an active
+			// member may be buried deeper.
+			continue
+		}
+		if hypo != nil && !hypo.admit(t.id, t.task) {
+			res.Deferred++
+			continue
+		}
+		return t
+	}
+	return nil
 }
 
 // hypoState is the banker's hypothetical world used for sequential
 // admission within one cycle: free resources per type and the committed
-// (resource-holding, unfinished) task census.
+// census. Entities are the units of completion, not tasks — a singleton
+// releases its units when it alone finishes, but a gang's members release
+// nothing until the whole gang has acquired its full set, so an active
+// gang is one composite entity aggregating its members' demand and
+// holdings per type. Modeling members independently is the classic unsafe
+// shortcut: the banker would count a provisioned member's unit as
+// releasable while the gang still waits on its siblings, and admit
+// cross-gang hold-and-wait deadlocks.
 type hypoState struct {
 	freeByType map[int]int
-	committed  map[TaskID]*hypoTask
+	entities   []*hypoEntity
+	byTask     map[TaskID]*hypoEntity
 }
 
-type hypoTask struct {
-	typ, rem, held int
+// hypoEntity is one completion unit: remaining demand and current
+// holdings per resource type.
+type hypoEntity struct {
+	rem  map[int]int
+	held map[int]int
+}
+
+func newHypoEntity() *hypoEntity {
+	return &hypoEntity{rem: map[int]int{}, held: map[int]int{}}
 }
 
 // hypothetical snapshots the current allocation state.
 func (s *System) hypothetical() *hypoState {
-	h := &hypoState{freeByType: map[int]int{}, committed: map[TaskID]*hypoTask{}}
+	h := &hypoState{freeByType: map[int]int{}, byTask: map[TaskID]*hypoEntity{}}
 	for r := 0; r < s.net.Ress; r++ {
 		// A failed resource is not free capacity: counting it would let
 		// the banker admit holders that cannot complete until repair.
@@ -380,30 +450,86 @@ func (s *System) hypothetical() *hypoState {
 			h.freeByType[s.resType(r)]++
 		}
 	}
+	gangEnt := map[GangID]*hypoEntity{}
 	for id, t := range s.tasks {
+		if gid, ok := s.gangOf[id]; ok {
+			g := s.gangs[gid]
+			if g == nil || !g.active {
+				continue // gated members hold nothing and are not committed
+			}
+			// Members of an active gang are committed even while holding
+			// nothing: the gang's activation promised it a completion
+			// order, and singleton admission must not grant that capacity
+			// away.
+			e := gangEnt[gid]
+			if e == nil {
+				e = newHypoEntity()
+				gangEnt[gid] = e
+				h.entities = append(h.entities, e)
+			}
+			e.rem[t.task.Type] += t.remaining()
+			e.held[t.task.Type] += len(t.held)
+			h.byTask[id] = e
+			continue
+		}
 		if len(t.held) == 0 {
 			continue
 		}
-		h.committed[id] = &hypoTask{typ: t.task.Type, rem: t.remaining(), held: len(t.held)}
+		e := newHypoEntity()
+		e.rem[t.task.Type] = t.remaining()
+		e.held[t.task.Type] = len(t.held)
+		h.entities = append(h.entities, e)
+		h.byTask[id] = e
 	}
 	return h
 }
 
-// safe checks the banker's condition per type: some completion order
-// (ascending remaining need) lets every committed task finish.
-func (h *hypoState) safe() bool {
-	byType := map[int][]*hypoTask{}
-	for _, t := range h.committed {
-		byType[t.typ] = append(byType[t.typ], t)
+// gangActiveMember reports whether a task belongs to an activated gang.
+func (s *System) gangActiveMember(id TaskID) bool {
+	gid, ok := s.gangOf[id]
+	if !ok {
+		return false
 	}
-	for typ, tasks := range byType {
-		sort.Slice(tasks, func(i, j int) bool { return tasks[i].rem < tasks[j].rem })
-		free := h.freeByType[typ]
-		for _, t := range tasks {
-			if t.rem > free {
-				return false
+	g := s.gangs[gid]
+	return g != nil && g.active
+}
+
+// safe checks the banker's condition: some completion order lets every
+// committed entity finish. The classic greedy safety scan is exact —
+// finishing an entity only ever grows the free vector, so if any safe
+// order exists there is one that starts with any currently-finishable
+// entity (validated against a brute-force permutation oracle in
+// gang_differential_test.go).
+func (h *hypoState) safe() bool {
+	free := make(map[int]int, len(h.freeByType))
+	for typ, n := range h.freeByType {
+		free[typ] = n
+	}
+	done := make([]bool, len(h.entities))
+	finished := 0
+	for progress := true; progress && finished < len(h.entities); {
+		progress = false
+		for i, e := range h.entities {
+			if done[i] || !fitsFree(e.rem, free) {
+				continue
 			}
-			free += t.held // finishing releases everything it holds
+			for typ, n := range e.held {
+				free[typ] += n // finishing releases everything it holds
+			}
+			done[i] = true
+			finished++
+			progress = true
+		}
+	}
+	return finished == len(h.entities)
+}
+
+// fitsFree reports whether a remaining-demand vector fits within the free
+// vector.
+func fitsFree(rem, free map[int]int) bool {
+	for typ, n := range rem {
+		if n > free[typ] {
+			return false
 		}
 	}
 	return true
@@ -418,22 +544,29 @@ func (h *hypoState) admit(id TaskID, t Task) bool {
 	if h.freeByType[t.Type] == 0 {
 		return false
 	}
-	ht, ok := h.committed[id]
-	if !ok {
-		ht = &hypoTask{typ: t.Type, rem: t.Need}
-		h.committed[id] = ht
+	e, created := h.byTask[id], false
+	if e == nil {
+		// First contact with this task in the hypothetical world: an
+		// uncommitted singleton (gang members are pre-committed through
+		// their composite entity whenever their gang is active).
+		e = newHypoEntity()
+		e.rem[t.Type] = t.Need
+		h.entities = append(h.entities, e)
+		h.byTask[id] = e
+		created = true
 	}
 	h.freeByType[t.Type]--
-	ht.rem--
-	ht.held++
+	e.rem[t.Type]--
+	e.held[t.Type]++
 	if h.safe() {
 		return true
 	}
 	h.freeByType[t.Type]++
-	ht.rem++
-	ht.held--
-	if ht.held == 0 {
-		delete(h.committed, id)
+	e.rem[t.Type]++
+	e.held[t.Type]--
+	if created {
+		h.entities = h.entities[:len(h.entities)-1]
+		delete(h.byTask, id)
 	}
 	return false
 }
@@ -488,19 +621,23 @@ func (s *System) cycle() (*CycleResult, error) {
 	}
 	res := &CycleResult{Broken: s.broken}
 	s.broken = 0
+	// Gate check after the hardware hooks: faults applied above may have
+	// reset gangs, and newly safe pending gangs join this very cycle.
+	res.GangsActivated = s.activateGangs()
 	var reqs []core.Request
 	taskOf := map[int]*taskState{}
 	var hypo *hypoState
-	if s.cfg.Avoidance == AvoidanceBankers {
+	// Gangs upgrade the shard to banker's grants for as long as any exist:
+	// activation promised each active gang a completion order, and a greedy
+	// grant (to a singleton or a rival gang's member) could hand away the
+	// units that order depends on — two gangs acquiring concurrently would
+	// wedge in hold-and-wait exactly like unguarded singletons.
+	if s.cfg.Avoidance == AvoidanceBankers || len(s.gangs) > 0 {
 		hypo = s.hypothetical()
 	}
 	for p := 0; p < s.net.Procs; p++ {
-		t := s.wantsResource(p)
+		t := s.requestCandidate(p, hypo, res)
 		if t == nil {
-			continue
-		}
-		if hypo != nil && !hypo.admit(t.id, t.task) {
-			res.Deferred++
 			continue
 		}
 		reqs = append(reqs, core.Request{Proc: p, Priority: effectivePriority(t.task), Type: t.task.Type})
@@ -629,7 +766,15 @@ func (s *System) EndTransmission(p int) error {
 	s.circuits[id] = s.circuits[id][:len(s.circuits[id])-1]
 	s.transmitting[p] = -1
 	if t.remaining() == 0 {
-		s.queues[p] = s.queues[p][1:] // task fully provisioned; frees the port
+		// Task fully provisioned; it leaves the queue. Usually the head,
+		// but an active gang member may have been granted past a deferred
+		// head (see requestCandidate), so remove it by identity.
+		for qi, qid := range s.queues[p] {
+			if qid == id {
+				s.queues[p] = append(s.queues[p][:qi], s.queues[p][qi+1:]...)
+				break
+			}
+		}
 	}
 	return nil
 }
@@ -641,6 +786,15 @@ func (s *System) EndTransmission(p int) error {
 // that abandons a queued or partially-provisioned task (a deadline, a
 // crashed caller) cannot strand its queue-head slot or leak held units.
 func (s *System) Cancel(id TaskID) error {
+	if gid, ok := s.gangOf[id]; ok {
+		return fmt.Errorf("system: task %d belongs to gang %d; use CancelGang (the gang is the unit of withdrawal)", id, gid)
+	}
+	return s.cancelTask(id)
+}
+
+// cancelTask is the gang-unaware withdrawal body shared by Cancel and
+// CancelGang.
+func (s *System) cancelTask(id TaskID) error {
 	t, ok := s.tasks[id]
 	if !ok {
 		return fmt.Errorf("system: unknown task %d", id)
@@ -674,6 +828,9 @@ func (s *System) Cancel(id TaskID) error {
 // with its service history. A second EndService on the same ID therefore
 // reports the task as unknown.
 func (s *System) EndService(id TaskID) error {
+	if gid, ok := s.gangOf[id]; ok {
+		return fmt.Errorf("system: task %d belongs to gang %d; use EndGangService (the gang releases together)", id, gid)
+	}
 	t, ok := s.tasks[id]
 	if !ok {
 		return fmt.Errorf("system: unknown task %d", id)

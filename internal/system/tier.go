@@ -118,6 +118,11 @@ func (s *System) CanRoute(p, r int) bool {
 // layer's priority policy — decides *whether* preemption is worth it
 // (strict tier-weight improvement); this primitive only performs it.
 func (s *System) Preempt(id TaskID, r int) error {
+	if gid, ok := s.gangOf[id]; ok {
+		// Revoking one member's unit would break the gang's atomic grant;
+		// the preemption policy must pick a singleton victim instead.
+		return fmt.Errorf("system: task %d belongs to gang %d and cannot be preempted", id, gid)
+	}
 	t, ok := s.tasks[id]
 	if !ok {
 		return fmt.Errorf("system: unknown task %d", id)

@@ -78,6 +78,25 @@ type (
 	SchedulerStats = sched.Stats
 	// TaskHandle tracks a task submitted to a Scheduler.
 	TaskHandle = sched.Handle
+	// GangSpec describes an all-or-nothing gang of member tasks for
+	// Scheduler.SubmitGang: every member is granted in the same epoch or
+	// none is, and a hardware fault severing any member resets the whole
+	// gang atomically (charged once against the shared sever budget).
+	GangSpec = sched.GangSpec
+	// GangHandle tracks a gang submitted via Scheduler.SubmitGang; its
+	// Done channel closes only when every member holds its full set.
+	GangHandle = sched.GangHandle
+	// CollectiveSpec describes a collective (ring allreduce,
+	// reduce-scatter) for Scheduler.RunCollective: the pattern is lowered
+	// into phases, each phase scheduled as one gang with a barrier
+	// between phases.
+	CollectiveSpec = sched.CollectiveSpec
+	// CollectiveResult reports a completed collective (phases run, gang
+	// severs absorbed).
+	CollectiveResult = sched.CollectiveResult
+	// Collective identifies a collective pattern for LowerCollective and
+	// CollectiveSpec.
+	Collective = core.Collective
 )
 
 // SystemConfig.Discipline and .Avoidance values (the internal constants,
@@ -105,6 +124,14 @@ const (
 	// SystemTask.Tier (tier 0 is the most urgent). Out-of-range tiers are
 	// rejected at Submit with ErrBadTask.
 	MaxTier = system.MaxTier
+
+	// RingAllReduce is the k-rank ring allreduce collective: k-1
+	// reduce-scatter phases then k-1 allgather phases, each phase one
+	// gang.
+	RingAllReduce = core.RingAllReduce
+	// RingReduceScatter is the k-rank ring reduce-scatter collective:
+	// k-1 phases leaving each rank one fully reduced chunk.
+	RingReduceScatter = core.RingReduceScatter
 )
 
 // TierWeight is the weighted-value exchange rate of a priority class:
@@ -196,4 +223,8 @@ var (
 	// TokenSchedule runs one scheduling cycle on the distributed
 	// token-propagation architecture of §IV.
 	TokenSchedule = token.Schedule
+	// LowerCollective lowers a collective pattern over k ranks into its
+	// phase sequence (who ships which chunk to whom between barriers);
+	// Scheduler.RunCollective executes the phases as gangs.
+	LowerCollective = core.LowerCollective
 )
