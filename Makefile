@@ -30,14 +30,15 @@ race:
 # ratchet holds arc scans per granted task on the pinned warm-cold trace
 # within 10% of the recorded baseline (the counters are deterministic,
 # so the threshold is absolute), and the parity test pins the counting
-# convention itself. The -gategang smoke run holds the gang workload's
-# invariants: zero partial grants, intact accounting identity.
+# convention itself. The -gategang -gatemulti smoke run holds the gang
+# and typed-multicommodity workloads' invariants: zero partial grants,
+# intact accounting identities, bounded multicommodity gaps.
 ratchet:
 	$(GO) test -run 'TestWarmSimplexPivotRatchet|TestMinCostIncremental' ./internal/core
 	$(GO) test -run 'TestQuickCrossSolver|TestNegativeCostRegressions' ./internal/netsimplex
 	$(GO) test -run 'TestOpsCounterParity' ./internal/maxflow
 	$(GO) test -run 'TestOpsGateRatchet' ./cmd/rsinbench
-	$(GO) run ./cmd/rsinbench -sched -smoke -gategang
+	$(GO) run ./cmd/rsinbench -sched -smoke -gategang -gatemulti
 
 # The instrumentation hot path must not allocate (disabled or enabled);
 # CI runs the same guard.
@@ -48,7 +49,7 @@ allocguard:
 # the BENCH_sched.json format), with the warm-start, tier-0 QoS,
 # solver-cost, open-loop overload-shedding and gang all-or-nothing gates.
 schedbench:
-	$(GO) run ./cmd/rsinbench -sched -openloop -gatewarm -gatetier -gateops -gateshed -gategang -json BENCH_sched.json
+	$(GO) run ./cmd/rsinbench -sched -openloop -gatewarm -gatetier -gateops -gateshed -gategang -gatemulti -json BENCH_sched.json
 
 # lint/vuln need staticcheck / govulncheck on PATH (CI installs them);
 # they are not part of `all` so an offline checkout still builds.
@@ -65,5 +66,6 @@ bench:
 fuzz:
 	$(GO) test -fuzz FuzzSubmitCycle -fuzztime 30s ./internal/system
 	$(GO) test -fuzz FuzzGangSubmit -fuzztime 30s ./internal/system
+	$(GO) test -fuzz FuzzTypedSubmit -fuzztime 30s ./internal/system
 	$(GO) test -fuzz FuzzParse -fuzztime 30s ./internal/dimacs
 	$(GO) test -fuzz FuzzHTTPSubmitDecode -fuzztime 30s ./internal/server

@@ -31,11 +31,12 @@ func main() {
 		openLoop = flag.Bool("openloop", false, "with -sched: run the open-loop overload sweep through the HTTP front door (Poisson arrivals over a rate grid past the knee)")
 		gateShed = flag.Bool("gateshed", false, "with -sched: fail unless the open-loop sweep sheds correctly under 2x overload (implies -openloop; see gateShedCheck)")
 		gateGang = flag.Bool("gategang", false, "with -sched: fail unless the gang workload shows zero partial grants, an intact accounting identity, and serviced gangs from both families (see gateGangCheck)")
+		gateMult = flag.Bool("gatemulti", false, "with -sched: fail unless the typed multicommodity workload shows exact typed grants, a bounded greedy gap on the restricted fabric, and probe gaps that bound the exact oracle (see gateMultiCheck)")
 	)
 	flag.Parse()
 
 	if *schedRun {
-		if err := runSchedBench(*seed, *smoke, *gateWarm, *gateTier, *gateOps, *openLoop, *gateShed, *gateGang, *jsonOut); err != nil {
+		if err := runSchedBench(*seed, *smoke, *gateWarm, *gateTier, *gateOps, *openLoop, *gateShed, *gateGang, *gateMult, *jsonOut); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}

@@ -32,8 +32,13 @@ import (
 // concurrent ring-allreduce collectives and explicit all-or-nothing
 // gangs under link chaos (partial-grant census, gang sever counters,
 // gang queue latency) that the -gategang invariant check enforces — and
-// the Gangs* / GangSevers counters inside sched_stats.
-const schedBenchSchema = "rsin-bench-sched/v6"
+// the Gangs* / GangSevers counters inside sched_stats. v7 added the multi
+// section — the heterogeneous multicommodity workload (typed-vector
+// clients over a pooled multi-type fabric under chaos, plus the
+// deterministic gap probe against the exact branch-and-bound oracle) that
+// the -gatemulti invariant check enforces — and the Multi* counters
+// inside sched_stats.
+const schedBenchSchema = "rsin-bench-sched/v7"
 
 // The ops gate solves one pinned warm-cold trace — pure computation on a
 // seeded RNG, so its counters are bit-identical on every machine and the
@@ -107,7 +112,12 @@ type schedBenchReport struct {
 	// Gang is the all-or-nothing gang + collective workload under link
 	// chaos (cmd/rsinbench/gang.go) whose invariants -gategang enforces.
 	Gang gangBenchReport `json:"gang"`
-	Obs  obs.Snapshot    `json:"obs"`
+	// Multi is the heterogeneous multicommodity workload — typed-vector
+	// clients pooling several resource types on one fabric under chaos,
+	// plus the deterministic gap probe against the exact oracle
+	// (cmd/rsinbench/multi.go) — whose invariants -gatemulti enforces.
+	Multi multiBenchReport `json:"multi"`
+	Obs   obs.Snapshot     `json:"obs"`
 }
 
 // runSchedBench drives the batched scheduling service at load — including
@@ -133,7 +143,11 @@ type schedBenchReport struct {
 //   - gateGang: the gang workload must show zero partial grants, an
 //     intact member-wise accounting identity, and serviced gangs from
 //     both the collective and explicit families (gateGangCheck).
-func runSchedBench(seed int64, smoke, gateWarm, gateTier, gateOps, openLoop, gateShed, gateGang bool, jsonPath string) error {
+//   - gateMulti: the typed multicommodity workload must show exact typed
+//     grants only, a bounded greedy gap on the restricted chaos fabric,
+//     and a gap probe whose recorded gaps bound the exact oracle on
+//     every instance (gateMultiCheck).
+func runSchedBench(seed int64, smoke, gateWarm, gateTier, gateOps, openLoop, gateShed, gateGang, gateMulti bool, jsonPath string) error {
 	cfg := schedBenchConfig{
 		Topology: "omega", N: 64, Shards: 2,
 		Clients: 64, Tasks: 200, Warmup: 20, Need: 1, Faults: 16,
@@ -253,6 +267,10 @@ func runSchedBench(seed int64, smoke, gateWarm, gateTier, gateOps, openLoop, gat
 	if err != nil {
 		return fmt.Errorf("gang workload: %w", err)
 	}
+	multi, err := runMultiBench(seed, smoke)
+	if err != nil {
+		return fmt.Errorf("multicommodity workload: %w", err)
+	}
 
 	var all []float64
 	for _, lat := range latencies {
@@ -281,6 +299,7 @@ func runSchedBench(seed int64, smoke, gateWarm, gateTier, gateOps, openLoop, gat
 		Tiered:     tiered,
 		OpenLoop:   openLoopRep,
 		Gang:       gang,
+		Multi:      multi,
 		Obs:        reg.Snapshot(),
 	}
 
@@ -300,6 +319,12 @@ func runSchedBench(seed int64, smoke, gateWarm, gateTier, gateOps, openLoop, gat
 		gang.Config.N, gang.Config.Collectives, gang.Config.Rounds, gang.Config.Explicit,
 		gang.CollectivesOK, gang.PhasesServiced, gang.GangsOK, gang.GangsFailed,
 		gang.Severs, gang.PartialGrants, gang.GangQueueMS["p99"])
+	fmt.Printf("multicommod.  omega(%d) x %d types, %d typed clients: ok=%d failed=%d partial=%d, epochs fast-path=%d greedy=%d gap-units=%d, probe %d/%d certified (greedy gap %d vs oracle, violations=%d), typed p99=%.3fms\n",
+		multi.Config.N, multi.Config.Types, multi.Config.Clients,
+		multi.TasksOK, multi.TasksFailed, multi.PartialTypedGrants,
+		multi.FastPathEpochs, multi.GreedyEpochs, multi.GapUnits,
+		multi.Probe.FastPath, multi.Probe.Trials, multi.Probe.GapUnits,
+		multi.Probe.BoundViolations, multi.TypedQueueMS["p99"])
 	if openLoopRep != nil {
 		fmt.Printf("open loop     omega(%d) front door: knee %.0f req/s\n", openLoopRep.Config.N, openLoopRep.KneePerS)
 		for _, p := range openLoopRep.Points {
@@ -351,6 +376,11 @@ func runSchedBench(seed int64, smoke, gateWarm, gateTier, gateOps, openLoop, gat
 	}
 	if gateGang {
 		if err := gateGangCheck(gang); err != nil {
+			return err
+		}
+	}
+	if gateMulti {
+		if err := gateMultiCheck(multi); err != nil {
 			return err
 		}
 	}

@@ -30,6 +30,15 @@
 //	go run ./cmd/rsinserve -tiers 3                      # gold/silver/bronze QoS
 //	go run ./cmd/rsinserve -tiers 3 -preempt -need 2     # with preemption
 //
+// The -types flag pools several resource types on one fabric (resource r
+// gets type r mod k), switches the shards to the multicommodity Hetero
+// discipline, and has every client submit a typed demand vector; the
+// report then includes the multicommodity epoch split (certified LP fast
+// paths vs greedy fallbacks and the accumulated gap):
+//
+//	go run ./cmd/rsinserve -types 3                      # three typed pools
+//	go run ./cmd/rsinserve -serve :8080 -types 3         # typed needs over HTTP
+//
 // rsinserve shuts down gracefully on SIGINT/SIGTERM: clients stop
 // admitting new tasks, in-flight tasks drain (bounded by -drain), and the
 // full statistics report is printed for whatever portion of the run
@@ -223,6 +232,7 @@ func main() {
 		flush     = flag.Duration("flush", 0, "epoch flush period (0 = library default)")
 		naive     = flag.Bool("no-avoidance", false, "disable banker's deadlock avoidance for need > 1 (can wedge, §II)")
 		tiers     = flag.Int("tiers", 0, "spread clients across this many priority tiers (1..8); switches shards to the min-cost discipline and reports per-tier latency")
+		types     = flag.Int("types", 0, "pool this many heterogeneous resource types per shard (0 = homogeneous); switches shards to the multicommodity Hetero discipline and clients to typed demand vectors")
 		preempt   = flag.Bool("preempt", false, "let higher-tier arrivals sever lower-tier in-flight circuits (requires -tiers)")
 		inject    = flag.String("inject", "", "fault-injection script, e.g. cycle:%500,cycle:9:fail-link=3 (see internal/faultinject)")
 		deadline  = flag.Duration("deadline", 0, "per-task context deadline (0 = none); expired tasks are canceled")
@@ -241,6 +251,18 @@ func main() {
 	}
 	if *preempt && *tiers <= 0 {
 		fmt.Fprintln(os.Stderr, "-preempt requires -tiers (preemption is tier-driven)")
+		os.Exit(2)
+	}
+	if *types < 0 {
+		fmt.Fprintf(os.Stderr, "-types %d must be non-negative\n", *types)
+		os.Exit(2)
+	}
+	if *types > 0 && *tiers > 0 {
+		fmt.Fprintln(os.Stderr, "-types and -tiers are mutually exclusive (Hetero vs MinCost discipline)")
+		os.Exit(2)
+	}
+	if *types > *n {
+		fmt.Fprintf(os.Stderr, "-types %d exceeds the %d resources per shard\n", *types, *n)
 		os.Exit(2)
 	}
 
@@ -307,6 +329,16 @@ func main() {
 		if *tiers > 0 {
 			sc.Discipline = system.MinCost
 		}
+		// Typed pools run the multicommodity discipline; resource r gets
+		// type r mod k so every type's stock is n/k.
+		if *types > 0 {
+			sc.Discipline = system.Hetero
+			tv := make([]int, sc.Net.Ress)
+			for r := range tv {
+				tv[r] = r % *types
+			}
+			sc.Types = tv
+		}
 		if injector != nil {
 			sc.FaultHook = injector.Hook // one injector: counters span shards
 			sc.HardwareHook = injector.HardwareHook
@@ -370,6 +402,12 @@ func main() {
 			task := system.Task{Proc: proc, Need: *need}
 			if *tiers > 0 {
 				task.Tier = c % *tiers // stable tier per client: latencies group by c mod tiers
+			}
+			if *types > 0 {
+				// Typed demand vector: a stable type per client so every
+				// commodity sees steady traffic; total demand stays -need.
+				task.Need = 0
+				task.Needs = map[int]int{c % *types: *need}
 			}
 			// runTask submits and waits for provisioning, under a deadline
 			// when one is configured.
@@ -478,6 +516,10 @@ func main() {
 	}
 	fmt.Printf("solver ops    augmentations=%d phases=%d arc-scans=%d node-visits=%d\n",
 		st.Ops.Augmentations, st.Ops.Phases, st.Ops.ArcScans, st.Ops.NodeVisits)
+	if *types > 0 {
+		fmt.Printf("multicommod.  fast-path=%d greedy=%d retries=%d gap-units=%d\n",
+			st.MultiFastPath, st.MultiGreedy, st.MultiRetries, st.MultiGapUnits)
+	}
 	// Shard-down losses and deadline cancellations are the expected cost
 	// of -inject / -deadline runs; anything else is a real failure.
 	if f := failed.Load(); f > 0 {

@@ -164,7 +164,7 @@ func buildHetero(net *topology.Network, reqs []Request, avail []Avail, priced bo
 		tr.arcLink[i] = -1
 	}
 	for _, l := range net.Links {
-		if l.State != topology.LinkFree {
+		if l.State != topology.LinkFree || !net.LinkUsable(l.ID) {
 			continue
 		}
 		from, ok1 := nodeOf(l.From)
@@ -299,14 +299,72 @@ func BuildMulticommodity(net *topology.Network, reqs []Request, avail []Avail) (
 	return tr.G, tr.comms
 }
 
+// certifyIntegral rounds an LP relaxation result to the nearest integers
+// and certifies the rounding as a trustworthy integral schedule: every
+// flow within tol of an integer, the rounded flows re-verified legal
+// (conservation and joint capacities via multiflow.CheckLegal), and —
+// when checkTotal — the rounded total matching the LP objective, so the
+// schedule is provably optimal, not merely near-integral. Result.Integral
+// alone is a per-variable tolerance test on raw simplex output; the
+// certificate is what lets the fast path commit without a fallback solve.
+func certifyIntegral(g *graph.Network, comms []multiflow.Commodity, res multiflow.Result, checkTotal bool) (multiflow.Result, bool) {
+	const tol = 1e-6
+	if len(res.Flows) != len(comms) {
+		return res, false
+	}
+	rounded := multiflow.Result{
+		Flows:     make([][]float64, len(comms)),
+		Values:    make([]float64, len(comms)),
+		Integral:  true,
+		Cost:      res.Cost,
+		LPStatus:  res.LPStatus,
+		Objective: res.Objective,
+	}
+	for i := range comms {
+		if len(res.Flows[i]) != len(g.Arcs) {
+			return res, false
+		}
+		rounded.Flows[i] = make([]float64, len(g.Arcs))
+		for e, f := range res.Flows[i] {
+			r := math.Round(f)
+			if math.Abs(f-r) > tol {
+				return res, false
+			}
+			rounded.Flows[i][e] = r
+		}
+		for _, id := range g.Out(comms[i].Source) {
+			rounded.Values[i] += rounded.Flows[i][id]
+		}
+		for _, id := range g.In(comms[i].Source) {
+			rounded.Values[i] -= rounded.Flows[i][id]
+		}
+		rounded.Total += rounded.Values[i]
+	}
+	if err := multiflow.CheckLegal(g, comms, rounded, tol); err != nil {
+		return res, false
+	}
+	if checkTotal && math.Abs(rounded.Total-res.Objective) > 1e-3 {
+		return res, false
+	}
+	return rounded, true
+}
+
 // ScheduleHetero computes a request-resource mapping for a heterogeneous
 // MRSIN (§III-D). Without priorities it maximizes the total number of
 // allocations across all resource types (multicommodity maximum flow); with
 // priorities it additionally minimizes the total allocation cost
-// (multicommodity minimum cost flow). When the LP relaxation is fractional
-// — impossible on the restricted topologies of [14] but possible in
-// general — an integral fallback is used: exact branch-and-bound when
-// opts.Exact, otherwise sequential per-commodity max flow.
+// (multicommodity minimum cost flow).
+//
+// The LP relaxation is the fast path, but only after certification
+// (certifyIntegral): rounded flows must re-verify as a legal schedule
+// whose total matches the LP objective. On the restricted topologies of
+// [14] the relaxation is integral and every epoch takes this path with
+// Solve.MultiFastPath set and MultiGap zero. When certification fails an
+// integral fallback runs: exact branch-and-bound when opts.Exact (a
+// node-budget-exhausted run is accepted as a legal lower bound, flagged
+// by a nonzero MultiGap), otherwise the conflict-retrying sequential
+// per-commodity decomposition (multiflow.SequentialBest), with the gap
+// to the LP bound recorded in Solve.MultiGap.
 func ScheduleHetero(net *topology.Network, reqs []Request, avail []Avail, opts *HeteroOptions) (*Mapping, error) {
 	if opts == nil {
 		opts = &HeteroOptions{}
@@ -314,6 +372,7 @@ func ScheduleHetero(net *topology.Network, reqs []Request, avail []Avail, opts *
 	if len(reqs) == 0 {
 		return &Mapping{}, nil
 	}
+	const tol = 1e-6
 	tr := buildHetero(net, reqs, avail, opts.UsePriorities)
 
 	if opts.UsePriorities {
@@ -321,29 +380,72 @@ func ScheduleHetero(net *topology.Network, reqs []Request, avail []Avail, opts *
 		if err != nil {
 			return nil, fmt.Errorf("core: heterogeneous min-cost: %w", err)
 		}
-		if !res.Integral {
-			// Fall back to sequential per-type prioritized scheduling on a
-			// copy of the network, allocating types in sorted order.
-			return heteroSequentialPriced(net, tr, reqs, avail)
+		// The priced objective is cost, not allocations, so only the
+		// legality half of the certificate applies.
+		if rounded, ok := certifyIntegral(tr.G, tr.comms, res, false); ok {
+			m, derr := tr.decode(rounded)
+			if derr != nil {
+				return nil, derr
+			}
+			m.Solve.MultiFastPath = true
+			return m, nil
 		}
-		return tr.decode(res)
+		// Fall back to sequential per-type prioritized scheduling on a
+		// copy of the network, allocating types in sorted order.
+		m, err := heteroSequentialPriced(net, tr, reqs, avail)
+		if err != nil {
+			return nil, err
+		}
+		m.Solve.MultiGreedy = true
+		return m, nil
 	}
 
 	res, err := multiflow.MaxFlow(tr.G, tr.comms, nil)
 	if err != nil {
 		return nil, fmt.Errorf("core: heterogeneous max-flow: %w", err)
 	}
-	if !res.Integral {
-		if opts.Exact {
-			res, err = multiflow.BranchAndBound(tr.G, tr.comms, nil, opts.MaxNodes)
-			if err != nil {
-				return nil, fmt.Errorf("core: heterogeneous branch-and-bound: %w", err)
-			}
-		} else {
-			res = multiflow.SequentialDinic(tr.G, tr.comms)
+	lpBound := res.Objective
+	target := int(math.Floor(lpBound + tol))
+	if rounded, ok := certifyIntegral(tr.G, tr.comms, res, true); ok {
+		m, derr := tr.decode(rounded)
+		if derr != nil {
+			return nil, derr
 		}
+		m.Solve.MultiFastPath = true
+		m.Solve.MultiLPBound = lpBound
+		return m, nil
 	}
-	return tr.decode(res)
+	if opts.Exact {
+		bb, err := multiflow.BranchAndBound(tr.G, tr.comms, nil, opts.MaxNodes)
+		if err != nil {
+			return nil, fmt.Errorf("core: heterogeneous branch-and-bound: %w", err)
+		}
+		m, derr := tr.decode(bb)
+		if derr != nil {
+			return nil, derr
+		}
+		m.Solve.MultiLPBound = lpBound
+		if bb.Truncated {
+			// The incumbent is only a lower bound; surface the distance to
+			// the relaxation so callers never mistake it for the optimum.
+			if gap := target - int(math.Round(bb.Total)); gap > 0 {
+				m.Solve.MultiGap = gap
+			}
+		}
+		return m, nil
+	}
+	best, attempts := multiflow.SequentialBest(tr.G, tr.comms, lpBound, 0)
+	m, derr := tr.decode(best)
+	if derr != nil {
+		return nil, derr
+	}
+	m.Solve.MultiGreedy = true
+	m.Solve.MultiRetries = attempts - 1
+	m.Solve.MultiLPBound = lpBound
+	if gap := target - int(math.Round(best.Total)); gap > 0 {
+		m.Solve.MultiGap = gap
+	}
+	return m, nil
 }
 
 // heteroSequentialPriced allocates resource types one at a time with the

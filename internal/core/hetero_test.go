@@ -4,6 +4,8 @@ import (
 	"math/rand"
 	"testing"
 
+	"rsin/internal/graph"
+	"rsin/internal/multiflow"
 	"rsin/internal/topology"
 )
 
@@ -230,6 +232,91 @@ func TestHeteroSequentialPricedFallback(t *testing.T) {
 		if a.Req.Proc == 2 && a.Res != 1 {
 			t.Fatalf("priority/preference pairing lost in fallback: %+v", a)
 		}
+	}
+}
+
+// TestHeteroFastPathCertified: on the restricted MRSIN topologies the LP
+// relaxation is integral, so every epoch must take the *certified* fast
+// path — MultiFastPath set, zero gap, the LP bound matching the integral
+// allocation count — across random typed scenarios and fault churn.
+func TestHeteroFastPathCertified(t *testing.T) {
+	rng := rand.New(rand.NewSource(47))
+	builders := []func() *topology.Network{
+		func() *topology.Network { return topology.Omega(8) },
+		func() *topology.Network { return topology.Benes(8) },
+		func() *topology.Network { return topology.Clos(3, 3, 3) },
+	}
+	for trial := 0; trial < 45; trial++ {
+		net := builders[trial%len(builders)]()
+		if trial%5 == 4 {
+			net.FailLink(rng.Intn(len(net.Links)))
+		}
+		var reqs []Request
+		for p := 0; p < net.Procs; p++ {
+			if rng.Float64() < 0.6 {
+				reqs = append(reqs, Request{Proc: p, Type: rng.Intn(3)})
+			}
+		}
+		var avail []Avail
+		for r := 0; r < net.Ress; r++ {
+			if rng.Float64() < 0.6 {
+				avail = append(avail, Avail{Res: r, Type: rng.Intn(3)})
+			}
+		}
+		if len(reqs) == 0 {
+			continue
+		}
+		m, err := ScheduleHetero(net, reqs, avail, nil)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if !m.Solve.MultiFastPath {
+			t.Fatalf("trial %d (%s): restricted topology took the fallback: %+v", trial, net.Name, m.Solve)
+		}
+		if m.Solve.MultiGreedy || m.Solve.MultiGap != 0 {
+			t.Fatalf("trial %d (%s): fast path with nonzero gap: %+v", trial, net.Name, m.Solve)
+		}
+		if got, want := int(m.Solve.MultiLPBound+0.5), m.Allocated(); got != want {
+			t.Fatalf("trial %d (%s): LP bound %v vs allocated %d", trial, net.Name, m.Solve.MultiLPBound, want)
+		}
+		checkMapping(t, net, m)
+	}
+}
+
+// TestCertifyIntegralRejects: the certificate must reject fractional
+// flows, illegal roundings, and totals that fall short of the LP
+// objective — res.Integral alone is not trusted.
+func TestCertifyIntegralRejects(t *testing.T) {
+	g := graph.New(4, 0, 1)
+	a0 := g.AddArc(0, 2, 1, 0) // s -> m
+	a1 := g.AddArc(2, 1, 1, 0) // m -> t
+	comms := []multiflow.Commodity{{Source: 0, Sink: 1, Demand: 1}}
+	mk := func(f0, f1 float64) multiflow.Result {
+		flows := make([][]float64, 1)
+		flows[0] = make([]float64, len(g.Arcs))
+		flows[0][a0], flows[0][a1] = f0, f1
+		return multiflow.Result{Flows: flows, Values: []float64{f0}, Total: f0, Objective: f0, Integral: true}
+	}
+
+	if _, ok := certifyIntegral(g, comms, mk(0.5, 0.5), true); ok {
+		t.Fatal("fractional flow certified")
+	}
+	// Conservation violation after rounding: unit enters node 2, nothing leaves.
+	if _, ok := certifyIntegral(g, comms, mk(1, 0), true); ok {
+		t.Fatal("illegal (non-conserving) flow certified")
+	}
+	// Total short of the claimed LP objective.
+	short := mk(0, 0)
+	short.Objective = 1
+	if _, ok := certifyIntegral(g, comms, short, true); ok {
+		t.Fatal("total below LP objective certified")
+	}
+	rounded, ok := certifyIntegral(g, comms, mk(1, 1), true)
+	if !ok {
+		t.Fatal("legal integral flow rejected")
+	}
+	if rounded.Total != 1 || rounded.Values[0] != 1 {
+		t.Fatalf("recomputed totals wrong: %+v", rounded)
 	}
 }
 

@@ -34,6 +34,23 @@ type SolveStats struct {
 	// committed without a flow search. The remainder of the epoch's
 	// grants went through Augment's residual search.
 	FastPaths int `json:"fast_paths,omitempty"`
+
+	// Multicommodity epoch accounting (ScheduleHetero only). MultiFastPath
+	// marks an epoch whose LP relaxation was *certified* integral — flows
+	// rounded, re-verified legal, objective matched — and committed as the
+	// provably optimal schedule. MultiGreedy marks the fallback: the
+	// relaxation came out fractional and the epoch was served by the
+	// sequential per-commodity decomposition, with MultiRetries counting
+	// the extra commodity orderings tried beyond the first. MultiLPBound
+	// is the relaxation objective (an upper bound on integral
+	// allocations) and MultiGap the integral units left on the table
+	// versus floor(MultiLPBound) — zero whenever optimality was certified
+	// (fast path or a closed branch-and-bound run).
+	MultiFastPath bool    `json:"multi_fast_path,omitempty"`
+	MultiGreedy   bool    `json:"multi_greedy,omitempty"`
+	MultiRetries  int     `json:"multi_retries,omitempty"`
+	MultiLPBound  float64 `json:"multi_lp_bound,omitempty"`
+	MultiGap      int     `json:"multi_gap,omitempty"`
 }
 
 // standingCircuit is a circuit granted by an earlier incremental solve

@@ -1,7 +1,6 @@
 package multiflow
 
 import (
-	"fmt"
 	"math"
 
 	"rsin/internal/graph"
@@ -14,7 +13,9 @@ import (
 // prune by the incumbent found by SequentialDinic. Intended for the small
 // instances of Table II's "integer multicommodity" discipline (the general
 // problem is NP-hard, which is exactly why the paper restricts topologies);
-// maxNodes bounds the search (0 means 10000).
+// maxNodes bounds the search (0 means 10000). When the node budget runs out
+// the incumbent is returned with Result.Truncated set: a legal integral
+// schedule that lower-bounds — but does not certify — the optimum.
 func BranchAndBound(g *graph.Network, comms []Commodity, opts *Options, maxNodes int) (Result, error) {
 	if len(comms) == 0 {
 		return Result{Integral: true}, nil
@@ -59,7 +60,13 @@ func BranchAndBound(g *graph.Network, comms []Commodity, opts *Options, maxNodes
 	explored := 0
 	for len(stack) > 0 {
 		if explored >= maxNodes {
-			return best, fmt.Errorf("multiflow: branch-and-bound node budget (%d) exhausted; returning incumbent", maxNodes)
+			// Budget exhausted: the incumbent is a legal integral flow and
+			// therefore a valid *lower bound* on the integral optimum, but
+			// the search did not close, so it must not be reported as the
+			// optimum. Truncated tells callers to treat Total accordingly.
+			best.Integral = true
+			best.Truncated = true
+			return best, nil
 		}
 		explored++
 		nd := stack[len(stack)-1]

@@ -23,6 +23,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sort"
 
 	"rsin/internal/graph"
 	"rsin/internal/lp"
@@ -63,11 +64,15 @@ func (o *Options) cost(g *graph.Network, i, e int) float64 {
 
 // Result is the outcome of a multicommodity solve.
 type Result struct {
-	Flows     [][]float64 // Flows[i][e]: flow of commodity i on arc e
-	Values    []float64   // Values[i]: F^i advanced for commodity i
-	Total     float64     // sum of Values
-	Cost      float64     // objective of the min-cost variant (0 otherwise)
-	Integral  bool        // true when every Flows[i][e] is integral
+	Flows    [][]float64 // Flows[i][e]: flow of commodity i on arc e
+	Values   []float64   // Values[i]: F^i advanced for commodity i
+	Total    float64     // sum of Values
+	Cost     float64     // objective of the min-cost variant (0 otherwise)
+	Integral bool        // true when every Flows[i][e] is integral
+	// Truncated marks a BranchAndBound run that exhausted its node budget:
+	// the flows are a legal integral schedule, but Total is only a lower
+	// bound on the integral optimum, not a certificate of it.
+	Truncated bool
 	LPStatus  lp.Status
 	Objective float64 // raw LP objective
 }
@@ -260,6 +265,81 @@ func SequentialDinic(g *graph.Network, comms []Commodity) Result {
 		}
 	}
 	return res
+}
+
+// SequentialBest is SequentialDinic with conflict retry: route the
+// commodities sequentially under several orders and keep the best total. The
+// first order is the given one; subsequent attempts move the commodities the
+// incumbent starved to the front (the "conflict" signal — a commodity shipped
+// less than its peers because earlier ones consumed shared arcs) and then
+// fall back to rotations. When bound > 0 the search stops as soon as the
+// incumbent reaches floor(bound), the best any integral flow can do against
+// the LP relaxation; maxOrders caps the attempts (0 means 4). Returns the
+// best result with flows and values indexed by the ORIGINAL commodity order,
+// plus the number of orders tried.
+func SequentialBest(g *graph.Network, comms []Commodity, bound float64, maxOrders int) (Result, int) {
+	const tol = 1e-6
+	k := len(comms)
+	if k == 0 {
+		return Result{Integral: true}, 0
+	}
+	if maxOrders <= 0 {
+		maxOrders = 4
+	}
+	target := math.Floor(bound + tol)
+
+	run := func(order []int) Result {
+		permuted := make([]Commodity, k)
+		for j, i := range order {
+			permuted[j] = comms[i]
+		}
+		r := SequentialDinic(g, permuted)
+		// Un-permute back to the caller's commodity indices.
+		flows := make([][]float64, k)
+		vals := make([]float64, k)
+		for j, i := range order {
+			flows[i] = r.Flows[j]
+			vals[i] = r.Values[j]
+		}
+		r.Flows, r.Values = flows, vals
+		return r
+	}
+
+	identity := make([]int, k)
+	for i := range identity {
+		identity[i] = i
+	}
+	best := run(identity)
+	attempts := 1
+	for attempts < maxOrders {
+		if bound > 0 && best.Total >= target-tol {
+			break // certified: no integral flow can beat floor(LP bound)
+		}
+		var order []int
+		switch attempts {
+		case 1: // reverse
+			order = make([]int, k)
+			for i := range order {
+				order[i] = k - 1 - i
+			}
+		case 2: // starved-first: ascending incumbent value, stable by index
+			order = append(order, identity...)
+			sort.SliceStable(order, func(a, b int) bool {
+				return best.Values[order[a]] < best.Values[order[b]]
+			})
+		default: // rotations of the identity order
+			rot := attempts - 2
+			order = make([]int, k)
+			for i := range order {
+				order[i] = (i + rot) % k
+			}
+		}
+		attempts++
+		if r := run(order); r.Total > best.Total {
+			best = r
+		}
+	}
+	return best, attempts
 }
 
 // CheckLegal validates a multicommodity result against the network: joint

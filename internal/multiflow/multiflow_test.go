@@ -300,6 +300,175 @@ func TestBranchAndBoundOnFractionalLP(t *testing.T) {
 	}
 }
 
+// fractionalTriangle builds the instance that forces branch and bound to
+// actually branch: a "triangle" gadget of three commodities whose only
+// routes pairwise share three unit arcs (f_i + f_{i+1} <= 1 around an odd
+// cycle), so the unique LP optimum is the fractional matching 0.5/0.5/0.5 —
+// plus the orderConflict gadget so the greedy incumbent trails the LP bound
+// by enough (1.5 units) that the root is not pruned. LP objective 3.5,
+// greedy incumbent 2, integral optimum 3.
+func fractionalTriangle() (*graph.Network, []Commodity) {
+	g := graph.New(21, 0, 20)
+	s := []int{0, 1, 2}
+	u := []int{3, 5, 7}
+	v := []int{4, 6, 8}
+	tt := []int{9, 10, 11}
+	for i := 0; i < 3; i++ {
+		g.AddArc(u[i], v[i], 1, 0) // shared arc e_i
+	}
+	for i := 0; i < 3; i++ {
+		j := (i + 1) % 3
+		g.AddArc(s[i], u[i], 1, 0)  // private entry
+		g.AddArc(v[i], u[j], 1, 0)  // private bridge e_i -> e_j
+		g.AddArc(v[j], tt[i], 1, 0) // private exit
+	}
+	comms := []Commodity{
+		{Source: s[0], Sink: tt[0]},
+		{Source: s[1], Sink: tt[1]},
+		{Source: s[2], Sink: tt[2]},
+	}
+	// The orderConflict gadget on nodes 12..20 contributes the incumbent
+	// gap: greedy ships 1 of its 2 units.
+	S1, q1, q2, z, w, a, b, p1, p2 := 12, 13, 14, 15, 16, 17, 18, 19, 20
+	g.AddArc(S1, q1, 1, 0)
+	g.AddArc(q1, z, 1, 0)
+	g.AddArc(z, w, 1, 0)
+	g.AddArc(w, p1, 1, 0)
+	g.AddArc(q1, a, 1, 0)
+	g.AddArc(a, b, 1, 0)
+	g.AddArc(b, p1, 1, 0)
+	g.AddArc(q2, z, 1, 0)
+	g.AddArc(w, p2, 1, 0)
+	return g, append(comms,
+		Commodity{Source: S1, Sink: p1},
+		Commodity{Source: q2, Sink: p2})
+}
+
+// TestBranchAndBoundTruncation: exhausting the node budget must hand back
+// the incumbent as a usable lower bound — legal, integral, Truncated — not
+// an error and not a claim of optimality.
+func TestBranchAndBoundTruncation(t *testing.T) {
+	g, comms := fractionalTriangle()
+
+	res, err := BranchAndBound(g, comms, nil, 1)
+	if err != nil {
+		t.Fatalf("truncated run must not error: %v", err)
+	}
+	if !res.Truncated {
+		t.Fatal("node budget exhausted but Truncated not set")
+	}
+	if !res.Integral {
+		t.Fatal("truncated incumbent must still be integral")
+	}
+	if err := CheckLegal(g, comms, res, 0); err != nil {
+		t.Fatalf("truncated incumbent illegal: %v", err)
+	}
+	lpRes, err := MaxFlow(g, comms, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Total > lpRes.Total+1e-6 {
+		t.Fatalf("incumbent %v exceeds LP bound %v", res.Total, lpRes.Total)
+	}
+
+	// The LP bound itself must be fractional here (the gadget's point) and
+	// strictly above the truncated incumbent.
+	if lpRes.Integral {
+		t.Fatal("gadget's LP optimum should be fractional")
+	}
+	if res.Total+1 > lpRes.Total {
+		t.Fatalf("incumbent %v too close to LP bound %v for branching", res.Total, lpRes.Total)
+	}
+
+	// The same instance with the default budget closes the search: the
+	// integral optimum (3: triangle ships 1, conflict gadget ships 2) is
+	// reported without the truncation flag.
+	full, err := BranchAndBound(g, comms, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.Truncated {
+		t.Fatal("exhaustive search must not report truncation")
+	}
+	if full.Total != 3 {
+		t.Fatalf("exhaustive optimum %v, want 3", full.Total)
+	}
+	if full.Total < res.Total-1e-6 {
+		t.Fatalf("exhaustive optimum %v below truncated lower bound %v", full.Total, res.Total)
+	}
+}
+
+// orderConflict builds an instance where SequentialDinic's identity order
+// starves commodity 2: c1's shortest route runs through the one shared
+// bottleneck c2 depends on, while c1 also has a private detour.
+//
+//	c1: S1 -> s1 -> z -> w -> t1   (preferred: s1->z added first)
+//	    S1 -> s1 -> a -> b -> t1   (private detour)
+//	c2: s2 -> z -> w -> t2         (only route; z->w is the shared arc)
+func orderConflict() (*graph.Network, []Commodity) {
+	g := graph.New(9, 0, 8)
+	S1, s1, s2, z, w, a, b, t1, t2 := 0, 1, 2, 3, 4, 5, 6, 7, 8
+	g.AddArc(S1, s1, 1, 0) // caps c1 at one unit
+	g.AddArc(s1, z, 1, 0)
+	g.AddArc(z, w, 1, 0) // shared bottleneck
+	g.AddArc(w, t1, 1, 0)
+	g.AddArc(s1, a, 1, 0)
+	g.AddArc(a, b, 1, 0)
+	g.AddArc(b, t1, 1, 0)
+	g.AddArc(s2, z, 1, 0)
+	g.AddArc(w, t2, 1, 0)
+	return g, []Commodity{{Source: S1, Sink: t1}, {Source: s2, Sink: t2}}
+}
+
+func TestSequentialBestRecoversOrderConflict(t *testing.T) {
+	g, comms := orderConflict()
+	// Identity order starves c2 (total 1)...
+	seq := SequentialDinic(g, comms)
+	if seq.Total != 1 {
+		t.Fatalf("identity order total %v, want 1 (the conflict this test needs)", seq.Total)
+	}
+	// ...and the retry recovers the optimum 2, certified against the bound.
+	lpRes, err := MaxFlow(g, comms, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	best, attempts := SequentialBest(g, comms, lpRes.Total, 0)
+	if best.Total != 2 {
+		t.Fatalf("SequentialBest total %v after %d orders, want 2", best.Total, attempts)
+	}
+	if attempts < 2 || attempts > 4 {
+		t.Fatalf("attempts = %d, want 2..4 (early exit at the bound)", attempts)
+	}
+	if err := CheckLegal(g, comms, best, 0); err != nil {
+		t.Fatalf("illegal: %v", err)
+	}
+	// Values and flows must be indexed by the ORIGINAL commodity order even
+	// though the winning attempt permuted it.
+	if best.Values[0] != 1 || best.Values[1] != 1 {
+		t.Fatalf("values %v not un-permuted", best.Values)
+	}
+	if best.Flows[1][7] != 1 { // arc 7 = s2->z belongs to commodity 2
+		t.Fatalf("commodity 2's flow not on its own arcs: %v", best.Flows[1])
+	}
+}
+
+func TestSequentialBestEarlyExitAtBound(t *testing.T) {
+	// Disjoint commodities: the first order already meets the LP bound, so
+	// exactly one order is tried.
+	g, comms := disjointCommodities()
+	lpRes, err := MaxFlow(g, comms, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	best, attempts := SequentialBest(g, comms, lpRes.Total, 0)
+	if attempts != 1 {
+		t.Fatalf("attempts = %d, want 1 (bound met by the first order)", attempts)
+	}
+	if best.Total != 2 {
+		t.Fatalf("total %v, want 2", best.Total)
+	}
+}
+
 func TestCheckLegalCatchesViolations(t *testing.T) {
 	g, comms := disjointCommodities()
 	res, err := MaxFlow(g, comms, nil)

@@ -113,11 +113,20 @@ func (s *Scheduler) SubmitGang(shard int, spec GangSpec) (*GangHandle, error) {
 				shard, t.Proc)
 		}
 		seenProc[t.Proc] = true
-		if t.Need <= 0 {
-			t.Need = 1
+		if t.Needs != nil {
+			// Typed member: aggregate the declared vector as-is. Defaulting
+			// Need here would hand the system an illegal Need+Needs task.
+			for ty, n := range t.Needs {
+				needByType[ty] += n
+				needTotal += n
+			}
+		} else {
+			if t.Need <= 0 {
+				t.Need = 1
+			}
+			needByType[t.Type] += t.Need
+			needTotal += t.Need
 		}
-		needByType[t.Type] += t.Need
-		needTotal += t.Need
 		if t.Tier < tier {
 			tier = t.Tier
 		}

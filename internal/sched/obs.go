@@ -70,6 +70,11 @@ type schedObs struct {
 	retractions *obs.Counter // standing-circuit units walked back
 	fastPaths   *obs.Counter // grants via the combinatorial routing fast path
 
+	multiFastPath *obs.Counter // multicommodity cycles: certified-integral LP commits
+	multiGreedy   *obs.Counter // multicommodity cycles: greedy decomposition fallback
+	multiRetries  *obs.Counter // extra commodity orderings tried by the greedy
+	multiGap      *obs.Counter // integral units left vs the LP bound, summed
+
 	gangsSubmitted *obs.Counter // gangs accepted into shard systems
 	gangsActivated *obs.Counter // gangs admitted by the banker's gate
 	gangsGranted   *obs.Counter // gangs fully provisioned (all-or-nothing)
@@ -130,6 +135,10 @@ func newSchedObs(reg *obs.Registry) schedObs {
 		warmArcs:          reg.Counter("rsin_solver_warm_arcs_touched_total"),
 		retractions:       reg.Counter("rsin_solver_warm_retractions_total"),
 		fastPaths:         reg.Counter("rsin_solver_fast_paths_total"),
+		multiFastPath:     reg.Counter("rsin_solver_multi_fast_path_total"),
+		multiGreedy:       reg.Counter("rsin_solver_multi_greedy_total"),
+		multiRetries:      reg.Counter("rsin_solver_multi_retries_total"),
+		multiGap:          reg.Counter("rsin_solver_multi_gap_units_total"),
 		gangsSubmitted:    reg.Counter("rsin_sched_gangs_submitted_total"),
 		gangsActivated:    reg.Counter("rsin_sched_gangs_activated_total"),
 		gangsGranted:      reg.Counter("rsin_sched_gangs_granted_total"),

@@ -179,6 +179,18 @@ type Stats struct {
 	Retractions int64 // standing-circuit units walked back (releases, severs)
 	FastPaths   int64 // grants resolved by the combinatorial routing fast path
 
+	// Multicommodity epoch counters (Hetero discipline only; zero for the
+	// others). MultiFastPath counts cycles whose LP relaxation was
+	// certified integral and committed as provably optimal; MultiGreedy
+	// counts cycles served by the sequential greedy decomposition, with
+	// MultiRetries the extra commodity orderings it tried and
+	// MultiGapUnits the integral allocations left versus the LP bound,
+	// summed over those cycles (zero on every certified cycle).
+	MultiFastPath int64
+	MultiGreedy   int64
+	MultiRetries  int64
+	MultiGapUnits int64
+
 	Free   int // free resources after each shard's latest epoch
 	Usable int // degraded-capacity gauge: schedulable resources surviving faults
 	// Ops accumulates the solver's primitive-operation counters across
@@ -193,8 +205,9 @@ type Handle struct {
 	shard  int
 	id     system.TaskID
 	gen    int // shard restart generation the task was admitted under
-	need   int // declared resource demand (for degraded-capacity rechecks)
-	typ    int // declared resource type
+	need   int         // declared total resource demand (for degraded-capacity rechecks)
+	typ    int         // declared resource type (scalar tasks)
+	needs  map[int]int // declared typed demand vector; nil for scalar tasks
 	tier   int // declared priority class, for the preemption policy
 	proc   int // submitting processor, for preemption route probes
 	severs int // units lost to faults or preemption; bounded by Config.SeverRetries
@@ -403,7 +416,12 @@ func (s *Scheduler) Submit(shard int, t system.Task) (*Handle, error) {
 		return nil, fmt.Errorf("sched: shard %d: %w", shard, err)
 	}
 	need := t.Need
-	if need <= 0 {
+	if t.Needs != nil {
+		need = 0
+		for _, n := range t.Needs {
+			need += n
+		}
+	} else if need <= 0 {
 		need = 1
 	}
 	if need > sh.ress {
@@ -411,7 +429,7 @@ func (s *Scheduler) Submit(shard int, t system.Task) (*Handle, error) {
 		return nil, fmt.Errorf("sched: shard %d: task needs %d resources, shard has %d: %w",
 			shard, need, sh.ress, system.ErrUnsatisfiable)
 	}
-	if sh.typeCount != nil && need > sh.typeCount[t.Type] {
+	if t.Needs == nil && sh.typeCount != nil && need > sh.typeCount[t.Type] {
 		s.o.rejected.Inc()
 		return nil, fmt.Errorf("sched: shard %d: task needs %d resources of type %d, shard has %d: %w",
 			shard, need, t.Type, sh.typeCount[t.Type], system.ErrUnsatisfiable)
@@ -419,21 +437,46 @@ func (s *Scheduler) Submit(shard int, t system.Task) (*Handle, error) {
 	// Degraded admission: the demand must also fit the shard's surviving
 	// capacity (resources lost to hardware faults, or stranded behind
 	// failed switchboxes, cannot complete an acquisition until repaired).
-	sh.mu.Lock()
-	limit := sh.usableTotal
-	if sh.typeCount != nil {
-		limit = sh.usableByType[t.Type]
-	}
-	sh.mu.Unlock()
-	if need > limit {
-		s.o.rejected.Inc()
-		if s.o.trace != nil {
-			s.o.trace.Record(obs.Event{Kind: evReject, Shard: shard, Val: int64(need), Result: resUnsat})
+	// Typed vectors check component-wise: every (type, count) entry must
+	// fit that type's surviving stock, which also rejects types the fabric
+	// never stocked (their census entry is zero).
+	if t.Needs != nil {
+		sh.mu.Lock()
+		for ty, n := range t.Needs {
+			if limit := sh.usableByType[ty]; n > limit {
+				sh.mu.Unlock()
+				s.o.rejected.Inc()
+				if s.o.trace != nil {
+					s.o.trace.Record(obs.Event{Kind: evReject, Shard: shard, Val: int64(n), Result: resUnsat})
+				}
+				return nil, fmt.Errorf("sched: shard %d: task needs %d resources of type %d, surviving fabric has %d usable: %w",
+					shard, n, ty, limit, system.ErrUnsatisfiable)
+			}
 		}
-		return nil, fmt.Errorf("sched: shard %d: task needs %d resources, surviving fabric has %d usable: %w",
-			shard, need, limit, system.ErrUnsatisfiable)
+		sh.mu.Unlock()
+	} else {
+		sh.mu.Lock()
+		limit := sh.usableTotal
+		if sh.typeCount != nil {
+			limit = sh.usableByType[t.Type]
+		}
+		sh.mu.Unlock()
+		if need > limit {
+			s.o.rejected.Inc()
+			if s.o.trace != nil {
+				s.o.trace.Record(obs.Event{Kind: evReject, Shard: shard, Val: int64(need), Result: resUnsat})
+			}
+			return nil, fmt.Errorf("sched: shard %d: task needs %d resources, surviving fabric has %d usable: %w",
+				shard, need, limit, system.ErrUnsatisfiable)
+		}
 	}
 	h := &Handle{shard: shard, need: need, typ: t.Type, tier: t.Tier, proc: t.Proc, done: make(chan struct{})}
+	if t.Needs != nil {
+		h.needs = make(map[int]int, len(t.Needs))
+		for ty, n := range t.Needs {
+			h.needs[ty] = n
+		}
+	}
 	if s.o.enabled {
 		h.submitNano = nowNano()
 	}
@@ -614,6 +657,10 @@ func (s *Scheduler) Stats() Stats {
 		tot.ArcsTouched += st.ArcsTouched
 		tot.Retractions += st.Retractions
 		tot.FastPaths += st.FastPaths
+		tot.MultiFastPath += st.MultiFastPath
+		tot.MultiGreedy += st.MultiGreedy
+		tot.MultiRetries += st.MultiRetries
+		tot.MultiGapUnits += st.MultiGapUnits
 		tot.Free += st.Free
 		tot.Usable += st.Usable
 		tot.Ops.Add(st.Ops)
@@ -752,6 +799,10 @@ func (s *Scheduler) publish(sh *shard, epoch *Stats) {
 	sh.stats.ArcsTouched += epoch.ArcsTouched
 	sh.stats.Retractions += epoch.Retractions
 	sh.stats.FastPaths += epoch.FastPaths
+	sh.stats.MultiFastPath += epoch.MultiFastPath
+	sh.stats.MultiGreedy += epoch.MultiGreedy
+	sh.stats.MultiRetries += epoch.MultiRetries
+	sh.stats.MultiGapUnits += epoch.MultiGapUnits
 	sh.stats.Free = free
 	sh.stats.Ops.Add(epoch.Ops)
 	sh.mu.Unlock()
@@ -784,6 +835,10 @@ func (s *Scheduler) publish(sh *shard, epoch *Stats) {
 		s.o.warmArcs.Add(epoch.ArcsTouched)
 		s.o.retractions.Add(epoch.Retractions)
 		s.o.fastPaths.Add(epoch.FastPaths)
+		s.o.multiFastPath.Add(epoch.MultiFastPath)
+		s.o.multiGreedy.Add(epoch.MultiGreedy)
+		s.o.multiRetries.Add(epoch.MultiRetries)
+		s.o.multiGap.Add(epoch.MultiGapUnits)
 		s.o.free.Add(int64(free - sh.lastFree))
 		sh.lastFree = free
 	}
@@ -1068,6 +1123,14 @@ func (s *Scheduler) flush(sh *shard, buf []op) []op {
 			epoch.ArcsTouched += int64(r.Mapping.Solve.ArcsTouched)
 			epoch.Retractions += int64(r.Mapping.Solve.Retractions)
 			epoch.FastPaths += int64(r.Mapping.Solve.FastPaths)
+			if r.Mapping.Solve.MultiFastPath {
+				epoch.MultiFastPath++
+			}
+			if r.Mapping.Solve.MultiGreedy {
+				epoch.MultiGreedy++
+			}
+			epoch.MultiRetries += int64(r.Mapping.Solve.MultiRetries)
+			epoch.MultiGapUnits += int64(r.Mapping.Solve.MultiGap)
 			if r.Granted == 0 {
 				break
 			}
@@ -1277,20 +1340,38 @@ func (s *Scheduler) refreshCapacity(sh *shard, epoch *Stats) {
 	}
 	sh.capEpoch, sh.capOK = ep, true
 	for id, h := range sh.tracked {
-		limit := total
-		if sh.typeCount != nil {
-			limit = usable[h.typ]
+		var cause error
+		if h.needs != nil {
+			// Typed demand: every component must still fit its type's
+			// surviving stock — a single lost resource can strand one
+			// commodity while the others remain satisfiable.
+			for ty, n := range h.needs {
+				if n > usable[ty] {
+					cause = fmt.Errorf("sched: shard %d: task needs %d resources of type %d, surviving fabric has %d usable: %w",
+						sh.idx, n, ty, usable[ty], system.ErrUnsatisfiable)
+					break
+				}
+			}
+		} else {
+			limit := total
+			if sh.typeCount != nil {
+				limit = usable[h.typ]
+			}
+			if h.need > limit {
+				cause = fmt.Errorf("sched: shard %d: task needs %d resources, surviving fabric has %d usable: %w",
+					sh.idx, h.need, limit, system.ErrUnsatisfiable)
+			}
 		}
-		if h.need > limit {
-			_ = sh.sys.Cancel(id)
-			delete(sh.tracked, id)
-			h.err = fmt.Errorf("sched: shard %d: task needs %d resources, surviving fabric has %d usable: %w",
-				sh.idx, h.need, limit, system.ErrUnsatisfiable)
-			h.finished = true
-			epoch.Failed++
-			s.event(sh, evFailed, int64(id), int64(h.need), resUnsat)
-			close(h.done)
+		if cause == nil {
+			continue
 		}
+		_ = sh.sys.Cancel(id)
+		delete(sh.tracked, id)
+		h.err = cause
+		h.finished = true
+		epoch.Failed++
+		s.event(sh, evFailed, int64(id), int64(h.need), resUnsat)
+		close(h.done)
 	}
 	// Gangs hold their units together, so the whole combined demand must
 	// still fit — a gang that no longer does would wait forever at the

@@ -19,6 +19,10 @@ func FuzzHTTPSubmitDecode(f *testing.F) {
 	f.Add([]byte(`{"proc": 1} trailing`), "-5ms")
 	f.Add([]byte(`[1, 2]`), "1h")
 	f.Add([]byte(`{"priority": 9223372036854775807}`), "1ns")
+	f.Add([]byte(`{"proc": 2, "needs": {"0": 1, "2": 3}}`), "")
+	f.Add([]byte(`{"needs": {"01": 1}}`), "")
+	f.Add([]byte(`{"needs": {"-1": 1}}`), "")
+	f.Add([]byte(`{"need": 1, "needs": {"0": 1}}`), "1s")
 	f.Add([]byte(`{}`), "2026-08-08T12:00:00Z")
 	f.Add([]byte(`{}`), "1999-01-01T00:00:00+07:00")
 	f.Fuzz(func(t *testing.T, body []byte, deadline string) {
@@ -26,6 +30,19 @@ func FuzzHTTPSubmitDecode(f *testing.F) {
 		if err == nil {
 			if req.Shard < 0 || req.Proc < 0 || req.Need < 0 || req.HoldUS < 0 {
 				t.Fatalf("decoder accepted negative fields: %+v", req)
+			}
+			// An accepted needs object must convert cleanly to the typed
+			// vector the handler builds from it, with non-negative types.
+			if req.Needs != nil {
+				needs, err := typedNeeds(req.Needs)
+				if err != nil {
+					t.Fatalf("decoder accepted needs %v the converter rejects: %v", req.Needs, err)
+				}
+				for ty := range needs {
+					if ty < 0 {
+						t.Fatalf("typedNeeds produced negative type %d from %v", ty, req.Needs)
+					}
+				}
 			}
 			// Round trip: what the decoder accepts, the encoder preserves.
 			out, err := json.Marshal(req)
@@ -38,7 +55,8 @@ func FuzzHTTPSubmitDecode(f *testing.F) {
 			}
 			if req.Shard != again.Shard || req.Proc != again.Proc || req.Need != again.Need ||
 				req.Tier != again.Tier || req.Priority != again.Priority || req.Type != again.Type ||
-				req.HoldUS != again.HoldUS || req.Stream != again.Stream || len(req.Prefs) != len(again.Prefs) {
+				req.HoldUS != again.HoldUS || req.Stream != again.Stream || len(req.Prefs) != len(again.Prefs) ||
+				len(req.Needs) != len(again.Needs) {
 				t.Fatalf("round trip drifted: %+v -> %+v", req, again)
 			}
 		}

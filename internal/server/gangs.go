@@ -29,6 +29,9 @@ type GangMember struct {
 	Need int `json:"need"` // resources required; 0 means 1
 	Type int `json:"type"`
 	Tier int `json:"tier"`
+	// Needs is the member's typed demand vector (see
+	// SubmitRequest.Needs); mutually exclusive with Need/Type.
+	Needs map[string]int `json:"needs,omitempty"`
 }
 
 // GangRequest is the JSON body of POST /v1/gangs. Exactly one of Members
@@ -98,6 +101,9 @@ func decodeGang(body []byte) (GangRequest, error) {
 		for i, m := range req.Members {
 			if m.Proc < 0 || m.Need < 0 {
 				return GangRequest{}, fmt.Errorf("member %d: proc and need must be non-negative", i)
+			}
+			if _, err := typedNeeds(m.Needs); err != nil {
+				return GangRequest{}, fmt.Errorf("member %d: %w", i, err)
 			}
 		}
 	case req.Collective != "":
@@ -219,6 +225,7 @@ func (sv *Server) runExplicitGang(w http.ResponseWriter, ctx context.Context, t0
 	spec := sched.GangSpec{Members: make([]system.Task, len(req.Members)), Label: req.Label}
 	for i, m := range req.Members {
 		spec.Members[i] = system.Task{Proc: m.Proc, Need: m.Need, Type: m.Type, Tier: m.Tier}
+		spec.Members[i].Needs, _ = typedNeeds(m.Needs) // validated by decodeGang
 	}
 	gh, err := sv.s.SubmitGangCtx(ctx, req.Shard, spec)
 	if err != nil {

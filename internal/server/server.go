@@ -44,6 +44,12 @@ type SubmitRequest struct {
 	Priority int64   `json:"priority"` // fine-grain priority within the tier
 	Prefs    []int64 `json:"prefs,omitempty"`
 	Type     int     `json:"type"`
+	// Needs is the typed demand vector for heterogeneous pools, keyed by
+	// resource type (string keys — JSON objects cannot key integers):
+	// {"0": 1, "2": 3} asks for one type-0 and three type-2 resources.
+	// Mutually exclusive with Need/Type, which remain the one-type
+	// special case.
+	Needs map[string]int `json:"needs,omitempty"`
 	// HoldUS holds the granted resources for this many microseconds
 	// before the server releases them — the simulated service time.
 	HoldUS int64 `json:"hold_us"`
@@ -75,10 +81,32 @@ func decodeSubmit(body []byte) (SubmitRequest, error) {
 	if req.HoldUS < 0 {
 		return SubmitRequest{}, fmt.Errorf("hold_us %d must be non-negative", req.HoldUS)
 	}
+	if _, err := typedNeeds(req.Needs); err != nil {
+		return SubmitRequest{}, err
+	}
 	// Tier, Priority and Prefs bounds are the scheduler's contract
 	// (system.ValidateTask, typed ErrBadTask); the decoder only rejects
 	// what could never be valid so the two layers cannot disagree.
 	return req, nil
+}
+
+// typedNeeds converts a JSON needs object into the scheduler's typed
+// demand vector. Keys must be distinct non-negative integer resource
+// types ("0", "2" — not "02", which would alias "2"); count bounds and
+// the exclusivity with Need/Type are system.ValidateTask's contract.
+func typedNeeds(needs map[string]int) (map[int]int, error) {
+	if needs == nil {
+		return nil, nil
+	}
+	out := make(map[int]int, len(needs))
+	for k, n := range needs {
+		ty, err := strconv.Atoi(k)
+		if err != nil || ty < 0 || strconv.Itoa(ty) != k {
+			return nil, fmt.Errorf("needs key %q must be a canonical non-negative resource type", k)
+		}
+		out[ty] = n
+	}
+	return out, nil
 }
 
 // decodeStrict decodes one JSON document into v, rejecting unknown
@@ -402,6 +430,7 @@ func (sv *Server) handleTasks(w http.ResponseWriter, r *http.Request) {
 		Proc: req.Proc, Need: req.Need, Tier: req.Tier,
 		Priority: req.Priority, Prefs: req.Prefs, Type: req.Type,
 	}
+	task.Needs, _ = typedNeeds(req.Needs) // validated by decodeSubmit
 
 	var es *eventStream
 	if stream {

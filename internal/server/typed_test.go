@@ -1,0 +1,157 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"testing"
+
+	"rsin/internal/sched"
+	"rsin/internal/system"
+	"rsin/internal/topology"
+)
+
+// newTypedServer builds a front door (gang endpoint mounted) over a
+// banker's-mode hetero omega(8) scheduler with two resource types.
+func newTypedServer(t *testing.T) (*Server, *sched.Scheduler, []int) {
+	t.Helper()
+	types := []int{0, 0, 1, 1, 0, 0, 1, 1}
+	s, err := sched.New(sched.Config{Shards: []system.Config{{
+		Net:        topology.Omega(8),
+		Discipline: system.Hetero,
+		Types:      types,
+		Avoidance:  system.AvoidanceBankers,
+	}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	sv, err := New(Config{Sched: s, Gangs: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sv, s, types
+}
+
+// TestTypedSubmitServiced drives a typed-needs task through the front
+// door: the JSON needs object becomes the scheduler's demand vector and
+// the grant covers it exactly, type by type.
+func TestTypedSubmitServiced(t *testing.T) {
+	sv, s, types := newTypedServer(t)
+	w := postTask(t, sv.Handler(), `{"proc": 2, "needs": {"0": 1, "1": 2}}`, nil)
+	if w.Code != http.StatusOK {
+		t.Fatalf("status %d, body %s", w.Code, w.Body)
+	}
+	var ev TaskEvent
+	if err := json.Unmarshal(w.Body.Bytes(), &ev); err != nil {
+		t.Fatal(err)
+	}
+	if ev.Event != "serviced" || len(ev.Resources) != 3 {
+		t.Fatalf("event %+v, want serviced with three resources", ev)
+	}
+	got := map[int]int{}
+	for _, r := range ev.Resources {
+		got[types[r]]++
+	}
+	if got[0] != 1 || got[1] != 2 {
+		t.Fatalf("granted per type %v, want {0:1, 1:2}", got)
+	}
+	st := s.Stats()
+	if st.MultiFastPath == 0 || st.MultiGapUnits != 0 {
+		t.Fatalf("stats %+v, want a certified zero-gap multicommodity epoch", st)
+	}
+}
+
+// TestTypedSubmitBadRequests pins the 400 surface of typed needs: keys
+// that are not canonical non-negative integers die in the decoder, and
+// vectors the decoder cannot judge (mixed with scalar need, zero counts)
+// die on the scheduler's ValidateTask with the same status.
+func TestTypedSubmitBadRequests(t *testing.T) {
+	sv, _, _ := newTypedServer(t)
+	cases := []struct {
+		name string
+		body string
+	}{
+		{"non-integer key", `{"needs": {"x": 1}}`},
+		{"non-canonical key", `{"needs": {"01": 1}}`},
+		{"negative key", `{"needs": {"-1": 1}}`},
+		{"mixed with scalar need", `{"need": 1, "needs": {"0": 1}}`},
+		{"mixed with scalar type", `{"type": 1, "needs": {"0": 1}}`},
+		{"zero count", `{"needs": {"0": 0}}`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			w := postTask(t, sv.Handler(), tc.body, nil)
+			if w.Code != http.StatusBadRequest {
+				t.Fatalf("status %d, want 400; body %s", w.Code, w.Body)
+			}
+		})
+	}
+}
+
+// TestTypedSubmitUnsatisfiable pins the 422 surface: a vector naming a
+// type the shard does not stock is rejected as unsatisfiable, not queued.
+func TestTypedSubmitUnsatisfiable(t *testing.T) {
+	sv, _, _ := newTypedServer(t)
+	w := postTask(t, sv.Handler(), `{"proc": 0, "needs": {"7": 1}}`, nil)
+	if w.Code != http.StatusUnprocessableEntity {
+		t.Fatalf("status %d, want 422; body %s", w.Code, w.Body)
+	}
+	var ev TaskEvent
+	if err := json.Unmarshal(w.Body.Bytes(), &ev); err != nil {
+		t.Fatal(err)
+	}
+	if ev.Event != "failed" || ev.Cause != "unsat" {
+		t.Fatalf("event %+v, want failed/unsat", ev)
+	}
+}
+
+// TestTypedGangServiced runs an explicit gang whose members carry typed
+// vectors: the all-or-nothing grant must satisfy each member's vector
+// with distinct resources.
+func TestTypedGangServiced(t *testing.T) {
+	sv, s, types := newTypedServer(t)
+	w := postGang(t, sv.Handler(),
+		`{"members": [{"proc": 0, "needs": {"0": 1, "1": 1}}, {"proc": 3, "needs": {"1": 2}}]}`, nil)
+	if w.Code != http.StatusOK {
+		t.Fatalf("status %d, body %s", w.Code, w.Body)
+	}
+	var ev GangEvent
+	if err := json.Unmarshal(w.Body.Bytes(), &ev); err != nil {
+		t.Fatal(err)
+	}
+	if ev.Event != "serviced" || ev.Members != 2 {
+		t.Fatalf("event %+v, want serviced with 2 members", ev)
+	}
+	want := []map[int]int{{0: 1, 1: 1}, {1: 2}}
+	seen := map[int]bool{}
+	for i, member := range ev.Resources {
+		got := map[int]int{}
+		for _, r := range member {
+			if seen[r] {
+				t.Fatalf("resource %d granted twice: %v", r, ev.Resources)
+			}
+			seen[r] = true
+			got[types[r]]++
+		}
+		for ty, n := range want[i] {
+			if got[ty] != n {
+				t.Fatalf("member %d granted per type %v, want %v", i, got, want[i])
+			}
+		}
+	}
+	st := s.Stats()
+	if st.GangsServiced != 1 {
+		t.Fatalf("stats %+v, want one serviced gang", st)
+	}
+}
+
+// TestTypedGangBadMember pins that a malformed member vector is rejected
+// with the member index in the error before anything is admitted.
+func TestTypedGangBadMember(t *testing.T) {
+	sv, _, _ := newTypedServer(t)
+	w := postGang(t, sv.Handler(),
+		`{"members": [{"proc": 0}, {"proc": 1, "needs": {"02": 1}}]}`, nil)
+	if w.Code != http.StatusBadRequest {
+		t.Fatalf("status %d, want 400; body %s", w.Code, w.Body)
+	}
+}

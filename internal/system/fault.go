@@ -176,19 +176,7 @@ func (s *System) usableResources() map[int]int {
 	if s.usableCacheOK && s.usableCacheEpoch == ep {
 		return s.usableCache
 	}
-	m := map[int]int{}
-	if !s.net.HasFaults() {
-		for r := 0; r < s.net.Ress; r++ {
-			m[s.resType(r)]++
-		}
-	} else {
-		reach := s.net.ReachableResources()
-		for r := 0; r < s.net.Ress; r++ {
-			if reach[r] {
-				m[s.resType(r)]++
-			}
-		}
-	}
+	m := s.net.UsableByType(s.cfg.Types)
 	s.usableCache, s.usableCacheEpoch, s.usableCacheOK = m, ep, true
 	return m
 }
@@ -251,6 +239,11 @@ func (s *System) revokeUnit(t *taskState, r int) {
 	for i, held := range t.held {
 		if held == r {
 			t.held = append(t.held[:i], t.held[i+1:]...)
+			if t.heldTyp != nil {
+				// Lockstep: the unit's type charge leaves with it, so the
+				// re-request goes against the right commodity.
+				t.heldTyp = append(t.heldTyp[:i], t.heldTyp[i+1:]...)
+			}
 			break
 		}
 	}

@@ -270,3 +270,130 @@ func checkInvariants(t *testing.T, s *System, net *topology.Network, ids []TaskI
 		t.Fatalf("FreeResources() = %d, want %d (%d held of %d)", got, want, len(holder), net.Ress)
 	}
 }
+
+// FuzzTypedSubmit fuzzes typed-needs tasks through a heterogeneous
+// system — Submit with per-type demand vectors mixed with legacy scalar
+// traffic, Cycle, EndService, Cancel and the full hardware fault surface
+// — asserting the multicommodity contract after every step:
+//
+//   - a typed task never holds a unit of a type it did not declare, nor
+//     more units of a type than its vector requests;
+//   - a fully provisioned typed task (Remaining 0) holds its vector
+//     exactly — no partial typed grants are ever observable;
+//   - the singleton invariants (unique holders, balanced free census)
+//     hold across the mixed population.
+//
+// Operation errors (bad processor, premature EndService, unsatisfiable
+// vectors under faults, ...) are legal outcomes; invariant violations
+// and cycle failures are not.
+func FuzzTypedSubmit(f *testing.F) {
+	f.Add([]byte{0x60, 0x01, 0x02, 0x03})
+	f.Add([]byte{0x21, 0x41, 0x61, 0x01, 0x01, 0x02, 0x02, 0x03, 0x03})
+	// Fault-heavy seed: typed submit, cycle, fail resource, cycle, repair.
+	f.Add([]byte{0x60, 0x01, 0x06, 0x01, 0x0e, 0x01, 0x02, 0x03})
+	// Mixed seed: typed and scalar traffic interleaved with cancels.
+	f.Add([]byte{0x20, 0x47, 0x01, 0x01, 0x3f, 0x02, 0x03, 0x07})
+	f.Fuzz(func(t *testing.T, ops []byte) {
+		if len(ops) > 1<<12 {
+			return
+		}
+		avoid := AvoidanceNone
+		if len(ops) > 0 && ops[0]&1 == 1 {
+			avoid = AvoidanceBankers
+		}
+		net := topology.Omega(4)
+		types := []int{0, 1, 0, 1}
+		s, err := New(Config{Net: net, Discipline: Hetero, Types: types, Avoidance: avoid})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var ids []TaskID
+		needsOf := map[TaskID]map[int]int{}
+		for _, b := range ops {
+			switch b & 0x07 {
+			case 0: // typed Submit: vector from bits 5-7 over the two types
+				needs := map[int]int{}
+				if b&0x20 != 0 {
+					needs[0] = 1 + int(b>>6)&1
+				}
+				if b&0x40 != 0 {
+					needs[1] = 1
+				}
+				if len(needs) == 0 {
+					needs[int(b>>6)&1] = 1
+				}
+				if id, err := s.Submit(Task{Proc: int(b>>3) & 0x03, Needs: needs}); err == nil {
+					ids = append(ids, id)
+					needsOf[id] = needs
+				}
+			case 1: // Cycle
+				if _, err := s.Cycle(); err != nil {
+					t.Fatalf("cycle: %v", err)
+				}
+			case 2: // EndTransmission(proc)
+				_ = s.EndTransmission(int(b>>3) & 0x03)
+			case 3: // EndService on a fuzzer-chosen task
+				if len(ids) > 0 {
+					_ = s.EndService(ids[int(b>>3)%len(ids)])
+				}
+			case 4: // fail or repair a link
+				lid := int(b>>4) % len(net.Links)
+				if b&0x08 != 0 {
+					_ = s.RepairLink(lid)
+				} else if _, err := s.FailLink(lid); err != nil {
+					t.Fatalf("fail link %d: %v", lid, err)
+				}
+			case 5: // fail or repair a switchbox
+				box := int(b>>4) % len(net.Boxes)
+				if b&0x08 != 0 {
+					_ = s.RepairBox(box)
+				} else if _, err := s.FailBox(box); err != nil {
+					t.Fatalf("fail box %d: %v", box, err)
+				}
+			case 6: // fail or repair a resource
+				r := int(b>>4) % net.Ress
+				if b&0x08 != 0 {
+					_ = s.RepairResource(r)
+				} else if _, err := s.FailResource(r); err != nil {
+					t.Fatalf("fail resource %d: %v", r, err)
+				}
+			case 7: // Cancel, or scalar singleton traffic riding along
+				if b&0x40 != 0 && len(ids) > 0 {
+					_ = s.Cancel(ids[int(b>>3)%len(ids)])
+				} else if id, err := s.Submit(Task{Proc: int(b>>3) & 0x03, Need: 1, Type: int(b>>5) & 1}); err == nil {
+					ids = append(ids, id)
+				}
+			}
+			checkInvariants(t, s, net, ids)
+			checkTypedInvariants(t, s, types, needsOf)
+		}
+	})
+}
+
+// checkTypedInvariants audits the per-type holdings of every still-live
+// typed task against its declared vector.
+func checkTypedInvariants(t *testing.T, s *System, types []int, needsOf map[TaskID]map[int]int) {
+	t.Helper()
+	for id, needs := range needsOf {
+		rem := s.Remaining(id)
+		if rem == -1 {
+			continue // serviced or canceled
+		}
+		got := map[int]int{}
+		for _, r := range s.Holding(id) {
+			got[types[r]]++
+		}
+		for ty, n := range got {
+			if n > needs[ty] {
+				t.Fatalf("typed task %d holds %d units of type %d, declared %d", id, n, ty, needs[ty])
+			}
+		}
+		if rem == 0 {
+			for ty, n := range needs {
+				if got[ty] != n {
+					t.Fatalf("provisioned typed task %d holds %v of type %d, want exactly %v", id, got, ty, needs)
+				}
+			}
+		}
+	}
+}

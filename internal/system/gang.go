@@ -55,6 +55,7 @@ func (s *System) SubmitGang(members []Task) (GangID, []TaskID, error) {
 	seenProc := make(map[int]bool, len(members))
 	needByType := map[int]int{}
 	norm := make([]Task, len(members))
+	anyTyped := false
 	for i, t := range members {
 		if t.Proc < 0 || t.Proc >= s.net.Procs {
 			return 0, nil, fmt.Errorf("system: gang member %d: processor %d out of range", i, t.Proc)
@@ -62,21 +63,27 @@ func (s *System) SubmitGang(members []Task) (GangID, []TaskID, error) {
 		if err := ValidateTask(t, s.net.Ress); err != nil {
 			return 0, nil, fmt.Errorf("system: gang member %d: %w", i, err)
 		}
-		if t.Need <= 0 {
-			t.Need = 1
+		t = s.normalizeTask(t)
+		if t.Needs != nil {
+			anyTyped = true
 		}
 		if seenProc[t.Proc] {
 			return 0, nil, fmt.Errorf("system: gang members must use distinct processors (processor %d repeated)", t.Proc)
 		}
 		seenProc[t.Proc] = true
-		needByType[t.Type] += t.Need
+		for ty, n := range t.NeedByType() {
+			needByType[ty] += n
+		}
 		norm[i] = t
 	}
 	// Gang admission: the combined demand must fit the usable census —
 	// members hold their units together, so the whole sum must be
-	// simultaneously satisfiable on the surviving fabric.
+	// simultaneously satisfiable on the surviving fabric. A gang with any
+	// typed member is checked per type even on an untyped fabric (where the
+	// census stocks only type 0): a typed demand the deployment cannot
+	// stock must fail loudly, not pend forever.
 	usable := s.usableResources()
-	if s.typeCount == nil {
+	if s.typeCount == nil && !anyTyped {
 		tot, need := 0, 0
 		for _, c := range usable {
 			tot += c
@@ -124,32 +131,42 @@ func (s *System) SubmitGang(members []Task) (GangID, []TaskID, error) {
 // cycle: pending gangs activate in strict FIFO order, each only when the
 // banker's condition holds with every member committed at its full
 // demand. The first gang that cannot be safely admitted stops the scan —
-// later gangs must not starve it. Returns how many gangs activated.
+// later gangs must not starve it. One exception keeps the fabric live: a
+// gang whose per-type demand exceeds the fault epoch's usable census can
+// never pass the safety scan until a repair (grants only ever come from
+// usable resources), so blocking the FIFO on it would wedge every gang
+// behind it for as long as the fault lasts. Such gangs are skipped in
+// place — they keep their FIFO slot for the cycle a repair makes them
+// satisfiable again, or until the owning service withdraws them
+// retroactively (sched.refreshCapacity). Returns how many gangs activated.
 func (s *System) activateGangs() int {
 	activated := 0
-	for len(s.gangPending) > 0 {
-		gid := s.gangPending[0]
+	usable := s.usableResources()
+	for i := 0; i < len(s.gangPending); {
+		gid := s.gangPending[i]
 		g := s.gangs[gid]
 		if g == nil {
-			s.gangPending = s.gangPending[1:] // canceled while pending
+			s.gangPending = append(s.gangPending[:i], s.gangPending[i+1:]...) // canceled while pending
 			continue
 		}
 		// The candidate joins the hypothetical world as one composite
 		// entity: its members' demand must be finishable together, since
 		// none of them releases a unit until the whole gang completes.
-		hypo := s.hypothetical()
 		cand := newHypoEntity()
 		for _, id := range g.members {
-			t := s.tasks[id]
-			cand.rem[t.task.Type] += t.remaining()
-			cand.held[t.task.Type] += len(t.held)
+			s.tasks[id].entityAdd(cand)
 		}
+		if !fitsFree(cand.rem, usable) {
+			i++ // unsatisfiable at this fault epoch: skip, don't block
+			continue
+		}
+		hypo := s.hypothetical()
 		hypo.entities = append(hypo.entities, cand)
 		if !hypo.safe() {
 			break
 		}
 		g.active = true
-		s.gangPending = s.gangPending[1:]
+		s.gangPending = append(s.gangPending[:i], s.gangPending[i+1:]...)
 		activated++
 		if s.o.enabled {
 			s.o.gangsActivated.Inc()
@@ -256,6 +273,7 @@ func (s *System) resetGang(g *gangState) []TaskID {
 			}
 		}
 		t.held = t.held[:0]
+		t.heldTyp = t.heldTyp[:0]
 		// Re-enqueue members that left their queue when they provisioned.
 		// Queue membership is the test — not remaining()==0 — because the
 		// fault path revokes units before the reset runs: a provisioned

@@ -155,7 +155,8 @@ type FaultOp struct {
 type TaskID int
 
 // Task is one unit of work requiring Need resources (all of type Type),
-// acquired sequentially.
+// acquired sequentially — or, with Needs set, a typed demand vector spanning
+// several resource types at once.
 type Task struct {
 	Proc int
 	// Tier is the task's priority class, 0 (most urgent) through MaxTier.
@@ -174,12 +175,55 @@ type Task struct {
 	Prefs []int64
 	Type  int
 	Need  int // resources required; 0 is treated as 1
+	// Needs, when non-nil, declares a typed demand vector: Needs[ty] units
+	// of each resource type ty, acquired one unit per cycle like any
+	// multi-unit task (lowest-numbered type first). It is mutually
+	// exclusive with the scalar Need/Type pair — setting both fails
+	// ValidateTask with ErrBadTask — and every entry must be positive.
+	// The legacy scalar form is exactly the one-type special case.
+	Needs map[int]int
+}
+
+// NeedByType reports the task's demand per resource type: a copy of Needs
+// when set, otherwise the scalar form normalized to {Type: max(Need, 1)}.
+func (t Task) NeedByType() map[int]int {
+	if t.Needs != nil {
+		out := make(map[int]int, len(t.Needs))
+		for ty, n := range t.Needs {
+			out[ty] = n
+		}
+		return out
+	}
+	n := t.Need
+	if n <= 0 {
+		n = 1
+	}
+	return map[int]int{t.Type: n}
+}
+
+// TotalNeed reports the task's total unit demand across all types.
+func (t Task) TotalNeed() int {
+	if t.Needs != nil {
+		total := 0
+		for _, n := range t.Needs {
+			total += n
+		}
+		return total
+	}
+	if t.Need <= 0 {
+		return 1
+	}
+	return t.Need
 }
 
 type taskState struct {
 	id   TaskID
 	task Task
 	held []int // resources acquired so far
+	// heldTyp[i] is the declared type held[i] was charged to. Nil for
+	// scalar tasks (every unit is task.Type); kept in lockstep with held
+	// for typed tasks by the grant, revoke and reset paths.
+	heldTyp []int
 }
 
 // CycleResult reports one scheduling cycle.
@@ -290,38 +334,52 @@ func (s *System) Submit(t Task) (TaskID, error) {
 	if err := ValidateTask(t, s.net.Ress); err != nil {
 		return 0, err
 	}
-	if t.Need <= 0 {
-		t.Need = 1
-	}
-	if t.Need > s.net.Ress {
-		s.rejectUnsat(t)
-		return 0, fmt.Errorf("system: task needs %d resources, system has %d: %w", t.Need, s.net.Ress, ErrUnsatisfiable)
-	}
-	if s.typeCount != nil && t.Need > s.typeCount[t.Type] {
-		s.rejectUnsat(t)
-		return 0, fmt.Errorf("system: task needs %d resources of type %d, system has %d: %w",
-			t.Need, t.Type, s.typeCount[t.Type], ErrUnsatisfiable)
-	}
-	if s.net.HasFaults() {
-		// Degraded admission: demand must also fit the surviving fabric.
-		// A resource lost to a fault (or stranded behind a failed
-		// switchbox) cannot complete anyone's acquisition until repaired,
-		// and admitting a task it can never finish wedges the queue.
+	t = s.normalizeTask(t)
+	if t.Needs != nil {
+		// Typed admission goes per type against the usable census (equal to
+		// the configured census on a healthy fabric): a demand no surviving
+		// resource set can cover — including a type this deployment simply
+		// does not stock — must be rejected now, or the banker defers the
+		// task forever and it wedges its queue.
 		usable := s.usableResources()
-		if s.typeCount == nil {
-			tot := 0
-			for _, c := range usable {
-				tot += c
-			}
-			if t.Need > tot {
+		for ty, n := range t.Needs {
+			if n > usable[ty] {
 				s.rejectUnsat(t)
-				return 0, fmt.Errorf("system: task needs %d resources, surviving fabric has %d usable: %w",
-					t.Need, tot, ErrUnsatisfiable)
+				return 0, fmt.Errorf("system: task needs %d resources of type %d, fabric has %d usable: %w",
+					n, ty, usable[ty], ErrUnsatisfiable)
 			}
-		} else if t.Need > usable[t.Type] {
+		}
+	} else {
+		if t.Need > s.net.Ress {
 			s.rejectUnsat(t)
-			return 0, fmt.Errorf("system: task needs %d resources of type %d, surviving fabric has %d usable: %w",
-				t.Need, t.Type, usable[t.Type], ErrUnsatisfiable)
+			return 0, fmt.Errorf("system: task needs %d resources, system has %d: %w", t.Need, s.net.Ress, ErrUnsatisfiable)
+		}
+		if s.typeCount != nil && t.Need > s.typeCount[t.Type] {
+			s.rejectUnsat(t)
+			return 0, fmt.Errorf("system: task needs %d resources of type %d, system has %d: %w",
+				t.Need, t.Type, s.typeCount[t.Type], ErrUnsatisfiable)
+		}
+		if s.net.HasFaults() {
+			// Degraded admission: demand must also fit the surviving fabric.
+			// A resource lost to a fault (or stranded behind a failed
+			// switchbox) cannot complete anyone's acquisition until repaired,
+			// and admitting a task it can never finish wedges the queue.
+			usable := s.usableResources()
+			if s.typeCount == nil {
+				tot := 0
+				for _, c := range usable {
+					tot += c
+				}
+				if t.Need > tot {
+					s.rejectUnsat(t)
+					return 0, fmt.Errorf("system: task needs %d resources, surviving fabric has %d usable: %w",
+						t.Need, tot, ErrUnsatisfiable)
+				}
+			} else if t.Need > usable[t.Type] {
+				s.rejectUnsat(t)
+				return 0, fmt.Errorf("system: task needs %d resources of type %d, surviving fabric has %d usable: %w",
+					t.Need, t.Type, usable[t.Type], ErrUnsatisfiable)
+			}
 		}
 	}
 	s.nextID++
@@ -329,6 +387,28 @@ func (s *System) Submit(t Task) (TaskID, error) {
 	s.tasks[id] = &taskState{id: id, task: t}
 	s.queues[t.Proc] = append(s.queues[t.Proc], id)
 	return id, nil
+}
+
+// normalizeTask canonicalizes a validated task for internal bookkeeping: a
+// typed task gets a defensive copy of its Needs vector (the caller keeps its
+// map) and Need set to the vector total so remaining() counts all types; a
+// scalar task gets the 0-means-1 default.
+func (s *System) normalizeTask(t Task) Task {
+	if t.Needs != nil {
+		needs := make(map[int]int, len(t.Needs))
+		total := 0
+		for ty, n := range t.Needs {
+			needs[ty] = n
+			total += n
+		}
+		t.Needs = needs
+		t.Need = total
+		return t
+	}
+	if t.Need <= 0 {
+		t.Need = 1
+	}
+	return t
 }
 
 // rejectUnsat records an admission rejection (an ErrUnsatisfiable return
@@ -354,8 +434,72 @@ func (s *System) headTask(p int) *taskState {
 	return s.tasks[s.queues[p][0]]
 }
 
-// remaining reports how many more resources a task needs.
+// remaining reports how many more resources a task needs across all types
+// (admission normalized Need to the vector total for typed tasks).
 func (t *taskState) remaining() int { return t.task.Need - len(t.held) }
+
+// heldOf counts the units the task holds charged to one type.
+func (t *taskState) heldOf(ty int) int {
+	if t.task.Needs == nil {
+		if ty == t.task.Type {
+			return len(t.held)
+		}
+		return 0
+	}
+	n := 0
+	for _, h := range t.heldTyp {
+		if h == ty {
+			n++
+		}
+	}
+	return n
+}
+
+// remainingOf reports the task's outstanding demand for one type.
+func (t *taskState) remainingOf(ty int) int {
+	if t.task.Needs == nil {
+		if ty == t.task.Type {
+			return t.remaining()
+		}
+		return 0
+	}
+	return t.task.Needs[ty] - t.heldOf(ty)
+}
+
+// reqType picks the type of the next unit the task requests: the
+// lowest-numbered type with outstanding demand, so a typed acquisition is
+// deterministic across cycles. Scalar tasks always request their Type.
+func (t *taskState) reqType() int {
+	if t.task.Needs == nil {
+		return t.task.Type
+	}
+	best, found := 0, false
+	for ty := range t.task.Needs {
+		if t.remainingOf(ty) <= 0 {
+			continue
+		}
+		if !found || ty < best {
+			best, found = ty, true
+		}
+	}
+	return best
+}
+
+// entityAdd accumulates the task's per-type remaining demand and holdings
+// into a banker's entity (the shared body of the hypothetical snapshot and
+// the gang composite candidate).
+func (t *taskState) entityAdd(e *hypoEntity) {
+	if t.task.Needs == nil {
+		e.rem[t.task.Type] += t.remaining()
+		e.held[t.task.Type] += len(t.held)
+		return
+	}
+	for ty, n := range t.task.Needs {
+		h := t.heldOf(ty)
+		e.rem[ty] += n - h
+		e.held[ty] += h
+	}
+}
 
 // wantsResource reports whether the processor's head task should request
 // this cycle: it needs more resources, is not mid-transmission, and is not
@@ -404,7 +548,7 @@ func (s *System) requestCandidate(p int, hypo *hypoState, res *CycleResult) *tas
 			// member may be buried deeper.
 			continue
 		}
-		if hypo != nil && !hypo.admit(t.id, t.task) {
+		if hypo != nil && !hypo.admit(t) {
 			res.Deferred++
 			continue
 		}
@@ -467,8 +611,7 @@ func (s *System) hypothetical() *hypoState {
 				gangEnt[gid] = e
 				h.entities = append(h.entities, e)
 			}
-			e.rem[t.task.Type] += t.remaining()
-			e.held[t.task.Type] += len(t.held)
+			t.entityAdd(e)
 			h.byTask[id] = e
 			continue
 		}
@@ -476,8 +619,7 @@ func (s *System) hypothetical() *hypoState {
 			continue
 		}
 		e := newHypoEntity()
-		e.rem[t.task.Type] = t.remaining()
-		e.held[t.task.Type] = len(t.held)
+		t.entityAdd(e)
 		h.entities = append(h.entities, e)
 		h.byTask[id] = e
 	}
@@ -535,38 +677,43 @@ func fitsFree(rem, free map[int]int) bool {
 	return true
 }
 
-// admit tentatively grants one resource of cand's type to cand in the
+// admit tentatively grants one resource of the task's requested type in the
 // hypothetical state; if the result is unsafe the grant is rolled back and
 // admit reports false. Sequential admission makes the cycle's combined
 // grant set safe even if the scheduler later grants only a subset (a
-// rolled-back grant only returns resources to the free pool).
-func (h *hypoState) admit(id TaskID, t Task) bool {
-	if h.freeByType[t.Type] == 0 {
+// rolled-back grant only returns resources to the free pool). A typed task
+// is committed at its FULL demand vector on first contact: granting its
+// type-a unit while ignoring its type-b demand is the classic unsafe
+// shortcut — the banker would promise a completion order the other types
+// cannot honor.
+func (h *hypoState) admit(t *taskState) bool {
+	ty := t.reqType()
+	if h.freeByType[ty] == 0 {
 		return false
 	}
-	e, created := h.byTask[id], false
+	e, created := h.byTask[t.id], false
 	if e == nil {
 		// First contact with this task in the hypothetical world: an
 		// uncommitted singleton (gang members are pre-committed through
 		// their composite entity whenever their gang is active).
 		e = newHypoEntity()
-		e.rem[t.Type] = t.Need
+		t.entityAdd(e)
 		h.entities = append(h.entities, e)
-		h.byTask[id] = e
+		h.byTask[t.id] = e
 		created = true
 	}
-	h.freeByType[t.Type]--
-	e.rem[t.Type]--
-	e.held[t.Type]++
+	h.freeByType[ty]--
+	e.rem[ty]--
+	e.held[ty]++
 	if h.safe() {
 		return true
 	}
-	h.freeByType[t.Type]++
-	e.rem[t.Type]++
-	e.held[t.Type]--
+	h.freeByType[ty]++
+	e.rem[ty]++
+	e.held[ty]--
 	if created {
 		h.entities = h.entities[:len(h.entities)-1]
-		delete(h.byTask, id)
+		delete(h.byTask, t.id)
 	}
 	return false
 }
@@ -640,7 +787,7 @@ func (s *System) cycle() (*CycleResult, error) {
 		if t == nil {
 			continue
 		}
-		reqs = append(reqs, core.Request{Proc: p, Priority: effectivePriority(t.task), Type: t.task.Type})
+		reqs = append(reqs, core.Request{Proc: p, Priority: effectivePriority(t.task), Type: t.reqType()})
 		taskOf[p] = t
 	}
 	var avail []core.Avail
@@ -719,6 +866,12 @@ func (s *System) cycle() (*CycleResult, error) {
 		}
 		if t == nil {
 			return nil, fmt.Errorf("system: allocation for idle processor %d", a.Req.Proc)
+		}
+		if t.task.Needs != nil {
+			// Charge the unit to the type the task requested this cycle
+			// (computed before held grows — reqType reads the lockstep
+			// slices).
+			t.heldTyp = append(t.heldTyp, t.reqType())
 		}
 		t.held = append(t.held, a.Res)
 		s.resHolder[a.Res] = t.id
@@ -920,8 +1073,12 @@ func (s *System) Deadlocked() bool {
 		if head != t {
 			continue
 		}
-		if freeByType[t.task.Type] > 0 {
-			return false // a cycle could grant it (ignoring link blockage)
+		// A typed task makes progress if ANY type it still needs has a free
+		// unit; scalar tasks reduce to their single type.
+		for ty, n := range freeByType {
+			if n > 0 && t.remainingOf(ty) > 0 {
+				return false // a cycle could grant it (ignoring link blockage)
+			}
 		}
 		anyWaitingHolder = true
 	}

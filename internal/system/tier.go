@@ -22,21 +22,39 @@ const (
 	tierShift       = 21
 )
 
-// ErrBadTask is wrapped by Submit when a task's priority class or
-// preference vector is malformed: tier out of [0, MaxTier], fine-grain
-// priority out of [0, 2^20), a preference vector whose length does not
-// match the resource count, or a preference weight out of [0, 2^20).
-// The check runs before any queue or shard dispatch, so a malformed task
-// never consumes an ID or reaches a scheduler.
+// ErrBadTask is wrapped by Submit when a task's priority class, preference
+// vector or typed-needs vector is malformed: tier out of [0, MaxTier],
+// fine-grain priority out of [0, 2^20), a preference vector whose length
+// does not match the resource count, a preference weight out of [0, 2^20),
+// a Needs vector that is empty, carries a negative type or non-positive
+// count, or is combined with the scalar Need/Type pair. The check runs
+// before any queue or shard dispatch, so a malformed task never consumes an
+// ID or reaches a scheduler.
 var ErrBadTask = errors.New("system: malformed task")
 
-// ValidateTask checks a task's tier, fine-grain priority and preference
-// vector against a fabric of ress resources. It is the shared admission
-// gate: system.Submit and sched.Scheduler.Submit both apply it before
-// accepting the task.
+// ValidateTask checks a task's tier, fine-grain priority, preference vector
+// and typed-needs vector against a fabric of ress resources. It is the
+// shared admission gate: system.Submit and sched.Scheduler.Submit both
+// apply it before accepting the task.
 func ValidateTask(t Task, ress int) error {
 	if t.Tier < 0 || t.Tier > MaxTier {
 		return fmt.Errorf("%w: tier %d out of range [0, %d]", ErrBadTask, t.Tier, MaxTier)
+	}
+	if t.Needs != nil {
+		if t.Need != 0 || t.Type != 0 {
+			return fmt.Errorf("%w: typed needs vector and scalar need/type are mutually exclusive", ErrBadTask)
+		}
+		if len(t.Needs) == 0 {
+			return fmt.Errorf("%w: typed needs vector is empty", ErrBadTask)
+		}
+		for ty, n := range t.Needs {
+			if ty < 0 {
+				return fmt.Errorf("%w: negative resource type %d in needs vector", ErrBadTask, ty)
+			}
+			if n <= 0 {
+				return fmt.Errorf("%w: non-positive need %d for resource type %d", ErrBadTask, n, ty)
+			}
+		}
 	}
 	if t.Priority < 0 || t.Priority >= maxFinePriority {
 		return fmt.Errorf("%w: priority %d out of range [0, %d)", ErrBadTask, t.Priority, int64(maxFinePriority))

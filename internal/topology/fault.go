@@ -237,3 +237,33 @@ func (n *Network) ReachableResources() []bool {
 	}
 	return reach
 }
+
+// UsableByType reports the degraded-capacity census per resource type:
+// given types[r] naming each resource's type (nil means a single type 0),
+// how many resources are neither failed nor stranded behind failed
+// components — structurally reachable from at least one processor on the
+// surviving fabric. With no active faults it equals the configured
+// census. This is the per-type capacity the admission and banker layers
+// check typed demand vectors against.
+func (n *Network) UsableByType(types []int) map[int]int {
+	tyOf := func(r int) int {
+		if types == nil {
+			return 0
+		}
+		return types[r]
+	}
+	m := map[int]int{}
+	if !n.HasFaults() {
+		for r := 0; r < n.Ress; r++ {
+			m[tyOf(r)]++
+		}
+		return m
+	}
+	reach := n.ReachableResources()
+	for r := 0; r < n.Ress; r++ {
+		if reach[r] {
+			m[tyOf(r)]++
+		}
+	}
+	return m
+}
